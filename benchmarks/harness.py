@@ -1,0 +1,60 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Figure 7, Figure 9, Figure 10, Tables I-IV) or an ablation of a design
+choice from DESIGN.md. Results print as aligned text tables so they can
+be compared side by side with the paper; EXPERIMENTS.md records the
+comparison.
+
+The QoS-differentiation artifacts (FIG-9, FIG-10, TAB-1, TAB-2/3/4) all
+derive from the *same* sweep of the §V.B testbed, so sweep points are
+memoized here and shared across benchmark modules.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.workload import (
+    ClusteringResult,
+    QosResult,
+    run_clustering_experiment,
+    run_qos_experiment,
+)
+
+#: Client counts swept in the §V.B experiments (paper: 10..60).
+CLIENT_COUNTS: Tuple[int, ...] = (10, 20, 30, 40, 50, 60)
+
+#: Degrees of clustering swept for Figure 7 (paper x-axis: 0..40).
+CLUSTERING_DEGREES: Tuple[int, ...] = (1, 2, 4, 5, 8, 10, 16, 20, 30, 40)
+
+#: Virtual seconds each QoS sweep point runs (WebStone run length).
+QOS_DURATION = 120.0
+
+#: Seed shared by all benchmark runs (results are fully deterministic).
+SEED = 2026
+
+
+@lru_cache(maxsize=None)
+def qos_point(mode: str, n_clients: int) -> QosResult:
+    """One memoized point of the §V.B sweep."""
+    return run_qos_experiment(
+        n_clients, mode=mode, duration=QOS_DURATION, seed=SEED
+    )
+
+
+@lru_cache(maxsize=None)
+def clustering_point(degree: int) -> ClusteringResult:
+    """One memoized point of the §V.A sweep."""
+    return run_clustering_experiment(degree, seed=SEED)
+
+
+def qos_sweep(mode: str) -> List[QosResult]:
+    return [qos_point(mode, n) for n in CLIENT_COUNTS]
+
+
+def print_artifact(title: str, body: str) -> None:
+    """Print one reproduced artifact with a banner (visible with -s)."""
+    banner = "=" * max(len(title), 40)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

@@ -1,0 +1,89 @@
+"""ABL-CSW — amortized context switching (paper §II/§III).
+
+"Accesses to backend servers usually means I/O operations which incur
+context switch between heterogeneous codes ... Accesses to backend
+servers are done in bulk at service brokers to reduce the number of
+context switchings."
+
+Models one front-end host CPU executing the CPU-side work of N backend
+accesses (marshalling, socket I/O, result parsing) two ways:
+
+* **API model** — each access belongs to a different server process;
+  slices from different processes interleave on the core, so nearly
+  every slice pays a context switch.
+* **Broker model** — the broker performs the same slices in bulk from
+  one process, paying (almost) no switches.
+
+Total useful work is identical; the measured difference is pure
+switching overhead, plus its queueing amplification.
+"""
+
+from __future__ import annotations
+
+from repro.sim import HostCpu, Simulation
+from repro.metrics import render_table
+
+from .harness import SEED, print_artifact
+
+N_ACCESSES = 200
+SLICES_PER_ACCESS = 4
+SLICE_TIME = 0.0002  # 200 us of CPU per slice
+SWITCH_COST = 0.0001  # 100 us per context switch (2003-era, cache refill)
+
+
+def run_point(mode: str):
+    sim = Simulation(seed=SEED)
+    cpu = HostCpu(sim, context_switch_cost=SWITCH_COST)
+    rng = sim.rng("io")
+
+    if mode == "api":
+        # One process per access, all interleaving on the core.
+        def access(i):
+            for _ in range(SLICES_PER_ACCESS):
+                yield from cpu.run(f"process-{i}", SLICE_TIME)
+                yield sim.timeout(rng.uniform(0.0001, 0.0005))  # I/O wait
+
+        processes = [sim.process(access(i)) for i in range(N_ACCESSES)]
+        sim.run(sim.all_of(processes))
+    else:
+        # The broker executes accesses in bulk batches from one process.
+        def broker():
+            for batch_start in range(0, N_ACCESSES, 10):
+                for i in range(batch_start, batch_start + 10):
+                    for _ in range(SLICES_PER_ACCESS):
+                        yield from cpu.run("broker", SLICE_TIME)
+                yield sim.timeout(rng.uniform(0.0001, 0.0005))  # batched I/O
+
+        sim.run(sim.process(broker()))
+
+    useful = N_ACCESSES * SLICES_PER_ACCESS * SLICE_TIME
+    return {
+        "mode": mode,
+        "completion_ms": sim.now * 1000,
+        "switches": cpu.switches,
+        "switch_overhead_ms": cpu.switches * SWITCH_COST * 1000,
+        "useful_work_ms": useful * 1000,
+    }
+
+
+def run_sweep():
+    return [run_point("api"), run_point("broker")]
+
+
+def test_ablation_context_switching(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_artifact(
+        "Ablation — context switching: interleaved API processes vs "
+        "bulk broker processing (same useful work)",
+        render_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    api, broker = rows
+    assert api["useful_work_ms"] == broker["useful_work_ms"]
+    # The API model switches on a large share of its slices...
+    assert api["switches"] > 0.5 * N_ACCESSES * SLICES_PER_ACCESS
+    # ...the broker almost never does.
+    assert broker["switches"] <= 1
+    # And the switching overhead shows up as real completion-time loss.
+    assert broker["completion_ms"] < api["completion_ms"]

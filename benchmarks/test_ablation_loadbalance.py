@@ -1,0 +1,123 @@
+"""ABL-LB — load balancing across replicated backends (paper §III).
+
+"The service brokers can track the traffic and monitor their workload
+and accurately distribute the workload among the backend servers to
+achieve a balanced load."
+
+Three replicas with heterogeneous speeds (1x / 2x / 4x service time)
+behind one broker; compares round-robin (the API model's best case — it
+"can only work in a speculative manner"), least-outstanding, and
+EWMA-latency-aware balancing.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BackendWebServer,
+    BrokerClient,
+    HttpAdapter,
+    LatencyAwareBalancer,
+    LeastOutstandingBalancer,
+    Link,
+    Network,
+    QoSPolicy,
+    RoundRobinBalancer,
+    ServiceBroker,
+    Simulation,
+    SummaryStats,
+)
+from repro.metrics import render_table
+
+from .harness import SEED, print_artifact
+
+SERVICE_TIMES = (0.05, 0.10, 0.20)  # heterogeneous replicas
+N_REQUESTS = 400
+
+
+def run_point(balancer_name: str):
+    sim = Simulation(seed=SEED)
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+    servers = []
+    for i, service_time in enumerate(SERVICE_TIMES):
+        server = BackendWebServer(sim, net.node(f"r{i}"), max_clients=4)
+
+        def cgi(server, request, _t=service_time):
+            yield server.sim.timeout(_t)
+            return "ok"
+
+        server.add_cgi("/work", cgi)
+        servers.append(server)
+
+    balancer = {
+        "round-robin": RoundRobinBalancer,
+        "least-outstanding": LeastOutstandingBalancer,
+        "latency-aware": LatencyAwareBalancer,
+    }[balancer_name]()
+    broker = ServiceBroker(
+        sim,
+        web_node,
+        service="web",
+        adapters=[
+            HttpAdapter(sim, web_node, s.address, name=f"r{i}")
+            for i, s in enumerate(servers)
+        ],
+        qos=QoSPolicy(levels=1, threshold=10_000),
+        balancer=balancer,
+        pool_size=4,
+        dispatchers=12,
+    )
+    client = BrokerClient(sim, web_node, {"web": broker.address})
+    times = SummaryStats()
+
+    def one(i):
+        started = sim.now
+        reply = yield from client.call("web", "get", ("/work", {"i": i}), cacheable=False)
+        assert reply.ok
+        times.add(sim.now - started)
+
+    def driver():
+        rng = sim.rng("arrivals")
+        for i in range(N_REQUESTS):
+            yield sim.timeout(rng.expovariate(40.0))
+            sim.process(one(i))
+
+    sim.process(driver())
+    sim.run()
+    shares = [int(s.metrics.counter("http.requests")) for s in servers]
+    return {
+        "balancer": balancer_name,
+        "mean_ms": times.mean * 1000,
+        "p95_ms": times.p95 * 1000,
+        "fast_share": shares[0],
+        "mid_share": shares[1],
+        "slow_share": shares[2],
+    }
+
+
+def run_sweep():
+    return [
+        run_point(name)
+        for name in ("round-robin", "least-outstanding", "latency-aware")
+    ]
+
+
+def test_ablation_load_balancing(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_artifact(
+        "Ablation — balancer policies over heterogeneous replicas "
+        "(0.05s / 0.10s / 0.20s)",
+        render_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    by = {r["balancer"]: r for r in rows}
+    # Load-aware policies beat blind round-robin on tail latency.
+    assert by["least-outstanding"]["p95_ms"] <= by["round-robin"]["p95_ms"]
+    assert by["latency-aware"]["p95_ms"] <= by["round-robin"]["p95_ms"]
+    # The latency-aware policy routes more work to the fast replica.
+    assert by["latency-aware"]["fast_share"] > by["round-robin"]["fast_share"]
+    assert by["latency-aware"]["fast_share"] > by["latency-aware"]["slow_share"]
+    # Nothing is lost.
+    for row in rows:
+        assert row["fast_share"] + row["mid_share"] + row["slow_share"] == N_REQUESTS

@@ -1,0 +1,177 @@
+"""ABL-CENT — centralized vs distributed broker models (paper §IV).
+
+Two predictions from the paper:
+
+1. Under overload, the centralized model rejects at the front door
+   (cheap 503s before any processing) while the distributed model
+   rejects at the brokers; both protect the backend.
+2. "When the number of brokers or the update frequency of load
+   information increase, the listener thread ... could be overwhelmed
+   with update messages": listener staleness grows with the update rate
+   times the broker count.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BackendWebServer,
+    BrokerClient,
+    CentralizedController,
+    ClosedLoopClient,
+    FrontendWebServer,
+    HttpAdapter,
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    Link,
+    LoadListener,
+    Network,
+    QoSPolicy,
+    ResourceProfileRegistry,
+    ReplyStatus,
+    ServiceBroker,
+    WebApplication,
+    qos_of,
+)
+from repro.frontend.app import QOS_HEADER
+from repro.metrics import render_table
+from repro.sim import Simulation
+
+from .harness import SEED, print_artifact
+
+N_CLIENTS = 24
+DURATION = 40.0
+
+
+def run_overload(mode: str):
+    sim = Simulation(seed=SEED)
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+    backend = BackendWebServer(sim, net.node("backend"), max_clients=3)
+
+    def slow_cgi(server, request):
+        yield server.sim.timeout(1.0)
+        return "content"
+
+    backend.add_cgi("/work", slow_cgi)
+    policy = QoSPolicy(levels=3, threshold=8)
+    broker = ServiceBroker(
+        sim,
+        web_node,
+        service="backend",
+        adapters=[HttpAdapter(sim, web_node, backend.address)],
+        qos=policy,
+        pool_size=3,
+        priority_queueing=False,
+    )
+    client = BrokerClient(sim, web_node, {"backend": broker.address})
+
+    admission = None
+    if mode == "centralized":
+        listener = LoadListener(sim, web_node, process_time=0.001)
+        broker.report_load_to(listener.address, interval=0.05)
+        profiles = ResourceProfileRegistry()
+        profiles.register("/page", ["backend"])
+        admission = CentralizedController(listener, profiles, policy).admit
+
+    frontend = FrontendWebServer(sim, web_node, admission=admission)
+
+    def page_app(frontend_server, request):
+        reply = yield from client.call(
+            "backend", "get", ("/work", {}),
+            qos_level=qos_of(request), cacheable=False,
+        )
+        return HttpResponse.text("full" if reply.status is ReplyStatus.OK else "low")
+
+    frontend.register_app(WebApplication(path="/page", handler=page_app))
+
+    stagger = sim.rng("stagger")
+    for i in range(N_CLIENTS):
+        level = 1 + i % 3
+        node = net.node(f"client{i}")
+
+        def one(_c, _i, _node=node, _level=level):
+            yield from HttpClient.fetch(
+                sim, _node, frontend.address,
+                HttpRequest(method="GET", path="/page",
+                            headers={QOS_HEADER: str(_level)}),
+            )
+
+        ClosedLoopClient(
+            sim, f"c{i}", one, think_time=0.1,
+            start_delay=stagger.uniform(0, 2),
+        ).start(until=DURATION)
+
+    sim.run(until=DURATION + 20)
+    return {
+        "model": mode,
+        "frontend_503": int(frontend.metrics.counter("frontend.rejected")),
+        "broker_drops": int(broker.metrics.counter("broker.drops")),
+        "served_full": int(broker.metrics.counter("broker.served")),
+        "backend_requests": int(backend.metrics.counter("http.requests")),
+    }
+
+
+def run_listener_scaling(n_brokers: int, interval: float):
+    """Measure listener lag with n_brokers reporting every `interval`s."""
+    sim = Simulation(seed=SEED)
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+    listener = LoadListener(sim, web_node, process_time=0.002)
+    for i in range(n_brokers):
+        backend = BackendWebServer(sim, net.node(f"b{i}"), max_clients=1)
+        broker = ServiceBroker(
+            sim,
+            web_node,
+            service=f"svc{i}",
+            port=7200 + i,
+            adapters=[HttpAdapter(sim, web_node, backend.address)],
+            qos=QoSPolicy(levels=1, threshold=10),
+        )
+        broker.report_load_to(listener.address, interval=interval)
+    sim.run(until=20.0)
+    lag = listener.metrics.sample("listener.update_lag")
+    return {
+        "brokers": n_brokers,
+        "interval_s": interval,
+        "updates": int(listener.metrics.counter("listener.updates")),
+        "mean_lag_ms": lag.mean * 1000,
+        "max_lag_ms": lag.maximum * 1000,
+    }
+
+
+def run_all():
+    overload = [run_overload(mode) for mode in ("distributed", "centralized")]
+    scaling = [
+        run_listener_scaling(n, interval)
+        for n, interval in ((3, 0.1), (10, 0.1), (30, 0.1), (30, 0.01))
+    ]
+    return overload, scaling
+
+
+def test_ablation_centralized_vs_distributed(benchmark):
+    overload, scaling = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_artifact("Ablation — overload handling by deployment model",
+                   render_table(overload))
+    print_artifact("Ablation — listener saturation (centralized model)",
+                   render_table(scaling))
+    benchmark.extra_info["overload"] = overload
+    benchmark.extra_info["scaling"] = scaling
+
+    by_model = {r["model"]: r for r in overload}
+    # Both models protect the backend to the same service level.
+    assert by_model["distributed"]["served_full"] > 0
+    assert 0.7 < (
+        by_model["centralized"]["served_full"]
+        / by_model["distributed"]["served_full"]
+    ) < 1.3
+    # But they shed in different places.
+    assert by_model["distributed"]["frontend_503"] == 0
+    assert by_model["centralized"]["frontend_503"] > 100
+    assert by_model["centralized"]["broker_drops"] < by_model["distributed"]["broker_drops"]
+
+    # Listener lag grows with update load; the fastest configuration
+    # (30 brokers at 10ms) saturates the listener thread.
+    lags = [row["mean_lag_ms"] for row in scaling]
+    assert lags[1] >= lags[0] * 0.9
+    assert scaling[-1]["mean_lag_ms"] > 10 * scaling[0]["mean_lag_ms"]

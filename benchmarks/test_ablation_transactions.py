@@ -1,0 +1,130 @@
+"""ABL-TXN — transaction integrity ablation (paper §III supply chain).
+
+"The broker would put more weight on those accesses whose transactions
+are in step 3 and selectively drop those whose transactions are in
+step 1 if the load is high. In API-based access models ... access in
+step 3 is treated the same as that in step 1."
+
+Runs 3-step purchase transactions through an overloaded broker with
+transaction tracking off and on, and measures how many transactions
+complete and — critically — how much work is *wasted* on transactions
+that abort after investing steps.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import (
+    BackendWebServer,
+    BrokerClient,
+    HttpAdapter,
+    Link,
+    Network,
+    QoSPolicy,
+    ReplyStatus,
+    ServiceBroker,
+    Simulation,
+    TransactionTracker,
+)
+from repro.metrics import render_table
+
+from .harness import SEED, print_artifact
+
+N_TRANSACTIONS = 150
+
+
+def run_point(tracking: bool):
+    sim = Simulation(seed=SEED)
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("agency")
+    vendor = BackendWebServer(sim, net.node("vendor"), max_clients=3)
+
+    def quote_cgi(server, request):
+        yield server.sim.timeout(0.12)
+        return "quote"
+
+    vendor.add_cgi("/quote", quote_cgi)
+    tracker = (
+        TransactionTracker(escalation_per_step=1, protect_from_step=3)
+        if tracking
+        else None
+    )
+    broker = ServiceBroker(
+        sim,
+        web_node,
+        service="vendor",
+        adapters=[HttpAdapter(sim, web_node, vendor.address)],
+        qos=QoSPolicy(levels=3, threshold=8),
+        transactions=tracker,
+        pool_size=3,
+    )
+    client = BrokerClient(sim, web_node, {"vendor": broker.address})
+
+    outcomes: Counter = Counter()
+    wasted_steps = {"n": 0}
+
+    def purchase(txn_id: str):
+        completed_steps = 0
+        for step in (1, 2, 3):
+            reply = yield from client.call(
+                "vendor",
+                "get",
+                ("/quote", {"t": txn_id, "s": step}),
+                qos_level=3,
+                txn_id=txn_id,
+                txn_step=step,
+                cacheable=False,
+            )
+            if reply.status is not ReplyStatus.OK:
+                outcomes[f"abort@{step}"] += 1
+                wasted_steps["n"] += completed_steps
+                return
+            completed_steps += 1
+            yield sim.timeout(0.05)
+        if tracker is not None:
+            tracker.complete(txn_id)
+        outcomes["booked"] += 1
+
+    def driver():
+        rng = sim.rng("arrivals")
+        for i in range(N_TRANSACTIONS):
+            yield sim.timeout(rng.expovariate(15.0))
+            sim.process(purchase(f"txn-{i}"))
+
+    sim.process(driver())
+    sim.run()
+    return {
+        "tracking": "on" if tracking else "off",
+        "booked": outcomes["booked"],
+        "abort_step1": outcomes["abort@1"],
+        "abort_step2": outcomes["abort@2"],
+        "abort_step3": outcomes["abort@3"],
+        "wasted_steps": wasted_steps["n"],
+    }
+
+
+def run_sweep():
+    return [run_point(False), run_point(True)]
+
+
+def test_ablation_transaction_integrity(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_artifact(
+        "Ablation — transaction step escalation under overload "
+        f"({N_TRANSACTIONS} three-step purchases, threshold 8)",
+        render_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    off, on = rows
+    # Without tracking, transactions abort even at their final step,
+    # wasting all the work already invested.
+    late_aborts_off = off["abort_step2"] + off["abort_step3"]
+    late_aborts_on = on["abort_step2"] + on["abort_step3"]
+    assert late_aborts_off > 0
+    assert late_aborts_on < late_aborts_off
+    # Escalation sheds step-1 work instead, so less work is wasted...
+    assert on["wasted_steps"] < off["wasted_steps"]
+    # ...and at least as many transactions complete.
+    assert on["booked"] >= off["booked"]

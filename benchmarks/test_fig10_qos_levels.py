@@ -1,0 +1,64 @@
+"""FIG-10 — per-QoS-class processing time (paper Figure 10).
+
+Regenerates the Figure-10 curves: mean processing time of each QoS class
+versus the number of clients, in the distributed broker model, with the
+API baseline alongside for reference (as in the paper's figure).
+
+Expected shape (paper): every class's curve rises and then declines;
+"requests with higher QoS level experienced longer processing time,
+which means that the fidelity of the response is higher" — the peak of
+class 1 is the highest and occurs at the highest load, class 3's peak is
+the lowest and earliest.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import render_table
+
+from .harness import CLIENT_COUNTS, print_artifact, qos_sweep
+
+
+def run_modes():
+    return qos_sweep("broker"), qos_sweep("api")
+
+
+def test_fig10_processing_time_per_class(benchmark):
+    broker, api = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "clients": n,
+            "qos1_s": b.mean_response_of(1),
+            "qos2_s": b.mean_response_of(2),
+            "qos3_s": b.mean_response_of(3),
+            "api_s": a.mean_response_time,
+        }
+        for n, b, a in zip(CLIENT_COUNTS, broker, api)
+    ]
+    print_artifact(
+        "Figure 10 — mean processing time (s) per QoS class vs clients",
+        render_table(rows),
+    )
+    for level in (1, 2, 3):
+        benchmark.extra_info[f"qos{level}_seconds"] = [
+            round(r.mean_response_of(level), 2) for r in broker
+        ]
+
+    curves = {
+        level: [r.mean_response_of(level) for r in broker] for level in (1, 2, 3)
+    }
+    peaks = {level: max(curve) for level, curve in curves.items()}
+    peak_load = {
+        level: CLIENT_COUNTS[curve.index(max(curve))]
+        for level, curve in curves.items()
+    }
+
+    # Peak fidelity (processing time) ordered by priority.
+    assert peaks[1] > peaks[3], "class 1 sustains the highest processing time"
+    # Low classes collapse (decline) earlier than high classes.
+    assert peak_load[3] <= peak_load[2] <= peak_load[1]
+    # Class 3 declines: its final point is well below its peak.
+    assert curves[3][-1] < 0.5 * peaks[3]
+    # At the lightest load all classes receive identical full service.
+    first = [curves[level][0] for level in (1, 2, 3)]
+    assert max(first) - min(first) < 0.5

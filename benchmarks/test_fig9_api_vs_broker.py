@@ -1,0 +1,61 @@
+"""FIG-9 — processing time, API vs service-broker access (paper Fig. 9).
+
+Regenerates the Figure-9 comparison: mean processing time versus the
+number of WebStone-like clients, under (a) the API-based baseline and
+(b) the distributed service-broker model, on the 3-broker/3-backend
+testbed (bounded CGI times 1/2/3 s, backend capacity 5, threshold 20).
+
+Expected shape (paper): the API curve grows *linearly* with the client
+count (closed-loop saturation of fixed-capacity FCFS backends); the
+broker curve *rises while admission can absorb the load, then declines*
+as more requests are answered immediately with low-fidelity replies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import render_table
+
+from .harness import CLIENT_COUNTS, print_artifact, qos_sweep
+
+
+def run_both_modes():
+    return qos_sweep("api"), qos_sweep("broker")
+
+
+def test_fig9_api_vs_broker(benchmark):
+    api, broker = benchmark.pedantic(run_both_modes, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "clients": n,
+            "api_s": a.mean_response_time,
+            "broker_s": b.mean_response_time,
+        }
+        for n, a, b in zip(CLIENT_COUNTS, api, broker)
+    ]
+    print_artifact(
+        "Figure 9 — mean processing time (s) vs number of clients",
+        render_table(rows),
+    )
+    benchmark.extra_info["api_seconds"] = [round(r.mean_response_time, 2) for r in api]
+    benchmark.extra_info["broker_seconds"] = [
+        round(r.mean_response_time, 2) for r in broker
+    ]
+
+    # API linearity: a straight-line fit explains almost all variance.
+    api_times = np.array([r.mean_response_time for r in api])
+    ns = np.array(CLIENT_COUNTS, dtype=float)
+    slope, intercept = np.polyfit(ns, api_times, 1)
+    predicted = slope * ns + intercept
+    residual = np.abs(api_times - predicted).max()
+    assert slope > 0.2, "API processing time must grow with load"
+    assert residual < 0.15 * api_times.max(), "API curve should be near-linear"
+
+    # Broker curve: rises from the unloaded baseline, then declines.
+    broker_times = [r.mean_response_time for r in broker]
+    assert broker_times[1] > broker_times[0], "broker curve rises under light load"
+    assert broker_times[-1] < max(broker_times), "broker curve declines under overload"
+    # Under heavy load brokers answer far faster than the API baseline.
+    assert broker_times[-1] < 0.5 * api_times[-1]

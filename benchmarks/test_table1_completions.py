@@ -1,0 +1,59 @@
+"""TAB-1 — completed requests per QoS class (paper Table I).
+
+Regenerates Table I: the number of completed requests in each QoS class
+(the web server's access-log count) at each client count, in the broker
+model, plus the API-baseline totals the paper quotes alongside ("the
+numbers of completed requests in API based settings ranged between 740
+and 750" — a narrow band, since the API system is throughput-bound).
+
+Expected shape (paper): "since WebStone clients were best-effort based,
+with shorter processing time, more number of requests were initiated.
+As a result, more requests were processed from lower QoS levels."
+"""
+
+from __future__ import annotations
+
+from repro.metrics import render_table
+
+from .harness import CLIENT_COUNTS, print_artifact, qos_sweep
+
+
+def run_modes():
+    return qos_sweep("broker"), qos_sweep("api")
+
+
+def test_table1_completions_per_class(benchmark):
+    broker, api = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "clients": n,
+            "qos1": b.completions[1],
+            "qos2": b.completions[2],
+            "qos3": b.completions[3],
+            "api_total": sum(a.completions.values()),
+        }
+        for n, b, a in zip(CLIENT_COUNTS, broker, api)
+    ]
+    print_artifact(
+        "Table I — completed requests per QoS class (broker model)",
+        render_table(rows),
+    )
+    benchmark.extra_info["completions"] = {
+        str(n): dict(b.completions) for n, b in zip(CLIENT_COUNTS, broker)
+    }
+
+    # Light load: no drops, so classes complete comparable counts.
+    light = broker[0].completions
+    assert max(light.values()) < 2 * min(light.values())
+
+    # Overload: the lower the class, the more (fast, low-fidelity)
+    # completions it accumulates.
+    heavy = broker[-1].completions
+    assert heavy[3] > heavy[2] > heavy[1]
+    assert heavy[3] > 5 * heavy[1]
+
+    # The API system is throughput-bound: totals sit in a narrow band
+    # regardless of client count (paper: 740-750).
+    api_totals = [sum(a.completions.values()) for a in api]
+    assert max(api_totals) < 1.5 * min(api_totals)

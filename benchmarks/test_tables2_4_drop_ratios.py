@@ -1,0 +1,66 @@
+"""TAB-2/3/4 — drop ratios per QoS class at brokers 1-3 (paper Tables II-IV).
+
+Regenerates the three drop-ratio tables: for each broker (fronting the
+1 s / 2 s / 3 s backend respectively) the fraction of each class's
+arrivals rejected by admission control, across the client sweep.
+
+Expected shape (paper): "when traffic was light (number of clients <
+20), no drops occurred. When the traffic intensified, more lower
+priority requests were dropped. The drop ratios were mostly consistent
+with their associated QoS levels."
+"""
+
+from __future__ import annotations
+
+from repro.metrics import render_table
+
+from .harness import CLIENT_COUNTS, print_artifact, qos_sweep
+
+
+def run_broker_sweep():
+    return qos_sweep("broker")
+
+
+def test_tables_2_3_4_drop_ratios(benchmark):
+    results = benchmark.pedantic(run_broker_sweep, rounds=1, iterations=1)
+
+    broker_names = sorted(results[0].drop_ratios)
+    for table_number, broker_name in zip(("II", "III", "IV"), broker_names):
+        rows = [
+            {
+                "clients": n,
+                "qos1": r.drop_ratios[broker_name][1],
+                "qos2": r.drop_ratios[broker_name][2],
+                "qos3": r.drop_ratios[broker_name][3],
+            }
+            for n, r in zip(CLIENT_COUNTS, results)
+        ]
+        print_artifact(
+            f"Table {table_number} — drop ratios at {broker_name}",
+            render_table(rows),
+        )
+    benchmark.extra_info["drop_ratios"] = {
+        str(n): {b: dict(d) for b, d in r.drop_ratios.items()}
+        for n, r in zip(CLIENT_COUNTS, results)
+    }
+
+    # No drops at the lightest load, anywhere.
+    for drops in results[0].drop_ratios.values():
+        assert all(ratio == 0.0 for ratio in drops.values())
+
+    # Heavy load: drops occur, and at every broker the *cumulative*
+    # sheds are ordered by class (lower priority sheds at least as much).
+    heavy = results[-1]
+    assert any(
+        ratio > 0 for drops in heavy.drop_ratios.values() for ratio in drops.values()
+    )
+    for broker_name, drops in heavy.drop_ratios.items():
+        assert drops[3] > 0, f"{broker_name} should shed class 3 under overload"
+
+    # Aggregated over all brokers and loads, class ordering holds strictly.
+    totals = {level: 0.0 for level in (1, 2, 3)}
+    for result in results:
+        for drops in result.drop_ratios.values():
+            for level in (1, 2, 3):
+                totals[level] += drops[level]
+    assert totals[3] > totals[2] > totals[1]

@@ -1,0 +1,160 @@
+"""repro — service brokers for accessing backend servers in web applications.
+
+A full reproduction of Chen & Mohapatra, *"Using Service Brokers for
+Accessing Backend Servers for Web Applications"* (ICDCS 2003), built on a
+from-scratch discrete-event simulation substrate.
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel;
+* :mod:`repro.net` — nodes, links, streams, datagrams;
+* :mod:`repro.db`, :mod:`repro.ldapdir`, :mod:`repro.mail`,
+  :mod:`repro.http` — the backend servers;
+* :mod:`repro.frontend` — the front-end web server and the API-based
+  baseline access model;
+* :mod:`repro.core` — the paper's contribution: the service broker
+  framework (QoS admission, clustering, caching, prefetching, pooling,
+  load balancing, transactions, centralized/distributed models);
+* :mod:`repro.workload` — clients and the paper's two testbeds;
+* :mod:`repro.metrics` — statistics and report rendering.
+"""
+
+from .analysis import mm1_metrics, mmc_metrics, mva_single_station
+from .core import (
+    AdmissionController,
+    BrokerClient,
+    BrokerPeerGroup,
+    BrokerReply,
+    BrokerRequest,
+    CentralizedController,
+    ClusteringConfig,
+    ConnectionPool,
+    DatabaseAdapter,
+    DirectoryAdapter,
+    FidelityPolicy,
+    FileAdapter,
+    FileBatchCombiner,
+    HotSpotGate,
+    HotSpotMonitor,
+    HotSpotNotice,
+    HttpAdapter,
+    IdenticalRequestCombiner,
+    InListQueryCombiner,
+    LatencyAwareBalancer,
+    LeastOutstandingBalancer,
+    LoadListener,
+    MailAdapter,
+    MgetCombiner,
+    Prefetcher,
+    PrefetchRule,
+    QoSPolicy,
+    RepeatWorkloadCombiner,
+    ReplyStatus,
+    ResourceProfileRegistry,
+    ResultCache,
+    RoundRobinBalancer,
+    ServiceBroker,
+    TransactionTracker,
+)
+from .db import Database, DatabaseClient, DatabaseServer
+from .frontend import ApiBackendGateway, FrontendWebServer, WebApplication, qos_of
+from .http import BackendWebServer, HttpClient, HttpRequest, HttpResponse
+from .fileserver import DiskModel, FileClient, FileServer, FileSystem
+from .ldapdir import DirectoryClient, DirectoryServer, DirectoryTree
+from .mail import MailClient, MailServer, MessageStore
+from .metrics import MetricsRegistry, SummaryStats, render_series, render_table
+from .net import Address, Link, Network, Node
+from .sim import HostCpu, Simulation
+from .workload import (
+    BurstClient,
+    ClosedLoopClient,
+    OpenLoopGenerator,
+    run_clustering_experiment,
+    run_qos_experiment,
+    zipf_sampler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # kernel & network
+    "Simulation",
+    "HostCpu",
+    "Network",
+    "Node",
+    "Link",
+    "Address",
+    # backends
+    "Database",
+    "DatabaseServer",
+    "DatabaseClient",
+    "DirectoryServer",
+    "DirectoryClient",
+    "DirectoryTree",
+    "MailServer",
+    "FileServer",
+    "FileClient",
+    "FileSystem",
+    "DiskModel",
+    "MailClient",
+    "MessageStore",
+    "BackendWebServer",
+    "HttpClient",
+    "HttpRequest",
+    "HttpResponse",
+    # front end & baseline
+    "FrontendWebServer",
+    "WebApplication",
+    "ApiBackendGateway",
+    "qos_of",
+    # broker framework
+    "ServiceBroker",
+    "BrokerClient",
+    "BrokerRequest",
+    "BrokerReply",
+    "ReplyStatus",
+    "QoSPolicy",
+    "AdmissionController",
+    "ResultCache",
+    "ClusteringConfig",
+    "IdenticalRequestCombiner",
+    "RepeatWorkloadCombiner",
+    "MgetCombiner",
+    "InListQueryCombiner",
+    "FileBatchCombiner",
+    "ConnectionPool",
+    "Prefetcher",
+    "PrefetchRule",
+    "FidelityPolicy",
+    "TransactionTracker",
+    "BrokerPeerGroup",
+    "HotSpotMonitor",
+    "HotSpotGate",
+    "HotSpotNotice",
+    "DatabaseAdapter",
+    "HttpAdapter",
+    "DirectoryAdapter",
+    "MailAdapter",
+    "FileAdapter",
+    "RoundRobinBalancer",
+    "LeastOutstandingBalancer",
+    "LatencyAwareBalancer",
+    "LoadListener",
+    "ResourceProfileRegistry",
+    "CentralizedController",
+    # workload & metrics
+    "ClosedLoopClient",
+    "BurstClient",
+    "OpenLoopGenerator",
+    "zipf_sampler",
+    "run_clustering_experiment",
+    "run_qos_experiment",
+    "MetricsRegistry",
+    "SummaryStats",
+    "render_table",
+    "render_series",
+    "mm1_metrics",
+    "mmc_metrics",
+    "mva_single_station",
+]

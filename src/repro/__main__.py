@@ -1,0 +1,7 @@
+"""``python -m repro`` — run the experiment CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,19 @@
+"""Analytical models used to validate and size the simulations."""
+
+from .queueing import (
+    ClosedLoopMetrics,
+    QueueMetrics,
+    erlang_c,
+    mm1_metrics,
+    mmc_metrics,
+    mva_single_station,
+)
+
+__all__ = [
+    "QueueMetrics",
+    "ClosedLoopMetrics",
+    "mm1_metrics",
+    "mmc_metrics",
+    "erlang_c",
+    "mva_single_station",
+]

@@ -1,0 +1,178 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro fig7   [--degrees 1,2,4,8,16,40] [--seed N]
+    python -m repro fig9   [--clients 10,20,...] [--duration S] [--seed N]
+    python -m repro fig10  [--clients ...] [--duration S] [--seed N]
+    python -m repro table1 [--clients ...] [--duration S] [--seed N]
+    python -m repro drops  [--clients ...] [--duration S] [--seed N]
+
+Each subcommand regenerates one of the paper's evaluation artifacts and
+prints it as an aligned text table. For the benchmark-grade runs with
+shape assertions, use ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .metrics import render_table
+from .workload import run_clustering_experiment, run_qos_experiment
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_DEGREES = "1,2,4,5,8,10,16,20,30,40"
+DEFAULT_CLIENTS = "10,20,30,40,50,60"
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints: {text!r}") from exc
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one value")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation artifacts of Chen & Mohapatra, "
+        "'Using Service Brokers for Accessing Backend Servers for Web "
+        "Applications' (ICDCS 2003).",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=2026, help="master RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig7 = sub.add_parser(
+        "fig7", parents=[common], help="Figure 7: request clustering sweep"
+    )
+    fig7.add_argument(
+        "--degrees", type=_int_list, default=_int_list(DEFAULT_DEGREES),
+        help=f"degrees of clustering (default {DEFAULT_DEGREES})",
+    )
+
+    for name, help_text in (
+        ("fig9", "Figure 9: API vs broker processing time"),
+        ("fig10", "Figure 10: per-QoS-class processing time"),
+        ("table1", "Table I: completions per QoS class"),
+        ("drops", "Tables II-IV: drop ratios at each broker"),
+    ):
+        cmd = sub.add_parser(name, parents=[common], help=help_text)
+        cmd.add_argument(
+            "--clients", type=_int_list, default=_int_list(DEFAULT_CLIENTS),
+            help=f"client counts (default {DEFAULT_CLIENTS})",
+        )
+        cmd.add_argument(
+            "--duration", type=float, default=120.0,
+            help="virtual seconds per point (default 120)",
+        )
+    return parser
+
+
+def _qos_sweep(args, mode: str):
+    return [
+        run_qos_experiment(n, mode=mode, duration=args.duration, seed=args.seed)
+        for n in args.clients
+    ]
+
+
+def run_fig7(args) -> str:
+    rows = []
+    for degree in args.degrees:
+        result = run_clustering_experiment(degree, seed=args.seed)
+        rows.append(
+            {
+                "degree": result.degree,
+                "mean_response_ms": result.mean_response_time * 1000,
+                "max_response_ms": result.max_response_time * 1000,
+                "backend_calls": result.backend_calls,
+            }
+        )
+    return render_table(
+        rows, title="Figure 7 — response time vs degree of clustering"
+    )
+
+
+def run_fig9(args) -> str:
+    api = _qos_sweep(args, "api")
+    broker = _qos_sweep(args, "broker")
+    rows = [
+        {"clients": n, "api_s": a.mean_response_time, "broker_s": b.mean_response_time}
+        for n, a, b in zip(args.clients, api, broker)
+    ]
+    return render_table(rows, title="Figure 9 — processing time, API vs broker")
+
+
+def run_fig10(args) -> str:
+    broker = _qos_sweep(args, "broker")
+    rows = [
+        {
+            "clients": n,
+            "qos1_s": r.mean_response_of(1),
+            "qos2_s": r.mean_response_of(2),
+            "qos3_s": r.mean_response_of(3),
+        }
+        for n, r in zip(args.clients, broker)
+    ]
+    return render_table(rows, title="Figure 10 — processing time per QoS class")
+
+
+def run_table1(args) -> str:
+    broker = _qos_sweep(args, "broker")
+    rows = [
+        {
+            "clients": n,
+            "qos1": r.completions[1],
+            "qos2": r.completions[2],
+            "qos3": r.completions[3],
+        }
+        for n, r in zip(args.clients, broker)
+    ]
+    return render_table(rows, title="Table I — completed requests per QoS class")
+
+
+def run_drops(args) -> str:
+    broker = _qos_sweep(args, "broker")
+    sections = []
+    broker_names = sorted(broker[0].drop_ratios)
+    for table, name in zip(("II", "III", "IV"), broker_names):
+        rows = [
+            {
+                "clients": n,
+                "qos1": r.drop_ratios[name][1],
+                "qos2": r.drop_ratios[name][2],
+                "qos3": r.drop_ratios[name][3],
+            }
+            for n, r in zip(args.clients, broker)
+        ]
+        sections.append(
+            render_table(rows, title=f"Table {table} — drop ratios at {name}")
+        )
+    return "\n\n".join(sections)
+
+
+_COMMANDS = {
+    "fig7": run_fig7,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "table1": run_table1,
+    "drops": run_drops,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

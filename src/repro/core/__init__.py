@@ -1,0 +1,95 @@
+"""The service broker framework — the paper's primary contribution."""
+
+from .admission import AdmissionController, AdmissionDecision
+from .adapters import (
+    DatabaseAdapter,
+    DirectoryAdapter,
+    FileAdapter,
+    HttpAdapter,
+    MailAdapter,
+    ServiceAdapter,
+)
+from .broker import DEFAULT_BROKER_PORT, ServiceBroker
+from .cache import CacheEntry, CacheStats, ResultCache
+from .centralized import (
+    CentralizedController,
+    LoadListener,
+    LoadReport,
+    ResourceProfileRegistry,
+)
+from .client import BrokerClient, CallSpec
+from .clustering import (
+    ClusteringConfig,
+    Combiner,
+    FileBatchCombiner,
+    IdenticalRequestCombiner,
+    InListQueryCombiner,
+    MgetCombiner,
+    RepeatWorkloadCombiner,
+)
+from .fidelity import FidelityPolicy
+from .hotspot import HotSpotGate, HotSpotMonitor, HotSpotNotice
+from .loadbalance import (
+    BackendState,
+    Balancer,
+    LatencyAwareBalancer,
+    LeastOutstandingBalancer,
+    RoundRobinBalancer,
+)
+from .peering import BrokerPeerGroup, TxnStateUpdate
+from .pool import ConnectionPool
+from .prefetch import Prefetcher, PrefetchRule
+from .protocol import BrokerReply, BrokerRequest, ReplyStatus
+from .qos import QoSPolicy
+from .queueing import BrokerQueue, QueuedRequest
+from .transactions import TransactionTracker
+
+__all__ = [
+    "ServiceBroker",
+    "DEFAULT_BROKER_PORT",
+    "BrokerClient",
+    "CallSpec",
+    "BrokerRequest",
+    "BrokerReply",
+    "ReplyStatus",
+    "QoSPolicy",
+    "AdmissionController",
+    "AdmissionDecision",
+    "BrokerQueue",
+    "QueuedRequest",
+    "ResultCache",
+    "CacheEntry",
+    "CacheStats",
+    "ClusteringConfig",
+    "Combiner",
+    "IdenticalRequestCombiner",
+    "RepeatWorkloadCombiner",
+    "MgetCombiner",
+    "InListQueryCombiner",
+    "FileBatchCombiner",
+    "ConnectionPool",
+    "BrokerPeerGroup",
+    "TxnStateUpdate",
+    "Prefetcher",
+    "PrefetchRule",
+    "FidelityPolicy",
+    "HotSpotMonitor",
+    "HotSpotGate",
+    "HotSpotNotice",
+    "TransactionTracker",
+    "ServiceAdapter",
+    "DatabaseAdapter",
+    "HttpAdapter",
+    "DirectoryAdapter",
+    "MailAdapter",
+    "FileAdapter",
+    "Balancer",
+    "BackendState",
+    "RoundRobinBalancer",
+    "LeastOutstandingBalancer",
+    "LatencyAwareBalancer",
+    "LoadListener",
+    "LoadReport",
+    "ResourceProfileRegistry",
+    "CentralizedController",
+]

@@ -1,0 +1,223 @@
+"""Service adapters: how a broker talks to one backend server.
+
+A broker is "per service based" (paper §III) and sits on top of the raw
+API sets (its Figure 3). Each adapter wraps one backend server's client
+API behind a uniform interface:
+
+* ``connect()`` — a ``yield from`` generator establishing an
+  authenticated connection (expensive; the pool amortizes it),
+* ``execute(conn, operation, payload)`` — a ``yield from`` generator
+  performing one operation and returning the result payload,
+* ``close(conn)`` — orderly teardown.
+
+Connections expose a ``closed`` attribute the pool uses for health
+checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..db.client import DatabaseClient, DatabaseConnection
+from ..errors import ProtocolError
+from ..http.client import HttpClient, HttpConnection
+from ..http.messages import HttpRequest
+from ..ldapdir.client import DirectoryClient, DirectoryConnection
+from ..mail.client import MailClient, MailConnection
+from ..net.address import Address
+from ..net.network import Node
+from ..sim.core import Simulation
+
+__all__ = [
+    "ServiceAdapter",
+    "DatabaseAdapter",
+    "HttpAdapter",
+    "DirectoryAdapter",
+    "MailAdapter",
+    "FileAdapter",
+]
+
+
+class ServiceAdapter:
+    """Base class; subclasses implement connect/execute/close."""
+
+    def __init__(self, sim: Simulation, node: Node, address: Address, name: str = "") -> None:
+        self.sim = sim
+        self.node = node
+        self.address = address
+        self.name = name or str(address)
+
+    def connect(self):  # pragma: no cover - abstract
+        """Establish one connection; a ``yield from`` generator."""
+        raise NotImplementedError
+
+    def execute(self, connection: Any, operation: str, payload: Any):  # pragma: no cover
+        """Perform one operation; a ``yield from`` generator."""
+        raise NotImplementedError
+
+    def close(self, connection: Any):  # pragma: no cover - abstract
+        """Tear the connection down; a ``yield from`` generator."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class DatabaseAdapter(ServiceAdapter):
+    """Fronts a :class:`repro.db.DatabaseServer`.
+
+    Operations:
+
+    * ``"query"`` — payload is a SQL string; returns a
+      :class:`repro.db.QueryResult`.
+    """
+
+    def connect(self):
+        connection = yield from DatabaseClient.connect(
+            self.sim, self.node, self.address, client_name=f"broker:{self.name}"
+        )
+        return connection
+
+    def execute(self, connection: DatabaseConnection, operation: str, payload: Any):
+        if operation != "query":
+            raise ProtocolError(f"database adapter: unknown operation {operation!r}")
+        result = yield from connection.query(payload)
+        return result
+
+    def close(self, connection: DatabaseConnection):
+        yield from connection.close()
+
+
+class HttpAdapter(ServiceAdapter):
+    """Fronts a :class:`repro.http.BackendWebServer`.
+
+    Operations:
+
+    * ``"get"`` — payload is ``(path, params)``; returns an
+      :class:`HttpResponse`.
+    * ``"mget"`` — payload is ``(paths, params)``; returns the batched
+      206 response with per-path parts.
+    * ``"request"`` — payload is a full :class:`HttpRequest`.
+    """
+
+    def connect(self):
+        connection = yield from HttpClient.open(self.sim, self.node, self.address)
+        return connection
+
+    def execute(self, connection: HttpConnection, operation: str, payload: Any):
+        if operation == "get":
+            path, params = payload
+            response = yield from connection.get(path, dict(params or {}))
+        elif operation == "mget":
+            paths, params = payload
+            response = yield from connection.mget(list(paths), dict(params or {}))
+        elif operation == "request":
+            if not isinstance(payload, HttpRequest):
+                raise ProtocolError("'request' operation expects an HttpRequest")
+            response = yield from connection.request(payload)
+        else:
+            raise ProtocolError(f"http adapter: unknown operation {operation!r}")
+        return response
+
+    def close(self, connection: HttpConnection):
+        connection.close()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class DirectoryAdapter(ServiceAdapter):
+    """Fronts a :class:`repro.ldapdir.DirectoryServer`.
+
+    Operations:
+
+    * ``"search"`` — payload is ``(base, scope, filter)``; returns a
+      :class:`SearchResult`.
+    * ``"modify"`` — payload is ``(dn, changes)``.
+    """
+
+    def connect(self):
+        connection = yield from DirectoryClient.connect(
+            self.sim, self.node, self.address, principal=f"broker:{self.name}"
+        )
+        return connection
+
+    def execute(self, connection: DirectoryConnection, operation: str, payload: Any):
+        if operation == "search":
+            base, scope, filter_expr = payload
+            result = yield from connection.search(base, scope, filter_expr)
+            return result
+        if operation == "modify":
+            dn, changes = payload
+            yield from connection.modify(dn, changes)
+            return True
+        raise ProtocolError(f"directory adapter: unknown operation {operation!r}")
+
+    def close(self, connection: DirectoryConnection):
+        yield from connection.unbind()
+
+
+class MailAdapter(ServiceAdapter):
+    """Fronts a :class:`repro.mail.MailServer`.
+
+    Operations: ``"send"`` (payload ``(sender, recipient, subject,
+    body)``), ``"list"`` (payload owner), ``"retr"`` (payload
+    ``(owner, message_id)``).
+    """
+
+    def connect(self):
+        connection = yield from MailClient.connect(
+            self.sim, self.node, self.address, name=f"broker:{self.name}"
+        )
+        return connection
+
+    def execute(self, connection: MailConnection, operation: str, payload: Any):
+        if operation == "send":
+            sender, recipient, subject, body = payload
+            message_id = yield from connection.send(sender, recipient, subject, body)
+            return message_id
+        if operation == "list":
+            ids = yield from connection.list(payload)
+            return ids
+        if operation == "retr":
+            owner, message_id = payload
+            message = yield from connection.retrieve(owner, message_id)
+            return message
+        raise ProtocolError(f"mail adapter: unknown operation {operation!r}")
+
+    def close(self, connection: MailConnection):
+        yield from connection.quit()
+
+
+class FileAdapter(ServiceAdapter):
+    """Fronts a :class:`repro.fileserver.FileServer`.
+
+    Operations:
+
+    * ``"read"`` — payload is a file name; returns the result dict.
+    * ``"read_batch"`` — payload is a tuple of names; returns the list
+      of per-file results in request order.
+    * ``"stat"`` — payload is a file name; returns its size in blocks.
+    """
+
+    def connect(self):
+        from ..fileserver.client import FileClient
+
+        connection = yield from FileClient.connect(
+            self.sim, self.node, self.address, name=f"broker:{self.name}"
+        )
+        return connection
+
+    def execute(self, connection: Any, operation: str, payload: Any):
+        if operation == "read":
+            result = yield from connection.read(payload)
+            return result
+        if operation == "read_batch":
+            results = yield from connection.read_batch(payload)
+            return results
+        if operation == "stat":
+            size = yield from connection.stat(payload)
+            return size
+        raise ProtocolError(f"file adapter: unknown operation {operation!r}")
+
+    def close(self, connection: Any):
+        yield from connection.bye()

@@ -1,0 +1,114 @@
+"""Admission control at the broker.
+
+Two independent gates, both from the paper:
+
+1. **Threshold gate** — a request of effective level *c* is admitted
+   only while the broker's outstanding count is below
+   ``threshold × fraction(c)`` (Section V.B's forward-or-drop rule).
+2. **Intensity gate** — "when traffic intensity of QoS classes exceed
+   their limits, their requests are dropped and other classes are not
+   affected": an optional per-class arrival-rate cap measured over a
+   sliding window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from ..metrics import MetricsRegistry
+from ..sim.core import Simulation
+from .qos import QoSPolicy
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = ""
+
+    ACCEPT_REASON = "admitted"
+    THRESHOLD_REASON = "qos-threshold"
+    INTENSITY_REASON = "class-intensity"
+
+
+class AdmissionController:
+    """Applies the QoS policy's gates to arriving requests."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        policy: QoSPolicy,
+        rate_window: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if rate_window <= 0:
+            raise ValueError(f"rate_window must be positive: {rate_window!r}")
+        self.sim = sim
+        self.policy = policy
+        self.rate_window = rate_window
+        self.metrics = metrics or MetricsRegistry()
+        self.outstanding = 0
+        self._arrivals: Dict[int, Deque[float]] = {
+            level: deque() for level in range(1, policy.levels + 1)
+        }
+
+    # -- outstanding-count bookkeeping (driven by the broker) -----------
+
+    def request_started(self) -> None:
+        """A request was admitted (queued or sent to the backend)."""
+        self.outstanding += 1
+
+    def request_finished(self) -> None:
+        """A previously admitted request has been answered."""
+        if self.outstanding <= 0:
+            raise RuntimeError("request_finished() without matching start")
+        self.outstanding -= 1
+
+    # -- rate estimation ---------------------------------------------------
+
+    def _rate(self, level: int) -> float:
+        """Arrivals/second for *level* over the sliding window."""
+        window = self._arrivals[level]
+        horizon = self.sim.now - self.rate_window
+        while window and window[0] <= horizon:
+            window.popleft()
+        return len(window) / self.rate_window
+
+    def record_arrival(self, level: int) -> None:
+        """Note one arrival of *level* (call for every request seen)."""
+        level = self.policy.clamp(level)
+        self._arrivals[level].append(self.sim.now)
+
+    # -- the decision ------------------------------------------------------
+
+    def decide(self, level: int, protected: bool = False) -> AdmissionDecision:
+        """Admit or reject a request of effective QoS *level*.
+
+        *protected* requests (late-step transactions) bypass the
+        threshold gate as long as the hard threshold itself is not
+        exceeded.
+        """
+        level = self.policy.clamp(level)
+        limit = self.policy.rate_limit(level)
+        if limit is not None and self._rate(level) > limit:
+            self.metrics.increment(f"admission.rejected.intensity.qos{level}")
+            return AdmissionDecision(False, AdmissionDecision.INTENSITY_REASON)
+        bound = (
+            self.policy.threshold if protected else self.policy.admit_limit(level)
+        )
+        if self.outstanding >= bound:
+            self.metrics.increment(f"admission.rejected.threshold.qos{level}")
+            return AdmissionDecision(False, AdmissionDecision.THRESHOLD_REASON)
+        self.metrics.increment(f"admission.accepted.qos{level}")
+        return AdmissionDecision(True, AdmissionDecision.ACCEPT_REASON)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionController outstanding={self.outstanding} "
+            f"threshold={self.policy.threshold}>"
+        )

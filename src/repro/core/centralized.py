@@ -1,0 +1,167 @@
+"""The centralized broker model (paper §IV, Figure 4).
+
+In this model the *front-end web server* performs admission control
+itself:
+
+* every broker periodically sends a :class:`LoadReport` over UDP;
+* a :class:`LoadListener` thread on the web-server host consumes the
+  reports — with a per-update processing cost, so a high broker count or
+  update rate saturates it and the load table goes stale (the paper's
+  stated scalability limit of this model);
+* a :class:`ResourceProfileRegistry` maps each URL to the backend
+  services it needs;
+* the :class:`CentralizedController` checks, before a request enters
+  normal handling, whether any required service's broker is overloaded
+  for the request's QoS class, and rejects with an error message if so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..http.messages import HttpRequest
+from ..frontend.app import qos_of
+from ..metrics import MetricsRegistry
+from ..net.network import Node
+from ..sim.core import Simulation
+from .qos import QoSPolicy
+
+__all__ = [
+    "LoadReport",
+    "LoadListener",
+    "ResourceProfileRegistry",
+    "CentralizedController",
+]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One broker load update."""
+
+    broker: str
+    service: str
+    outstanding: int
+    queue_depth: int
+    threshold: int
+    sent_at: float
+
+
+class LoadListener:
+    """The web server's listener thread for broker load updates.
+
+    ``process_time`` is the CPU cost of handling one update. Updates
+    queue behind a single listener thread; when they arrive faster than
+    they can be processed the table's entries grow stale —
+    :meth:`staleness` exposes that, and the ablation benchmark
+    demonstrates the scalability erosion the paper predicts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        node: Node,
+        port: int = 7999,
+        process_time: float = 0.001,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.process_time = process_time
+        self.metrics = metrics or MetricsRegistry()
+        self.socket = node.datagram_socket(port)
+        self.address = self.socket.address
+        self.table: Dict[str, LoadReport] = {}
+        self._applied: Dict[str, float] = {}
+        sim.process(self._listen(), name="load-listener")
+
+    def _listen(self):
+        while True:
+            envelope = yield self.socket.recv()
+            report = envelope.payload
+            if not isinstance(report, LoadReport):
+                self.metrics.increment("listener.malformed")
+                continue
+            # The single listener thread serializes update processing.
+            yield self.sim.timeout(self.process_time)
+            self.table[report.service] = report
+            self._applied[report.service] = self.sim.now
+            self.metrics.increment("listener.updates")
+            self.metrics.observe(
+                "listener.update_lag", self.sim.now - report.sent_at
+            )
+
+    def load_of(self, service: str) -> Optional[LoadReport]:
+        """The most recently applied report for *service*, if any."""
+        return self.table.get(service)
+
+    def staleness(self, service: str) -> float:
+        """Seconds since the last applied update for *service*."""
+        applied = self._applied.get(service)
+        return float("inf") if applied is None else self.sim.now - applied
+
+
+class ResourceProfileRegistry:
+    """URL → the backend services (and weights) a request will touch.
+
+    "All the requested URLs' resource profiles are accessible to the Web
+    server" — this registry is that profile store.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, Tuple[str, ...]] = {}
+
+    def register(self, path: str, services: Sequence[str]) -> None:
+        """Declare that requests for *path* touch *services*."""
+        self._profiles[path] = tuple(services)
+
+    def services_for(self, path: str) -> Tuple[str, ...]:
+        """Services required by *path* (empty if unprofiled)."""
+        return self._profiles.get(path, ())
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+
+class CentralizedController:
+    """Front-end admission hook for the centralized model.
+
+    Install as ``FrontendWebServer(admission=controller.admit)``. A
+    request is rejected when, for any service its URL's profile names,
+    the last known broker load meets or exceeds that QoS class's
+    admission limit. Unknown services (no report yet) are treated
+    optimistically, as the real system must.
+    """
+
+    def __init__(
+        self,
+        listener: LoadListener,
+        profiles: ResourceProfileRegistry,
+        qos: Optional[QoSPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.listener = listener
+        self.profiles = profiles
+        self.qos = qos or QoSPolicy()
+        self.metrics = metrics or MetricsRegistry()
+
+    def admit(self, request: HttpRequest) -> Tuple[bool, str]:
+        """The admission decision for one incoming front-end request."""
+        level = self.qos.clamp(qos_of(request))
+        for service in self.profiles.services_for(request.path):
+            report = self.listener.load_of(service)
+            if report is None:
+                continue
+            if report.outstanding >= self.qos.admit_limit(level):
+                self.metrics.increment("centralized.rejected")
+                self.metrics.increment(f"centralized.rejected.qos{level}")
+                return (
+                    False,
+                    f"service {service!r} overloaded "
+                    f"({report.outstanding} outstanding)",
+                )
+        self.metrics.increment("centralized.admitted")
+        return True, ""

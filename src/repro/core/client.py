@@ -1,0 +1,155 @@
+"""The broker client used by web applications.
+
+"Dynamic applications ... only pass messages to individual service
+brokers in some formats that contain their QoS specification and
+queries" (paper §III). :class:`BrokerClient` is that message-passing
+stub: it routes each call to the broker registered for the named
+service over UDP and matches replies to callers by request id.
+
+Because UDP is unreliable, calls support a timeout plus retries; on a
+lossless LAN (the default testbeds) neither ever fires.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import BrokerTimeout, UnknownServiceError
+from ..metrics import MetricsRegistry
+from ..net.address import Address
+from ..net.network import Node
+from ..sim.core import Event, Simulation
+from .protocol import BrokerReply, BrokerRequest
+
+__all__ = ["BrokerClient", "CallSpec"]
+
+#: Specification for one call in :meth:`BrokerClient.call_parallel`:
+#: (service, operation, payload, qos_level).
+CallSpec = Tuple[str, str, Any, int]
+
+
+class BrokerClient:
+    """Message-passing access point to one or more service brokers."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        node: Node,
+        routes: Mapping[str, Address],
+        default_timeout: Optional[float] = None,
+        retries: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.routes: Dict[str, Address] = dict(routes)
+        self.default_timeout = default_timeout
+        self.retries = retries
+        self.metrics = metrics or MetricsRegistry()
+        self.socket = node.datagram_socket()
+        self._ids = count(1)
+        self._pending: Dict[int, Event] = {}
+        sim.process(self._pump(), name=f"broker-client:{node.name}")
+
+    def add_route(self, service: str, address: Address) -> None:
+        """Register (or replace) the broker address for *service*."""
+        self.routes[service] = address
+
+    def _pump(self):
+        while True:
+            envelope = yield self.socket.recv()
+            reply = envelope.payload
+            if not isinstance(reply, BrokerReply):
+                self.metrics.increment("client.malformed")
+                continue
+            waiter = self._pending.pop(reply.request_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(reply)
+            else:
+                self.metrics.increment("client.orphan_replies")
+
+    def call(
+        self,
+        service: str,
+        operation: str,
+        payload: Any,
+        qos_level: int = 1,
+        txn_id: Optional[str] = None,
+        txn_step: int = 0,
+        cacheable: bool = True,
+        cache_key: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Send one request and await its reply; ``yield from`` this.
+
+        Returns the :class:`BrokerReply` (which may be DEGRADED, DROPPED
+        or ERROR — callers inspect ``reply.status``). Raises
+        :class:`BrokerTimeout` if no reply arrives within *timeout*
+        after ``retries`` resends.
+        """
+        address = self.routes.get(service)
+        if address is None:
+            raise UnknownServiceError(
+                f"no broker registered for service {service!r}"
+            )
+        deadline = timeout if timeout is not None else self.default_timeout
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            request_id = next(self._ids)
+            request = BrokerRequest(
+                request_id=request_id,
+                service=service,
+                operation=operation,
+                payload=payload,
+                reply_to=self.socket.address,
+                qos_level=qos_level,
+                txn_id=txn_id,
+                txn_step=txn_step,
+                cacheable=cacheable,
+                cache_key=cache_key,
+                sent_at=self.sim.now,
+            )
+            waiter = Event(self.sim)
+            self._pending[request_id] = waiter
+            self.metrics.increment("client.calls")
+            started = self.sim.now
+            self.socket.sendto(request, address)
+            if deadline is None:
+                reply = yield waiter
+            else:
+                timer = self.sim.timeout(deadline)
+                outcome = yield self.sim.any_of([waiter, timer])
+                if waiter not in outcome:
+                    self._pending.pop(request_id, None)
+                    self.metrics.increment("client.timeouts")
+                    continue
+                reply = outcome[waiter]
+            self.metrics.observe("client.call_time", self.sim.now - started)
+            self.metrics.increment(f"client.replies.{reply.status.value}")
+            return reply
+        raise BrokerTimeout(
+            f"no reply from {service!r} broker after {attempts} attempt(s)"
+        )
+
+    def call_parallel(self, specs: Sequence[CallSpec], timeout: Optional[float] = None):
+        """Issue several calls concurrently; ``yield from`` this.
+
+        The paper's *multitasking*: "requests that consist of
+        independent heterogeneous tasks can send simultaneous messages
+        to service brokers which run in parallel". Returns replies in
+        spec order.
+        """
+        processes = [
+            self.sim.process(
+                self.call(service, operation, payload, qos_level, timeout=timeout),
+                name=f"parallel:{service}",
+            )
+            for service, operation, payload, qos_level in specs
+        ]
+        yield self.sim.all_of(processes)
+        return [process.value for process in processes]
+
+    def close(self) -> None:
+        """Close the client's socket; pending calls will time out."""
+        self.socket.close()

@@ -1,0 +1,74 @@
+"""Adaptive low-fidelity replies.
+
+When admission control rejects a request, the broker still answers it
+immediately — "cached results from previous queries with lower fidelity
+or simply an indication that the system is busy" (paper §IV). The
+longer a request is allowed to be processed, the higher the fidelity it
+receives; a dropped request gets fidelity 0 and the client learns the
+system is busy without waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .cache import ResultCache
+from .protocol import BrokerReply, BrokerRequest, ReplyStatus
+
+__all__ = ["FidelityPolicy"]
+
+
+@dataclass(frozen=True)
+class FidelityPolicy:
+    """How to answer a request the broker will not forward.
+
+    ``serve_stale`` enables degraded replies from expired cache entries;
+    ``max_stale_age`` bounds how old a stale result may be; stale
+    fidelity decays linearly from ``stale_fidelity`` to
+    ``busy_fidelity`` over that age.
+    """
+
+    serve_stale: bool = True
+    stale_fidelity: float = 0.5
+    busy_fidelity: float = 0.0
+    max_stale_age: float = 300.0
+    busy_message: str = "system busy"
+
+    def degrade(
+        self,
+        request: BrokerRequest,
+        cache: Optional[ResultCache],
+        reason: str,
+        broker_name: str = "",
+    ) -> BrokerReply:
+        """Build the immediate low-fidelity reply for a rejected request."""
+        if self.serve_stale and cache is not None and request.cacheable:
+            stale = cache.get_stale(request.key())
+            if stale is not None:
+                value, age = stale
+                if age <= self.max_stale_age:
+                    span = self.max_stale_age or 1.0
+                    fidelity = max(
+                        self.busy_fidelity,
+                        self.stale_fidelity
+                        * (1.0 - max(age, 0.0) / span),
+                    )
+                    return BrokerReply(
+                        request_id=request.request_id,
+                        status=ReplyStatus.DEGRADED,
+                        payload=value,
+                        fidelity=fidelity,
+                        from_cache=True,
+                        error=reason,
+                        broker=broker_name,
+                    )
+        return BrokerReply(
+            request_id=request.request_id,
+            status=ReplyStatus.DROPPED,
+            payload=self.busy_message,
+            fidelity=self.busy_fidelity,
+            from_cache=False,
+            error=reason,
+            broker=broker_name,
+        )

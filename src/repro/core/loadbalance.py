@@ -1,0 +1,136 @@
+"""Backend selection policies for replicated backends.
+
+"The service brokers can track the traffic and monitor their workload
+and accurately distribute the workload among the backend servers to
+achieve a balanced load" (paper §III). Each broker keeps a
+:class:`BackendState` per replica — outstanding count and an EWMA of
+observed latency — and a :class:`Balancer` picks the replica for each
+dispatch.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import List, Optional, Sequence
+
+from ..errors import BrokerError
+from .adapters import ServiceAdapter
+from .pool import ConnectionPool
+
+__all__ = [
+    "BackendState",
+    "Balancer",
+    "RoundRobinBalancer",
+    "LeastOutstandingBalancer",
+    "LatencyAwareBalancer",
+]
+
+
+class BackendState:
+    """Live statistics for one backend replica behind a broker.
+
+    Tracks a consecutive-error streak for circuit breaking: a replica
+    that keeps failing is skipped by the balancers (:attr:`healthy`)
+    until a success — via the balancers' occasional probe of unhealthy
+    replicas when no healthy one exists — resets the streak.
+    """
+
+    #: Consecutive errors after which a replica is considered unhealthy.
+    UNHEALTHY_AFTER = 3
+
+    def __init__(self, adapter: ServiceAdapter, pool: ConnectionPool) -> None:
+        self.adapter = adapter
+        self.pool = pool
+        self.outstanding = 0
+        self.completed = 0
+        self.errors = 0
+        self.consecutive_errors = 0
+        self.ewma_latency = 0.0
+        self._ewma_alpha = 0.2
+
+    @property
+    def healthy(self) -> bool:
+        return self.consecutive_errors < self.UNHEALTHY_AFTER
+
+    def note_dispatch(self) -> None:
+        """Count one request sent to this replica."""
+        self.outstanding += 1
+
+    def note_completion(self, latency: float, error: bool = False) -> None:
+        """Record a completion (or error) and update the EWMA latency."""
+        self.outstanding = max(0, self.outstanding - 1)
+        if error:
+            self.errors += 1
+            self.consecutive_errors += 1
+            return
+        self.completed += 1
+        self.consecutive_errors = 0
+        if self.completed == 1:
+            self.ewma_latency = latency
+        else:
+            alpha = self._ewma_alpha
+            self.ewma_latency = alpha * latency + (1 - alpha) * self.ewma_latency
+
+    @property
+    def name(self) -> str:
+        return self.adapter.name
+
+    def __repr__(self) -> str:
+        return (
+            f"<BackendState {self.name} outstanding={self.outstanding} "
+            f"ewma={self.ewma_latency:.4g}>"
+        )
+
+
+class Balancer:
+    """Base class: pick one backend for the next dispatch.
+
+    All policies balance across *healthy* replicas (circuit breaking);
+    when every replica is unhealthy they fall back to all of them, which
+    doubles as the periodic probe that detects recovery.
+    """
+
+    def pick(self, backends: Sequence[BackendState]) -> BackendState:
+        """Choose the replica for the next dispatch."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _candidates(backends: Sequence[BackendState]) -> Sequence[BackendState]:
+        if not backends:
+            raise BrokerError("no backends to balance across")
+        healthy = [b for b in backends if b.healthy]
+        return healthy if healthy else backends
+
+
+class RoundRobinBalancer(Balancer):
+    """Cycle through replicas regardless of their load."""
+
+    def __init__(self) -> None:
+        self._counter = count()
+
+    def pick(self, backends: Sequence[BackendState]) -> BackendState:
+        candidates = self._candidates(backends)
+        return candidates[next(self._counter) % len(candidates)]
+
+
+class LeastOutstandingBalancer(Balancer):
+    """Pick the replica with the fewest in-flight requests (ties: first)."""
+
+    def pick(self, backends: Sequence[BackendState]) -> BackendState:
+        candidates = self._candidates(backends)
+        return min(candidates, key=lambda b: b.outstanding)
+
+
+class LatencyAwareBalancer(Balancer):
+    """Pick by expected waiting time: EWMA latency × (outstanding + 1).
+
+    Replicas with no history yet are tried first so every replica gets
+    probed.
+    """
+
+    def pick(self, backends: Sequence[BackendState]) -> BackendState:
+        candidates = self._candidates(backends)
+        unprobed = [b for b in candidates if b.completed == 0]
+        if unprobed:
+            return min(unprobed, key=lambda b: b.outstanding)
+        return min(candidates, key=lambda b: b.ewma_latency * (b.outstanding + 1))

@@ -1,0 +1,83 @@
+"""Broker-to-broker state exchange (paper §III, transaction integrity).
+
+"If service brokers are enabled to communicate with each other, they can
+exchange state information to ensure that transactions involving
+different backend servers are properly protected."
+
+Each broker that joins a :class:`BrokerPeerGroup` broadcasts a
+:class:`TxnStateUpdate` whenever it observes a transaction advance to a
+new highest step. Peer brokers feed the update into their own
+:class:`TransactionTracker`, so a transaction that invested steps at
+vendor A is escalated and protected at vendor B *even when the request
+arriving at B carries no step tag* — the cross-backend case the paper
+calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+from ..errors import BrokerError
+from ..net.address import Address
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .broker import ServiceBroker
+
+__all__ = ["TxnStateUpdate", "BrokerPeerGroup"]
+
+
+@dataclass(frozen=True)
+class TxnStateUpdate:
+    """Gossip message: transaction *txn_id* has reached *step*."""
+
+    txn_id: str
+    step: int
+    origin: str
+    sent_at: float
+
+
+class BrokerPeerGroup:
+    """Wires a set of brokers into a full-mesh gossip group.
+
+    Joining requires the broker to have a :class:`TransactionTracker`
+    (there is no other cross-broker state to exchange). The group
+    installs itself as each broker's ``peer_group``; brokers then call
+    :meth:`publish` from their receive path when local transaction
+    knowledge advances.
+    """
+
+    def __init__(self) -> None:
+        self._members: List["ServiceBroker"] = []
+
+    @property
+    def members(self) -> List["ServiceBroker"]:
+        return list(self._members)
+
+    def join(self, broker: "ServiceBroker") -> None:
+        """Add *broker* to the mesh."""
+        if broker.transactions is None:
+            raise BrokerError(
+                f"{broker.name} has no TransactionTracker; nothing to exchange"
+            )
+        if broker in self._members:
+            raise BrokerError(f"{broker.name} already joined this peer group")
+        self._members.append(broker)
+        broker.peer_group = self
+
+    def publish(self, origin: "ServiceBroker", txn_id: str, step: int) -> None:
+        """Broadcast a transaction-step advance from *origin* to all peers."""
+        update = TxnStateUpdate(
+            txn_id=txn_id,
+            step=step,
+            origin=origin.name,
+            sent_at=origin.sim.now,
+        )
+        for member in self._members:
+            if member is origin:
+                continue
+            origin.socket.sendto(update, member.address)
+            origin.metrics.increment("peering.updates_sent")
+
+    def __repr__(self) -> str:
+        return f"<BrokerPeerGroup members={[m.name for m in self._members]}>"

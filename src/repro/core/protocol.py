@@ -1,0 +1,81 @@
+"""Broker message formats.
+
+Web applications and brokers exchange :class:`BrokerRequest` /
+:class:`BrokerReply` messages over UDP (the paper's distributed model
+uses "lightweight UDP" between front end and brokers). A request names
+a *service*, an *operation* on it, a payload, and its QoS tagging; a
+reply carries the result (possibly degraded) plus provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+from ..net.address import Address
+
+__all__ = ["BrokerRequest", "BrokerReply", "ReplyStatus"]
+
+
+class ReplyStatus(str, Enum):
+    """Outcome class of a broker reply."""
+
+    OK = "ok"
+    """Full-fidelity result from the backend (or a fresh cache hit)."""
+
+    DEGRADED = "degraded"
+    """Admission-rejected, but answered with a stale cached result."""
+
+    DROPPED = "dropped"
+    """Admission-rejected with only a 'system busy' indication."""
+
+    ERROR = "error"
+    """The backend (or the broker) failed the request."""
+
+
+@dataclass(frozen=True)
+class BrokerRequest:
+    """One message from a web application to a service broker."""
+
+    request_id: int
+    service: str
+    operation: str
+    payload: Any
+    reply_to: Address
+    qos_level: int = 1
+    txn_id: Optional[str] = None
+    txn_step: int = 0
+    cacheable: bool = True
+    cache_key: Optional[str] = None
+    sent_at: float = 0.0
+
+    def key(self) -> str:
+        """The cache/clustering key for this request."""
+        if self.cache_key is not None:
+            return self.cache_key
+        return f"{self.service}:{self.operation}:{self.payload!r}"
+
+
+@dataclass(frozen=True)
+class BrokerReply:
+    """One reply from a service broker to a web application."""
+
+    request_id: int
+    status: ReplyStatus
+    payload: Any = None
+    fidelity: float = 1.0
+    from_cache: bool = False
+    error: str = ""
+    broker: str = ""
+    queue_time: float = 0.0
+    service_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True for any answered request (full or degraded fidelity)."""
+        return self.status in (ReplyStatus.OK, ReplyStatus.DEGRADED)
+
+    @property
+    def full_fidelity(self) -> bool:
+        return self.status is ReplyStatus.OK and self.fidelity >= 1.0

@@ -1,0 +1,158 @@
+"""The broker's request queue.
+
+Requests wait here between admission and dispatch. The queue serves
+strict priority by *effective* QoS level (transaction escalation may
+raise a request above its nominal class — see
+:mod:`repro.core.transactions`), FCFS within a level. "Service brokers
+receive, sort and rewrite these messages according to their QoS levels"
+— the sorting happens here; dispatchers pull from the front.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..sim.core import Event, Simulation
+from .protocol import BrokerRequest
+
+__all__ = ["BrokerQueue", "QueuedRequest"]
+
+
+class QueuedRequest:
+    """A request plus its queueing metadata."""
+
+    __slots__ = ("request", "effective_level", "enqueued_at", "seq", "claimed")
+
+    def __init__(
+        self, request: BrokerRequest, effective_level: int, enqueued_at: float, seq: int
+    ) -> None:
+        self.request = request
+        self.effective_level = effective_level
+        self.enqueued_at = enqueued_at
+        self.seq = seq
+        self.claimed = False
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Heap ordering: (effective level, arrival sequence)."""
+        return (self.effective_level, self.seq)
+
+
+class _QueueGet(Event):
+    """Pending dispatcher pull."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self, sim: Simulation) -> None:
+        super().__init__(sim)
+        self.cancelled = False
+
+
+class BrokerQueue:
+    """Priority queue of admitted requests.
+
+    ``priority_of`` computes a request's effective level at enqueue time
+    (defaults to its nominal QoS level); :meth:`reprioritize` re-sorts
+    the backlog after the function's answers change (the paper's
+    "reshuffle the queued requests").
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        priority_of: Optional[Callable[[BrokerRequest], int]] = None,
+    ) -> None:
+        self.sim = sim
+        self.priority_of = priority_of or (lambda request: request.qos_level)
+        self._heap: List[Tuple[int, int, QueuedRequest]] = []
+        self._seq = count()
+        self._getters: Deque[_QueueGet] = deque()
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, item in self._heap if not item.claimed)
+
+    @property
+    def depth(self) -> int:
+        """Number of requests waiting (alias of ``len``)."""
+        return len(self)
+
+    def put(self, request: BrokerRequest) -> QueuedRequest:
+        """Enqueue an admitted request."""
+        item = QueuedRequest(
+            request=request,
+            effective_level=self.priority_of(request),
+            enqueued_at=self.sim.now,
+            seq=next(self._seq),
+        )
+        heapq.heappush(self._heap, (*item.sort_key(), item))
+        self._dispatch()
+        return item
+
+    def get(self) -> _QueueGet:
+        """Event succeeding with the highest-priority :class:`QueuedRequest`."""
+        event = _QueueGet(self.sim)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending get."""
+        if isinstance(event, _QueueGet) and not event.triggered:
+            event.cancelled = True
+
+    def take_matching(
+        self, predicate: Callable[[QueuedRequest], bool], limit: int
+    ) -> List[QueuedRequest]:
+        """Claim up to *limit* queued requests satisfying *predicate*.
+
+        Used by the clustering engine to gather batch companions for a
+        request already pulled by a dispatcher. Claimed requests are
+        removed from the queue (lazily, via a tombstone flag).
+        """
+        taken: List[QueuedRequest] = []
+        if limit <= 0:
+            return taken
+        for _, _, item in sorted(self._heap, key=lambda e: (e[0], e[1])):
+            if item.claimed:
+                continue
+            if predicate(item):
+                item.claimed = True
+                taken.append(item)
+                if len(taken) >= limit:
+                    break
+        return taken
+
+    def snapshot(self) -> List[QueuedRequest]:
+        """The waiting requests in service order (for inspection)."""
+        return [
+            item
+            for _, _, item in sorted(self._heap, key=lambda e: (e[0], e[1]))
+            if not item.claimed
+        ]
+
+    def reprioritize(self) -> None:
+        """Recompute effective levels and re-sort the backlog."""
+        items = [item for _, _, item in self._heap if not item.claimed]
+        self._heap = []
+        for item in items:
+            item.effective_level = self.priority_of(item.request)
+            heapq.heappush(self._heap, (*item.sort_key(), item))
+
+    def _dispatch(self) -> None:
+        while self._getters and self._heap:
+            # Skip tombstoned (claimed) heap entries.
+            while self._heap and self._heap[0][2].claimed:
+                heapq.heappop(self._heap)
+            if not self._heap:
+                return
+            getter = self._getters.popleft()
+            if getter.cancelled:
+                continue
+            _, _, item = heapq.heappop(self._heap)
+            item.claimed = True
+            getter.succeed(item)
+
+    def __repr__(self) -> str:
+        return f"<BrokerQueue depth={len(self)}>"

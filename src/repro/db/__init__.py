@@ -1,0 +1,51 @@
+"""Mini relational database: engine, networked server, and client."""
+
+from .client import DatabaseClient, DatabaseConnection, QueryResult
+from .cost import CostModel
+from .engine import Database
+from .executor import ExecutionStats, ResultSet
+from .index import HashIndex, SortedIndex
+from .parser import parse, tokenize
+from .query import (
+    And,
+    Between,
+    Comparison,
+    DeleteStatement,
+    InList,
+    InsertStatement,
+    Like,
+    Or,
+    SelectStatement,
+    UpdateStatement,
+)
+from .schema import Column, Schema
+from .server import DatabaseServer
+from .table import Table
+
+__all__ = [
+    "Database",
+    "DatabaseServer",
+    "DatabaseClient",
+    "DatabaseConnection",
+    "QueryResult",
+    "CostModel",
+    "ExecutionStats",
+    "ResultSet",
+    "HashIndex",
+    "SortedIndex",
+    "parse",
+    "tokenize",
+    "Column",
+    "Schema",
+    "Table",
+    "Comparison",
+    "Between",
+    "InList",
+    "Like",
+    "And",
+    "Or",
+    "SelectStatement",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+]

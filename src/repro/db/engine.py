@@ -1,0 +1,67 @@
+"""The in-process database engine: named tables plus SQL execution."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple, Union
+
+from ..errors import QueryError, UnknownTableError
+from .executor import ResultSet, execute_statement
+from .parser import parse
+from .query import Statement
+from .schema import Column, Schema, SqlType
+from .table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of tables with a SQL front door.
+
+    >>> db = Database()
+    >>> _ = db.create_table("movies", [("id", int), ("title", str)])
+    >>> _ = db.execute("INSERT INTO movies (id, title) VALUES (1, 'Heat')")
+    >>> db.execute("SELECT title FROM movies WHERE id = 1").rows
+    (('Heat',),)
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Union[Column, Tuple[str, SqlType]]],
+    ) -> Table:
+        """Create a table; *columns* are Column objects or (name, type) pairs."""
+        if name in self.tables:
+            raise QueryError(f"table {name!r} already exists")
+        schema = Schema(
+            [c if isinstance(c, Column) else Column(c[0], c[1]) for c in columns]
+        )
+        table = Table(name, schema)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove table *name*; raises :class:`UnknownTableError`."""
+        if name not in self.tables:
+            raise UnknownTableError(f"unknown table {name!r}")
+        del self.tables[name]
+
+    def table(self, name: str) -> Table:
+        """The table called *name*; raises :class:`UnknownTableError`."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UnknownTableError(
+                f"unknown table {name!r}; have {sorted(self.tables)!r}"
+            ) from None
+
+    def execute(self, statement: Union[str, Statement]) -> ResultSet:
+        """Parse (if needed) and execute one statement."""
+        stmt = parse(statement) if isinstance(statement, str) else statement
+        return execute_statement(self.table(stmt.table), stmt)
+
+    def __repr__(self) -> str:
+        return f"<Database {self.name!r} tables={sorted(self.tables)}>"

@@ -1,0 +1,15 @@
+"""File service: disk model, filesystem, server, client."""
+
+from .client import FileClient, FileConnection
+from .disk import DiskModel
+from .filesystem import Extent, FileSystem
+from .server import FileServer
+
+__all__ = [
+    "FileClient",
+    "FileConnection",
+    "DiskModel",
+    "Extent",
+    "FileSystem",
+    "FileServer",
+]

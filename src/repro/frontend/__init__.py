@@ -1,0 +1,13 @@
+"""Front-end web server, application model, and API-based baseline."""
+
+from .api_access import ApiBackendGateway
+from .app import QOS_HEADER, WebApplication, qos_of
+from .server import FrontendWebServer
+
+__all__ = [
+    "ApiBackendGateway",
+    "WebApplication",
+    "FrontendWebServer",
+    "qos_of",
+    "QOS_HEADER",
+]

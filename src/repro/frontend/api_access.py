@@ -1,0 +1,120 @@
+"""The API-based baseline: stateless, isolated, per-request backend access.
+
+This is the access model the paper argues against (its Figure 1): every
+backend operation pays connection establishment + authentication +
+teardown, nothing is shared between application processes, no QoS, no
+caching, no clustering. The :class:`ApiBackendGateway` implements it
+faithfully so broker-vs-API comparisons are like-for-like.
+
+All methods are ``yield from`` generators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from ..db.client import DatabaseClient
+from ..http.client import HttpClient
+from ..http.messages import HttpRequest
+from ..ldapdir.client import DirectoryClient
+from ..ldapdir.tree import SCOPE_SUB
+from ..mail.client import MailClient
+from ..metrics import MetricsRegistry
+from ..net.address import Address
+from ..net.network import Node
+from ..sim.core import Simulation
+
+__all__ = ["ApiBackendGateway"]
+
+
+class ApiBackendGateway:
+    """Per-request backend access APIs, one connection per operation."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        node: Node,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.metrics = metrics or MetricsRegistry()
+
+    def _account(self, kind: str, started: float) -> None:
+        self.metrics.increment(f"api.{kind}.calls")
+        self.metrics.increment("api.connections")
+        self.metrics.observe(f"api.{kind}.time", self.sim.now - started)
+
+    # -- database ------------------------------------------------------
+
+    def db_query(self, address: Address, sql: str):
+        """Connect, authenticate, run one query, tear down."""
+        started = self.sim.now
+        connection = yield from DatabaseClient.connect(self.sim, self.node, address)
+        try:
+            result = yield from connection.query(sql)
+        finally:
+            yield from connection.close()
+        self._account("db", started)
+        return result
+
+    # -- web -----------------------------------------------------------
+
+    def http_get(self, address: Address, path: str, params: Optional[dict] = None):
+        """One-shot HTTP GET with its own connection."""
+        started = self.sim.now
+        response = yield from HttpClient.get(self.sim, self.node, address, path, params)
+        self._account("http", started)
+        return response
+
+    def http_request(self, address: Address, request: HttpRequest):
+        """One-shot HTTP exchange with its own connection."""
+        started = self.sim.now
+        response = yield from HttpClient.fetch(self.sim, self.node, address, request)
+        self._account("http", started)
+        return response
+
+    # -- directory -----------------------------------------------------
+
+    def ldap_search(
+        self,
+        address: Address,
+        base: str,
+        scope: str = SCOPE_SUB,
+        filter_expr: Optional[str] = None,
+    ):
+        """Connect, bind, search, unbind."""
+        started = self.sim.now
+        connection = yield from DirectoryClient.connect(self.sim, self.node, address)
+        try:
+            result = yield from connection.search(base, scope, filter_expr)
+        finally:
+            yield from connection.unbind()
+        self._account("ldap", started)
+        return result
+
+    # -- mail ------------------------------------------------------------
+
+    def mail_send(
+        self, address: Address, sender: str, recipient: str, subject: str, body: str
+    ):
+        """Connect, greet, submit one message, quit."""
+        started = self.sim.now
+        connection = yield from MailClient.connect(self.sim, self.node, address)
+        try:
+            message_id = yield from connection.send(sender, recipient, subject, body)
+        finally:
+            yield from connection.quit()
+        self._account("mail", started)
+        return message_id
+
+    def mail_list(self, address: Address, owner: str):
+        """Connect, greet, list a mailbox, quit."""
+        started = self.sim.now
+        connection = yield from MailClient.connect(self.sim, self.node, address)
+        try:
+            ids = yield from connection.list(owner)
+        finally:
+            yield from connection.quit()
+        self._account("mail", started)
+        return ids

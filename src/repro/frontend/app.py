@@ -1,0 +1,47 @@
+"""Web application model for the front-end server.
+
+A :class:`WebApplication` is a dynamic application ("CGI executable or
+PHP/ASP script" in the paper's terms): a path plus a handler generator
+``handler(frontend, request)`` that produces an :class:`HttpResponse`
+(or a body string). Handlers access backend services through whatever
+gateway they were constructed with — the API-based baseline or a broker
+client — which is exactly the axis the paper's experiments compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..http.messages import HttpRequest
+
+__all__ = ["WebApplication", "qos_of"]
+
+#: Header carrying a request's QoS class (1 = highest priority).
+QOS_HEADER = "x-qos"
+
+
+def qos_of(request: HttpRequest, default: int = 1) -> int:
+    """The QoS class of *request*, from its ``x-qos`` header."""
+    try:
+        return int(request.headers.get(QOS_HEADER, default))
+    except (TypeError, ValueError):
+        return default
+
+
+@dataclass(frozen=True)
+class WebApplication:
+    """A dynamic application mounted at *path* on the front end.
+
+    ``parse_time`` models the non-backend work of the application
+    (request parsing, HTML rendering) charged per invocation.
+    """
+
+    path: str
+    handler: Callable
+    name: str = ""
+    parse_time: float = 0.0005
+
+    @property
+    def label(self) -> str:
+        return self.name or self.path

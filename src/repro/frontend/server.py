@@ -1,0 +1,141 @@
+"""The front-end web server.
+
+Apache-prefork-like: every in-flight request occupies one server process
+out of ``max_processes``. When backend accesses stall, processes pile up
+— the paper's observation that "processes trapped in accessing
+overloaded backend resources essentially exacerbate the overall
+performance".
+
+An optional *admission* hook implements the centralized broker model:
+it inspects each request before a process is allocated and may reject
+it with 503 (see :class:`repro.core.centralized.CentralizedController`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import ConnectionClosed
+from ..metrics import MetricsRegistry
+from ..net.network import Node
+from ..net.transport import StreamConnection
+from ..sim.core import Simulation
+from ..sim.resources import Resource
+from ..http.messages import HttpRequest, HttpResponse
+from .app import WebApplication, qos_of
+
+__all__ = ["FrontendWebServer"]
+
+#: Admission hook signature: request -> (accept, reason).
+AdmissionHook = Callable[[HttpRequest], tuple]
+
+
+class FrontendWebServer:
+    """Receives client requests and runs web applications."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        node: Node,
+        port: int = 80,
+        max_processes: int = 150,
+        admission: Optional[AdmissionHook] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.name = name or node.name
+        self.admission = admission
+        self.metrics = metrics or MetricsRegistry()
+        self.processes = Resource(sim, max_processes)
+        self.listener = node.listen_stream(port)
+        self.address = node.address(port)
+        self._apps: Dict[str, WebApplication] = {}
+        sim.process(self._accept_loop(), name=f"frontend:{self.name}")
+
+    def register_app(self, app: WebApplication) -> None:
+        """Mount *app* at its path."""
+        self._apps[app.path] = app
+
+    @property
+    def busy_processes(self) -> int:
+        return self.processes.in_use
+
+    @property
+    def queued_requests(self) -> int:
+        return self.processes.queued
+
+    def _accept_loop(self):
+        while True:
+            try:
+                connection = yield self.listener.accept()
+            except ConnectionClosed:
+                return
+            self.sim.process(self._session(connection))
+
+    def _session(self, connection: StreamConnection):
+        while True:
+            try:
+                envelope = yield connection.recv()
+            except ConnectionClosed:
+                return
+            request = envelope.payload
+            if not isinstance(request, HttpRequest):
+                connection.send(HttpResponse.error(400, "not an HttpRequest"))
+                continue
+            qos = qos_of(request)
+            self.metrics.increment("frontend.requests")
+            self.metrics.increment(f"frontend.requests.qos{qos}")
+
+            if self.admission is not None:
+                accepted, reason = self.admission(request)
+                if not accepted:
+                    self.metrics.increment("frontend.rejected")
+                    self.metrics.increment(f"frontend.rejected.qos{qos}")
+                    self.sim.trace(
+                        "frontend", "rejected",
+                        path=request.path, qos=qos, reason=reason,
+                    )
+                    connection.send(HttpResponse.error(503, reason))
+                    continue
+
+            started = self.sim.now
+            process_slot = self.processes.request()
+            yield process_slot
+            try:
+                response = yield from self._run_app(request)
+            finally:
+                self.processes.release(process_slot)
+            elapsed = self.sim.now - started
+            self.metrics.observe("frontend.response_time", elapsed)
+            self.metrics.observe(f"frontend.response_time.qos{qos}", elapsed)
+            self.metrics.increment("frontend.completed")
+            self.metrics.increment(f"frontend.completed.qos{qos}")
+            if connection.closed:
+                return
+            connection.send(response)
+
+    def _run_app(self, request: HttpRequest):
+        app = self._apps.get(request.path)
+        if app is None:
+            self.metrics.increment("frontend.errors")
+            return HttpResponse.error(404, f"no application at {request.path!r}")
+        yield self.sim.timeout(app.parse_time)
+        try:
+            outcome = app.handler(self, request)
+            if hasattr(outcome, "send"):
+                outcome = yield from outcome
+        except Exception as exc:  # noqa: BLE001 - app bugs become 500s
+            self.metrics.increment("frontend.errors")
+            return HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
+        if isinstance(outcome, HttpResponse):
+            return outcome
+        return HttpResponse.text(str(outcome))
+
+    def close(self) -> None:
+        """Stop accepting new connections."""
+        self.listener.close()
+
+    def __repr__(self) -> str:
+        return f"<FrontendWebServer {self.address} busy={self.busy_processes}>"

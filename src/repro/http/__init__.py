@@ -1,0 +1,14 @@
+"""HTTP layer: message model, backend web server, client."""
+
+from .client import HttpClient, HttpConnection
+from .messages import STATUS_REASONS, HttpRequest, HttpResponse
+from .server import BackendWebServer
+
+__all__ = [
+    "HttpClient",
+    "HttpConnection",
+    "HttpRequest",
+    "HttpResponse",
+    "STATUS_REASONS",
+    "BackendWebServer",
+]

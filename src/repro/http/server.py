@@ -1,0 +1,183 @@
+"""The backend web server.
+
+An Apache-like server with a bounded worker pool: at most ``max_clients``
+requests are processed simultaneously, the rest queue FCFS (this cap —
+set to 5 in the paper's experiments — is what turns the backend into the
+bottleneck). Serves:
+
+* static resources registered with :meth:`add_static`,
+* CGI handlers registered with :meth:`add_cgi` — generator functions
+  ``handler(server, request)`` that may wait on simulation events
+  (bounded processing time, their own database queries, ...) and return
+  an :class:`HttpResponse` or a body string,
+* ``MGET`` batches: the requested paths are served sequentially within a
+  single worker slot and returned as one multipart response.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from ..errors import ConnectionClosed, HttpError
+from ..metrics import MetricsRegistry
+from ..net.network import Node
+from ..net.transport import StreamConnection
+from ..sim.core import Simulation
+from ..sim.resources import Resource
+from .messages import HttpRequest, HttpResponse
+
+__all__ = ["BackendWebServer"]
+
+#: Default HTTP port.
+DEFAULT_PORT = 80
+
+CgiHandler = Callable[["BackendWebServer", HttpRequest], object]
+
+
+class BackendWebServer:
+    """A capacity-limited web server with static and CGI resources."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        node: Node,
+        port: int = DEFAULT_PORT,
+        max_clients: int = 5,
+        backlog: Optional[int] = None,
+        static_service_time: float = 0.0005,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.name = name or node.name
+        self.static_service_time = static_service_time
+        self.metrics = metrics or MetricsRegistry()
+        self.workers = Resource(sim, max_clients)
+        self.listener = node.listen_stream(port, backlog=backlog)
+        self.address = node.address(port)
+        self._static: Dict[str, str] = {}
+        self._cgi: Dict[str, CgiHandler] = {}
+        self._sessions: set = set()
+        sim.process(self._accept_loop(), name=f"http:{self.name}")
+
+    # -- resource registration ------------------------------------------
+
+    def add_static(self, path: str, body: str) -> None:
+        """Register a static document at *path*."""
+        self._static[path] = body
+
+    def add_cgi(self, path: str, handler: CgiHandler) -> None:
+        """Register a CGI generator function at *path*."""
+        self._cgi[path] = handler
+
+    # -- load inspection --------------------------------------------------
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently holding a worker slot."""
+        return self.workers.in_use
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests waiting for a worker slot."""
+        return self.workers.queued
+
+    # -- serving ---------------------------------------------------------
+
+    def _accept_loop(self):
+        while True:
+            try:
+                connection = yield self.listener.accept()
+            except ConnectionClosed:
+                return
+            self.metrics.increment("http.connections")
+            self.sim.process(self._session(connection))
+
+    def _session(self, connection: StreamConnection):
+        self._sessions.add(connection)
+        try:
+            yield from self._serve_session(connection)
+        finally:
+            self._sessions.discard(connection)
+
+    def _serve_session(self, connection: StreamConnection):
+        while True:
+            try:
+                envelope = yield connection.recv()
+            except ConnectionClosed:
+                return
+            request = envelope.payload
+            if not isinstance(request, HttpRequest):
+                connection.send(HttpResponse.error(400, "not an HttpRequest"))
+                continue
+            worker = self.workers.request()
+            yield worker
+            self.metrics.increment("http.requests")
+            try:
+                if request.method == "MGET":
+                    response = yield from self._serve_mget(request)
+                else:
+                    response = yield from self._serve_one(request)
+            finally:
+                self.workers.release(worker)
+            if connection.closed:
+                return
+            connection.send(response)
+
+    def _serve_mget(self, request: HttpRequest):
+        """Serve each path of an MGET batch sequentially in one slot."""
+        parts = []
+        for path in request.paths:
+            single = HttpRequest(
+                method="GET",
+                path=path,
+                params=request.params,
+                headers=request.headers,
+            )
+            response = yield from self._serve_one(single)
+            parts.append((path, response))
+        self.metrics.increment("http.mget_batches")
+        return HttpResponse(status=206, parts=tuple(parts))
+
+    def _serve_one(self, request: HttpRequest):
+        handler = self._cgi.get(request.path)
+        if handler is not None:
+            self.metrics.increment("http.cgi_requests")
+            try:
+                outcome = handler(self, request)
+                if hasattr(outcome, "send"):  # a generator: run it inline
+                    outcome = yield from outcome
+            except HttpError as exc:
+                self.metrics.increment("http.errors")
+                return HttpResponse.error(exc.status, exc.reason)
+            except Exception as exc:  # noqa: BLE001 - CGI bugs become 500s
+                self.metrics.increment("http.errors")
+                return HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
+            if isinstance(outcome, HttpResponse):
+                return outcome
+            return HttpResponse.text(str(outcome))
+        body = self._static.get(request.path)
+        if body is not None:
+            yield self.sim.timeout(self.static_service_time)
+            return HttpResponse.text(body)
+        self.metrics.increment("http.errors")
+        return HttpResponse.error(404, f"no resource at {request.path!r}")
+
+    def close(self) -> None:
+        """Stop accepting new connections (existing sessions survive)."""
+        self.listener.close()
+
+    def crash(self) -> None:
+        """Simulate a server crash: stop listening AND sever every live
+        session. Peers see :class:`ConnectionClosed`; in-flight requests
+        are lost, as they would be on a real process kill."""
+        self.listener.close()
+        for connection in list(self._sessions):
+            connection.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<BackendWebServer {self.address} active={self.active_requests} "
+            f"queued={self.queued_requests}>"
+        )

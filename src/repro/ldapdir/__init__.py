@@ -1,0 +1,23 @@
+"""LDAP-style directory service: tree, filters, server, client."""
+
+from .client import DirectoryClient, DirectoryConnection, SearchResult
+from .entry import DN, Entry, parse_dn
+from .filters import parse_filter
+from .server import DirectoryCostModel, DirectoryServer
+from .tree import SCOPE_BASE, SCOPE_ONE, SCOPE_SUB, DirectoryTree
+
+__all__ = [
+    "DirectoryClient",
+    "DirectoryConnection",
+    "SearchResult",
+    "DN",
+    "Entry",
+    "parse_dn",
+    "parse_filter",
+    "DirectoryServer",
+    "DirectoryCostModel",
+    "DirectoryTree",
+    "SCOPE_BASE",
+    "SCOPE_ONE",
+    "SCOPE_SUB",
+]

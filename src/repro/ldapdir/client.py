@@ -1,0 +1,98 @@
+"""Client-side directory access (the LDAP API of the baseline model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ProtocolError, ServiceError
+from ..net.address import Address
+from ..net.network import Node
+from ..net.transport import StreamConnection
+from ..sim.core import Simulation
+from .tree import SCOPE_SUB
+
+__all__ = ["DirectoryClient", "DirectoryConnection", "SearchResult"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Entries returned by one search, plus work accounting."""
+
+    entries: Tuple[Tuple[str, Dict[str, List[str]]], ...]
+    examined: int
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def dns(self) -> List[str]:
+        """The matched entries' DNs, in result order."""
+        return [dn for dn, _ in self.entries]
+
+
+class DirectoryConnection:
+    """An established, bound connection to a directory server."""
+
+    def __init__(self, sim: Simulation, stream: StreamConnection) -> None:
+        self.sim = sim
+        self._stream = stream
+
+    @property
+    def closed(self) -> bool:
+        return self._stream.closed
+
+    def _round_trip(self, message: tuple):
+        self._stream.send(message)
+        envelope = yield self._stream.recv()
+        reply = envelope.payload
+        if reply and reply[0] == "error":
+            raise ServiceError(reply[1])
+        return reply
+
+    def search(
+        self,
+        base: str,
+        scope: str = SCOPE_SUB,
+        filter_expr: Optional[str] = None,
+    ):
+        """Search; ``yield from`` generator returning :class:`SearchResult`."""
+        reply = yield from self._round_trip(("search", base, scope, filter_expr))
+        if reply[0] != "ok":
+            raise ProtocolError(f"unexpected reply: {reply!r}")
+        return SearchResult(entries=tuple(reply[1]), examined=reply[2])
+
+    def add(self, dn: str, attributes: Mapping[str, Union[str, Sequence[str]]]):
+        """Add an entry; a ``yield from`` generator."""
+        yield from self._round_trip(("add", dn, dict(attributes)))
+
+    def modify(self, dn: str, changes: Mapping[str, Any]):
+        """Replace attributes of an entry; a ``yield from`` generator."""
+        yield from self._round_trip(("modify", dn, dict(changes)))
+
+    def delete(self, dn: str):
+        """Delete a leaf entry; a ``yield from`` generator."""
+        yield from self._round_trip(("delete", dn))
+
+    def unbind(self):
+        """Orderly shutdown; a ``yield from`` generator."""
+        if not self._stream.closed:
+            self._stream.send(("unbind",))
+            self._stream.close()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class DirectoryClient:
+    """Factory for :class:`DirectoryConnection`."""
+
+    @staticmethod
+    def connect(sim: Simulation, node: Node, address: Address, principal: str = ""):
+        """Connect and bind; ``yield from`` this generator."""
+        stream = yield from node.connect_stream(address)
+        stream.send(("bind", principal or node.name))
+        envelope = yield stream.recv()
+        reply = envelope.payload
+        if not (isinstance(reply, tuple) and reply and reply[0] == "bound"):
+            stream.close()
+            raise ProtocolError(f"bind failed: {reply!r}")
+        return DirectoryConnection(sim, stream)

@@ -1,0 +1,130 @@
+"""Directory entries and distinguished names.
+
+A DN is a comma-separated sequence of ``attr=value`` RDNs, most specific
+first (``cn=alice,ou=people,dc=example,dc=com``). Entries hold a
+multi-valued attribute map, as in LDAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from ..errors import ServiceError
+
+__all__ = ["DN", "Entry", "parse_dn"]
+
+Rdn = Tuple[str, str]
+
+
+def parse_dn(text: str) -> Tuple[Rdn, ...]:
+    """Parse a DN string into a tuple of (attribute, value) RDNs."""
+    if not text.strip():
+        return ()
+    rdns: List[Rdn] = []
+    for part in text.split(","):
+        if "=" not in part:
+            raise ServiceError(f"malformed RDN {part!r} in DN {text!r}")
+        attr, _, value = part.partition("=")
+        attr = attr.strip().lower()
+        value = value.strip()
+        if not attr or not value:
+            raise ServiceError(f"malformed RDN {part!r} in DN {text!r}")
+        rdns.append((attr, value))
+    return tuple(rdns)
+
+
+@dataclass(frozen=True)
+class DN:
+    """A normalized distinguished name."""
+
+    rdns: Tuple[Rdn, ...]
+
+    @classmethod
+    def of(cls, value: Union[str, "DN"]) -> "DN":
+        if isinstance(value, DN):
+            return value
+        return cls(parse_dn(value))
+
+    @property
+    def parent(self) -> "DN":
+        """The DN with the most-specific RDN removed."""
+        if not self.rdns:
+            raise ServiceError("the root DN has no parent")
+        return DN(self.rdns[1:])
+
+    @property
+    def rdn(self) -> Rdn:
+        """The most-specific RDN."""
+        if not self.rdns:
+            raise ServiceError("the root DN has no RDN")
+        return self.rdns[0]
+
+    def child(self, attr: str, value: str) -> "DN":
+        """The DN one level below this one."""
+        return DN(((attr.lower(), value),) + self.rdns)
+
+    def is_descendant_of(self, ancestor: "DN") -> bool:
+        """True if *ancestor* is a proper prefix (suffix-wise) of this DN."""
+        offset = len(self.rdns) - len(ancestor.rdns)
+        return offset > 0 and self.rdns[offset:] == ancestor.rdns
+
+    @property
+    def depth(self) -> int:
+        return len(self.rdns)
+
+    def __str__(self) -> str:
+        return ",".join(f"{a}={v}" for a, v in self.rdns)
+
+
+class Entry:
+    """A directory entry: a DN plus multi-valued attributes.
+
+    Attribute names are case-insensitive; values are strings.
+    """
+
+    def __init__(
+        self, dn: Union[str, DN], attributes: Mapping[str, Union[str, Sequence[str]]]
+    ) -> None:
+        self.dn = DN.of(dn)
+        self._attributes: Dict[str, List[str]] = {}
+        for name, values in attributes.items():
+            self._attributes[name.lower()] = (
+                [values] if isinstance(values, str) else list(values)
+            )
+        # The RDN attribute is implicitly present, as in LDAP.
+        if self.dn.rdns:
+            attr, value = self.dn.rdn
+            existing = self._attributes.setdefault(attr, [])
+            if value not in existing:
+                existing.append(value)
+
+    def get(self, attribute: str) -> List[str]:
+        """All values of *attribute* (empty list when absent)."""
+        return list(self._attributes.get(attribute.lower(), []))
+
+    def first(self, attribute: str) -> str:
+        """The first value of *attribute*, or ``""``."""
+        values = self._attributes.get(attribute.lower())
+        return values[0] if values else ""
+
+    def has(self, attribute: str) -> bool:
+        """True if *attribute* is present on the entry."""
+        return attribute.lower() in self._attributes
+
+    def replace(self, attribute: str, values: Union[str, Sequence[str]]) -> None:
+        """Set *attribute* to *values*, dropping previous ones."""
+        self._attributes[attribute.lower()] = (
+            [values] if isinstance(values, str) else list(values)
+        )
+
+    def remove(self, attribute: str) -> None:
+        """Delete *attribute* (no-op when absent)."""
+        self._attributes.pop(attribute.lower(), None)
+
+    def to_dict(self) -> Dict[str, List[str]]:
+        """A plain-dict snapshot (what the server sends over the wire)."""
+        return {name: list(values) for name, values in self._attributes.items()}
+
+    def __repr__(self) -> str:
+        return f"<Entry {self.dn}>"

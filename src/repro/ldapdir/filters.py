@@ -1,0 +1,183 @@
+"""RFC-2254-style search filters: parser and evaluator.
+
+Supported forms::
+
+    (attr=value)      equality; '*' wildcards allowed in value
+    (attr=*)          presence
+    (attr>=value)     lexicographic/numeric greater-or-equal
+    (attr<=value)     lexicographic/numeric less-or-equal
+    (&(f1)(f2)...)    conjunction
+    (|(f1)(f2)...)    disjunction
+    (!(f))            negation
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from ..errors import FilterSyntaxError
+from .entry import Entry
+
+__all__ = ["parse_filter", "Filter", "Equality", "Presence", "Compare", "NotF", "AndF", "OrF"]
+
+
+@dataclass(frozen=True)
+class Equality:
+    """``(attr=value)``, possibly with ``*`` wildcards."""
+
+    attribute: str
+    pattern: str
+
+    def matches(self, entry: Entry) -> bool:
+        """True if any value of the attribute matches the pattern."""
+        values = entry.get(self.attribute)
+        if "*" not in self.pattern:
+            return any(v.lower() == self.pattern.lower() for v in values)
+        regex = re.compile(
+            "^" + ".*".join(re.escape(p) for p in self.pattern.split("*")) + "$",
+            re.IGNORECASE,
+        )
+        return any(regex.match(v) for v in values)
+
+
+@dataclass(frozen=True)
+class Presence:
+    """``(attr=*)``."""
+
+    attribute: str
+
+    def matches(self, entry: Entry) -> bool:
+        """True if the attribute is present."""
+        return entry.has(self.attribute)
+
+
+@dataclass(frozen=True)
+class Compare:
+    """``(attr>=value)`` or ``(attr<=value)``.
+
+    Comparison is numeric when both sides parse as numbers, otherwise
+    case-insensitive lexicographic.
+    """
+
+    attribute: str
+    op: str  # '>=' or '<='
+    value: str
+
+    def _compare(self, lhs: str) -> bool:
+        try:
+            a: Union[float, str] = float(lhs)
+            b: Union[float, str] = float(self.value)
+        except ValueError:
+            a, b = lhs.lower(), self.value.lower()
+        return a >= b if self.op == ">=" else a <= b
+
+    def matches(self, entry: Entry) -> bool:
+        """True if any value satisfies the comparison."""
+        return any(self._compare(v) for v in entry.get(self.attribute))
+
+
+@dataclass(frozen=True)
+class NotF:
+    inner: "Filter"
+
+    def matches(self, entry: Entry) -> bool:
+        """True if the inner filter does not match."""
+        return not self.inner.matches(entry)
+
+
+@dataclass(frozen=True)
+class AndF:
+    parts: Tuple["Filter", ...]
+
+    def matches(self, entry: Entry) -> bool:
+        """True if every part matches."""
+        return all(p.matches(entry) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class OrF:
+    parts: Tuple["Filter", ...]
+
+    def matches(self, entry: Entry) -> bool:
+        """True if any part matches."""
+        return any(p.matches(entry) for p in self.parts)
+
+
+Filter = Union[Equality, Presence, Compare, NotF, AndF, OrF]
+
+_SIMPLE_RE = re.compile(r"^([A-Za-z][A-Za-z0-9_-]*)(>=|<=|=)(.*)$", re.DOTALL)
+
+
+class _FilterParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Filter:
+        result = self._filter()
+        if self.pos != len(self.text):
+            raise FilterSyntaxError(
+                f"trailing characters at {self.pos} in {self.text!r}"
+            )
+        return result
+
+    def _expect(self, char: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != char:
+            raise FilterSyntaxError(
+                f"expected {char!r} at {self.pos} in {self.text!r}"
+            )
+        self.pos += 1
+
+    def _filter(self) -> Filter:
+        self._expect("(")
+        if self.pos >= len(self.text):
+            raise FilterSyntaxError(f"unterminated filter: {self.text!r}")
+        head = self.text[self.pos]
+        if head == "&":
+            self.pos += 1
+            parts = self._filter_list()
+            node: Filter = AndF(tuple(parts))
+        elif head == "|":
+            self.pos += 1
+            parts = self._filter_list()
+            node = OrF(tuple(parts))
+        elif head == "!":
+            self.pos += 1
+            node = NotF(self._filter())
+        else:
+            node = self._simple()
+        self._expect(")")
+        return node
+
+    def _filter_list(self) -> List[Filter]:
+        parts: List[Filter] = []
+        while self.pos < len(self.text) and self.text[self.pos] == "(":
+            parts.append(self._filter())
+        if not parts:
+            raise FilterSyntaxError(f"empty filter list in {self.text!r}")
+        return parts
+
+    def _simple(self) -> Filter:
+        end = self.text.find(")", self.pos)
+        if end == -1:
+            raise FilterSyntaxError(f"unterminated filter: {self.text!r}")
+        body = self.text[self.pos : end]
+        match = _SIMPLE_RE.match(body)
+        if match is None:
+            raise FilterSyntaxError(f"malformed filter item {body!r}")
+        attribute, op, value = match.groups()
+        self.pos = end
+        if op == "=":
+            if value == "*":
+                return Presence(attribute)
+            return Equality(attribute, value)
+        if not value:
+            raise FilterSyntaxError(f"missing value in {body!r}")
+        return Compare(attribute, op, value)
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse *text* into a :class:`Filter`; raises :class:`FilterSyntaxError`."""
+    return _FilterParser(text).parse()

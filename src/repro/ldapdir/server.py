@@ -1,0 +1,160 @@
+"""The networked directory server.
+
+Protocol over a stream connection (mirrors the database server's shape):
+
+* client → ``("bind", principal)`` / server → ``("bound",)``
+* client → ``("search", base, scope, filter_or_None)``
+  server → ``("ok", [ (dn, attrs), ... ], examined)`` or ``("error", msg)``
+* client → ``("add", dn, attrs)`` / ``("modify", dn, changes)`` /
+  ``("delete", dn)`` — server → ``("ok",)`` or ``("error", msg)``
+* client → ``("unbind",)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConnectionClosed, ServiceError
+from ..metrics import MetricsRegistry
+from ..net.network import Node
+from ..net.transport import StreamConnection
+from ..sim.core import Simulation
+from ..sim.resources import Resource
+from .tree import DirectoryTree
+
+__all__ = ["DirectoryServer", "DirectoryCostModel"]
+
+#: Default LDAP port.
+DEFAULT_PORT = 389
+
+
+@dataclass(frozen=True)
+class DirectoryCostModel:
+    """Service-time model for directory operations."""
+
+    base: float = 0.001
+    per_entry_examined: float = 8e-6
+    per_entry_returned: float = 3e-5
+    per_write: float = 1e-4
+    bind_time: float = 0.002
+
+    def search_time(self, examined: int, returned: int) -> float:
+        """Service time for a search touching *examined* entries."""
+        return (
+            self.base
+            + examined * self.per_entry_examined
+            + returned * self.per_entry_returned
+        )
+
+    def write_time(self) -> float:
+        """Service time for one add/modify/delete."""
+        return self.base + self.per_write
+
+
+class DirectoryServer:
+    """Serves a :class:`DirectoryTree` over the simulated network."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        node: Node,
+        tree: Optional[DirectoryTree] = None,
+        port: int = DEFAULT_PORT,
+        max_workers: int = 8,
+        cost_model: Optional[DirectoryCostModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.tree = tree if tree is not None else DirectoryTree()
+        self.cost_model = cost_model or DirectoryCostModel()
+        self.metrics = metrics or MetricsRegistry()
+        self.workers = Resource(sim, max_workers)
+        self.listener = node.listen_stream(port)
+        self.address = node.address(port)
+        sim.process(self._accept_loop(), name=f"ldap:{node.name}")
+
+    def _accept_loop(self):
+        while True:
+            try:
+                connection = yield self.listener.accept()
+            except ConnectionClosed:
+                return
+            self.metrics.increment("ldap.connections")
+            self.sim.process(self._session(connection))
+
+    def _session(self, connection: StreamConnection):
+        bound = False
+        while True:
+            try:
+                envelope = yield connection.recv()
+            except ConnectionClosed:
+                return
+            message = envelope.payload
+            if not isinstance(message, tuple) or not message:
+                connection.send(("error", f"malformed message: {message!r}"))
+                continue
+            command = message[0]
+            if command == "bind":
+                yield self.sim.timeout(self.cost_model.bind_time)
+                bound = True
+                connection.send(("bound",))
+                continue
+            if command == "unbind":
+                connection.close()
+                return
+            if not bound:
+                connection.send(("error", "bind first"))
+                continue
+            yield from self._serve(connection, message)
+
+    def _serve(self, connection: StreamConnection, message: tuple):
+        request = self.workers.request()
+        yield request
+        try:
+            command = message[0]
+            try:
+                if command == "search":
+                    _, base, scope, filter_expr = message
+                    matches, examined = self.tree.search(base, scope, filter_expr)
+                    service = self.cost_model.search_time(examined, len(matches))
+                    yield self.sim.timeout(service)
+                    self.metrics.increment("ldap.searches")
+                    self.metrics.observe("ldap.entries_examined", examined)
+                    payload = [(str(e.dn), e.to_dict()) for e in matches]
+                    reply = ("ok", payload, examined)
+                elif command == "add":
+                    _, dn, attributes = message
+                    self.tree.add(dn, attributes)
+                    yield self.sim.timeout(self.cost_model.write_time())
+                    self.metrics.increment("ldap.writes")
+                    reply = ("ok",)
+                elif command == "modify":
+                    _, dn, changes = message
+                    self.tree.modify(dn, changes)
+                    yield self.sim.timeout(self.cost_model.write_time())
+                    self.metrics.increment("ldap.writes")
+                    reply = ("ok",)
+                elif command == "delete":
+                    _, dn = message
+                    self.tree.delete(dn)
+                    yield self.sim.timeout(self.cost_model.write_time())
+                    self.metrics.increment("ldap.writes")
+                    reply = ("ok",)
+                else:
+                    reply = ("error", f"unknown command: {command!r}")
+            except ServiceError as exc:
+                self.metrics.increment("ldap.errors")
+                reply = ("error", str(exc))
+            if not connection.closed:
+                connection.send(reply)
+        finally:
+            self.workers.release(request)
+
+    def close(self) -> None:
+        """Stop accepting new connections."""
+        self.listener.close()
+
+    def __repr__(self) -> str:
+        return f"<DirectoryServer {self.address} entries={len(self.tree)}>"

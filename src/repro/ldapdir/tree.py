@@ -1,0 +1,130 @@
+"""The Directory Information Tree (DIT): entries arranged by DN."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from ..errors import NoSuchEntryError, ServiceError
+from .entry import DN, Entry
+from .filters import Filter, parse_filter
+
+__all__ = ["DirectoryTree", "SCOPE_BASE", "SCOPE_ONE", "SCOPE_SUB"]
+
+SCOPE_BASE = "base"
+SCOPE_ONE = "one"
+SCOPE_SUB = "sub"
+
+_SCOPES = (SCOPE_BASE, SCOPE_ONE, SCOPE_SUB)
+
+
+class DirectoryTree:
+    """An in-memory DIT with add/delete/modify/search.
+
+    Parents must exist before children are added (except the suffix
+    entries added at the top). Searches return entries in DN order and
+    report how many entries were examined — the server's cost driver.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, dn: Union[str, DN]) -> bool:
+        return str(DN.of(dn)) in self._entries
+
+    def add(
+        self, dn: Union[str, DN], attributes: Mapping[str, Union[str, Sequence[str]]]
+    ) -> Entry:
+        """Insert a new entry; its parent must already exist (unless top-level)."""
+        name = DN.of(dn)
+        key = str(name)
+        if key in self._entries:
+            raise ServiceError(f"entry already exists: {key}")
+        if name.depth > 1:
+            parent = str(name.parent)
+            if parent not in self._entries:
+                raise NoSuchEntryError(f"parent entry missing: {parent}")
+        entry = Entry(name, attributes)
+        self._entries[key] = entry
+        return entry
+
+    def get(self, dn: Union[str, DN]) -> Entry:
+        """The entry at *dn*; raises :class:`NoSuchEntryError`."""
+        key = str(DN.of(dn))
+        entry = self._entries.get(key)
+        if entry is None:
+            raise NoSuchEntryError(f"no entry: {key}")
+        return entry
+
+    def delete(self, dn: Union[str, DN]) -> None:
+        """Remove a leaf entry; refuses to orphan children."""
+        name = DN.of(dn)
+        key = str(name)
+        if key not in self._entries:
+            raise NoSuchEntryError(f"no entry: {key}")
+        for other in self._entries.values():
+            if other.dn.is_descendant_of(name):
+                raise ServiceError(f"entry {key} has children; delete them first")
+        del self._entries[key]
+
+    def modify(
+        self, dn: Union[str, DN], changes: Mapping[str, Union[str, Sequence[str], None]]
+    ) -> Entry:
+        """Replace attributes (a ``None`` value deletes the attribute)."""
+        entry = self.get(dn)
+        for attribute, values in changes.items():
+            if values is None:
+                entry.remove(attribute)
+            else:
+                entry.replace(attribute, values)
+        return entry
+
+    def search(
+        self,
+        base: Union[str, DN],
+        scope: str = SCOPE_SUB,
+        filter_expr: Union[str, Filter, None] = None,
+    ) -> tuple[List[Entry], int]:
+        """Entries under *base* matching *filter_expr*.
+
+        Returns ``(matches, entries_examined)``; *entries_examined* is
+        the number of candidate entries visited, which drives the
+        server-side cost model.
+        """
+        if scope not in _SCOPES:
+            raise ServiceError(f"unknown scope {scope!r}; use one of {_SCOPES}")
+        base_dn = DN.of(base)
+        if str(base_dn) not in self._entries:
+            raise NoSuchEntryError(f"search base missing: {base_dn}")
+        if filter_expr is None:
+            compiled: Optional[Filter] = None
+        elif isinstance(filter_expr, str):
+            compiled = parse_filter(filter_expr)
+        else:
+            compiled = filter_expr
+
+        candidates = list(self._candidates(base_dn, scope))
+        matches = [
+            entry
+            for entry in candidates
+            if compiled is None or compiled.matches(entry)
+        ]
+        matches.sort(key=lambda e: (e.dn.depth, str(e.dn)))
+        return matches, len(candidates)
+
+    def _candidates(self, base: DN, scope: str) -> Iterator[Entry]:
+        if scope == SCOPE_BASE:
+            yield self._entries[str(base)]
+            return
+        for entry in self._entries.values():
+            if scope == SCOPE_ONE:
+                if entry.dn.depth == base.depth + 1 and entry.dn.is_descendant_of(base):
+                    yield entry
+            else:  # SCOPE_SUB includes the base itself
+                if entry.dn == base or entry.dn.is_descendant_of(base):
+                    yield entry
+
+    def __repr__(self) -> str:
+        return f"<DirectoryTree entries={len(self._entries)}>"

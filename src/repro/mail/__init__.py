@@ -1,0 +1,15 @@
+"""Mail service: message store, server, client."""
+
+from .client import MailClient, MailConnection
+from .server import MailCostModel, MailServer
+from .store import Mailbox, MailMessage, MessageStore
+
+__all__ = [
+    "MailClient",
+    "MailConnection",
+    "MailServer",
+    "MailCostModel",
+    "Mailbox",
+    "MailMessage",
+    "MessageStore",
+]

@@ -1,0 +1,78 @@
+"""Client-side mail access (the mail API of the baseline model)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import MailboxError, ProtocolError
+from ..net.address import Address
+from ..net.network import Node
+from ..net.transport import StreamConnection
+from ..sim.core import Simulation
+
+__all__ = ["MailClient", "MailConnection"]
+
+
+class MailConnection:
+    """An established connection to a mail server."""
+
+    def __init__(self, sim: Simulation, stream: StreamConnection) -> None:
+        self.sim = sim
+        self._stream = stream
+
+    @property
+    def closed(self) -> bool:
+        return self._stream.closed
+
+    def _round_trip(self, message: tuple):
+        self._stream.send(message)
+        envelope = yield self._stream.recv()
+        reply = envelope.payload
+        if reply and reply[0] == "error":
+            raise MailboxError(reply[1])
+        if not reply or reply[0] != "ok":
+            raise ProtocolError(f"unexpected reply: {reply!r}")
+        return reply
+
+    def send(self, sender: str, recipient: str, subject: str, body: str):
+        """Submit a message; returns its server-side id."""
+        reply = yield from self._round_trip(("send", sender, recipient, subject, body))
+        return reply[1]
+
+    def list(self, owner: str):
+        """Message ids in *owner*'s mailbox."""
+        reply = yield from self._round_trip(("list", owner))
+        return list(reply[1])
+
+    def retrieve(self, owner: str, message_id: int):
+        """Fetch one message as a dict."""
+        reply = yield from self._round_trip(("retr", owner, message_id))
+        return dict(reply[1])
+
+    def delete(self, owner: str, message_id: int):
+        """Delete one message; a ``yield from`` generator."""
+        yield from self._round_trip(("dele", owner, message_id))
+
+    def quit(self):
+        """Orderly shutdown; a ``yield from`` generator."""
+        if not self._stream.closed:
+            self._stream.send(("quit",))
+            self._stream.close()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class MailClient:
+    """Factory for :class:`MailConnection`."""
+
+    @staticmethod
+    def connect(sim: Simulation, node: Node, address: Address, name: str = ""):
+        """Connect and greet; ``yield from`` this generator."""
+        stream = yield from node.connect_stream(address)
+        stream.send(("helo", name or node.name))
+        envelope = yield stream.recv()
+        reply = envelope.payload
+        if not (isinstance(reply, tuple) and reply and reply[0] == "hi"):
+            stream.close()
+            raise ProtocolError(f"greeting failed: {reply!r}")
+        return MailConnection(sim, stream)

@@ -1,0 +1,110 @@
+"""Mailbox storage for the mail service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import MailboxError
+
+__all__ = ["MailMessage", "Mailbox", "MessageStore"]
+
+
+@dataclass(frozen=True)
+class MailMessage:
+    """One stored message."""
+
+    message_id: int
+    sender: str
+    recipient: str
+    subject: str
+    body: str
+    delivered_at: float
+
+    @property
+    def size(self) -> int:
+        """Approximate size in bytes (headers + body)."""
+        return len(self.sender) + len(self.recipient) + len(self.subject) + len(self.body) + 64
+
+
+class Mailbox:
+    """Messages for one recipient, POP-style (numbered, deletable)."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._messages: Dict[int, MailMessage] = {}
+
+    def deliver(self, message: MailMessage) -> None:
+        """File *message* into this mailbox."""
+        self._messages[message.message_id] = message
+
+    def list_ids(self) -> List[int]:
+        """Message ids, ascending."""
+        return sorted(self._messages)
+
+    def get(self, message_id: int) -> MailMessage:
+        """The stored message; raises :class:`MailboxError` if absent."""
+        message = self._messages.get(message_id)
+        if message is None:
+            raise MailboxError(f"no message {message_id} in mailbox {self.owner!r}")
+        return message
+
+    def delete(self, message_id: int) -> None:
+        """Remove a message; raises :class:`MailboxError` if absent."""
+        if message_id not in self._messages:
+            raise MailboxError(f"no message {message_id} in mailbox {self.owner!r}")
+        del self._messages[message_id]
+
+    @property
+    def total_size(self) -> int:
+        return sum(m.size for m in self._messages.values())
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+class MessageStore:
+    """All mailboxes on one mail server."""
+
+    def __init__(self) -> None:
+        self._mailboxes: Dict[str, Mailbox] = {}
+        self._next_id = 1
+
+    def create_mailbox(self, owner: str) -> Mailbox:
+        """Create an empty mailbox for *owner*."""
+        if owner in self._mailboxes:
+            raise MailboxError(f"mailbox {owner!r} already exists")
+        mailbox = Mailbox(owner)
+        self._mailboxes[owner] = mailbox
+        return mailbox
+
+    def mailbox(self, owner: str) -> Mailbox:
+        """The mailbox of *owner*; raises :class:`MailboxError`."""
+        mailbox = self._mailboxes.get(owner)
+        if mailbox is None:
+            raise MailboxError(f"no mailbox {owner!r}")
+        return mailbox
+
+    def has_mailbox(self, owner: str) -> bool:
+        """True if *owner* has a mailbox."""
+        return owner in self._mailboxes
+
+    def deliver(
+        self, sender: str, recipient: str, subject: str, body: str, now: float
+    ) -> MailMessage:
+        """Store a new message for *recipient*; returns it."""
+        mailbox = self.mailbox(recipient)
+        message = MailMessage(
+            message_id=self._next_id,
+            sender=sender,
+            recipient=recipient,
+            subject=subject,
+            body=body,
+            delivered_at=now,
+        )
+        self._next_id += 1
+        mailbox.deliver(message)
+        return message
+
+    def __len__(self) -> int:
+        return len(self._mailboxes)

@@ -1,0 +1,13 @@
+"""Metrics: online statistics, counters, and report rendering."""
+
+from .collector import MetricsRegistry
+from .report import format_cell, render_series, render_table
+from .stats import SummaryStats
+
+__all__ = [
+    "MetricsRegistry",
+    "SummaryStats",
+    "render_table",
+    "render_series",
+    "format_cell",
+]

@@ -1,0 +1,97 @@
+"""Hierarchical metrics registry: counters and timing samples.
+
+Components record into a shared :class:`MetricsRegistry` using dotted
+names (``"broker.db.dropped.qos3"``). The registry is deliberately
+simulation-agnostic — callers pass the timestamp where one is relevant —
+so the same registry serves unit tests and full experiments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+from .stats import SummaryStats
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named counters and samples.
+
+    * ``increment(name, by)`` — monotonically counts events.
+    * ``observe(name, value)`` — accumulates a :class:`SummaryStats` sample.
+    * ``record_event(name, time)`` — keeps a raw time-stamped event list
+      (for time-series inspection in tests and reports).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._samples: Dict[str, SummaryStats] = {}
+        self._events: Dict[str, List[float]] = defaultdict(list)
+
+    # -- counters ------------------------------------------------------
+
+    def increment(self, name: str, by: float = 1.0) -> None:
+        """Add *by* to the counter *name*."""
+        self._counters[name] += by
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """All counters whose name starts with *prefix*."""
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    # -- samples -------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to the sample *name*."""
+        stats = self._samples.get(name)
+        if stats is None:
+            stats = SummaryStats()
+            self._samples[name] = stats
+        stats.add(value)
+
+    def sample(self, name: str) -> SummaryStats:
+        """The sample for *name* (an empty one if nothing was observed)."""
+        return self._samples.get(name, SummaryStats())
+
+    def samples(self, prefix: str = "") -> Dict[str, SummaryStats]:
+        """All samples whose name starts with *prefix*."""
+        return {
+            name: stats
+            for name, stats in self._samples.items()
+            if name.startswith(prefix)
+        }
+
+    # -- raw events ----------------------------------------------------
+
+    def record_event(self, name: str, time: float) -> None:
+        """Append a raw timestamped event under *name*."""
+        self._events[name].append(time)
+
+    def events(self, name: str) -> List[float]:
+        """The timestamps recorded under *name*."""
+        return list(self._events.get(name, []))
+
+    # -- misc ----------------------------------------------------------
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``counter(numerator) / counter(denominator)``, 0 when empty."""
+        denom = self.counter(denominator)
+        return self.counter(numerator) / denom if denom else 0.0
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"samples={len(self._samples)}>"
+        )

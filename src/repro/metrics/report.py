@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper's evaluation consists of small tables and x/y series; these
+helpers render them with aligned columns so benchmark output can be
+compared side by side with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell: floats get 4 significant digits."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render *rows* (list of dicts) as an aligned text table."""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = list(columns)
+    body: List[List[str]] = [
+        [format_cell(row.get(col, "")) for col in header] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Iterable[Any],
+    ys: Iterable[Any],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render a two-column x/y series (one figure curve)."""
+    rows = [{x_label: x, y_label: y} for x, y in zip(xs, ys)]
+    return render_table(rows, [x_label, y_label], title=title)

@@ -1,0 +1,126 @@
+"""Online summary statistics.
+
+:class:`SummaryStats` accumulates observations one at a time and exposes
+count/mean/variance (Welford's algorithm) plus exact percentiles (the
+sample is retained; experiment sample sizes here are small enough that
+exactness beats a sketch).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+__all__ = ["SummaryStats"]
+
+
+class SummaryStats:
+    """Accumulates numeric observations and summarizes them.
+
+    >>> s = SummaryStats()
+    >>> for v in [1.0, 2.0, 3.0]:
+    ...     s.add(v)
+    >>> s.mean
+    2.0
+    """
+
+    def __init__(self, values: Optional[Iterable[float]] = None) -> None:
+        self._values: List[float] = []
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        if values is not None:
+            for value in values:
+                self.add(value)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._values.append(value)
+        n = len(self._values)
+        delta = value - self._mean
+        self._mean += delta / n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def merge(self, other: "SummaryStats") -> "SummaryStats":
+        """Return a new :class:`SummaryStats` over both samples."""
+        return SummaryStats(self._values + other._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean; ``nan`` when empty."""
+        return self._mean if self._values else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance; ``nan`` with fewer than 2 samples."""
+        n = len(self._values)
+        return self._m2 / (n - 1) if n > 1 else math.nan
+
+    @property
+    def stdev(self) -> float:
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._values else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile with linear interpolation; *q* in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q!r}")
+        if not self._values:
+            return math.nan
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lower = math.floor(rank)
+        upper = math.ceil(rank)
+        if lower == upper:
+            return ordered[lower]
+        frac = rank - lower
+        return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def values(self) -> List[float]:
+        """A copy of the raw sample, in insertion order."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        if not self._values:
+            return "<SummaryStats empty>"
+        return (
+            f"<SummaryStats n={self.count} mean={self.mean:.4g} "
+            f"min={self.minimum:.4g} max={self.maximum:.4g}>"
+        )

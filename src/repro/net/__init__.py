@@ -1,0 +1,19 @@
+"""Simulated network substrate: nodes, links, streams, datagrams."""
+
+from .address import Address
+from .link import Link
+from .message import Envelope, estimate_size
+from .network import Network, Node
+from .transport import DatagramSocket, StreamConnection, StreamListener
+
+__all__ = [
+    "Address",
+    "Link",
+    "Envelope",
+    "estimate_size",
+    "Network",
+    "Node",
+    "DatagramSocket",
+    "StreamConnection",
+    "StreamListener",
+]

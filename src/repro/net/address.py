@@ -1,0 +1,21 @@
+"""Network addresses: (host, port) pairs."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["Address"]
+
+
+class Address(NamedTuple):
+    """A network endpoint: host name plus port number.
+
+    Hosts are symbolic names registered with the :class:`Network`;
+    ports are integers, with ephemeral ports assigned from 49152 up.
+    """
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"

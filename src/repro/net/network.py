@@ -1,0 +1,195 @@
+"""Network topology: named nodes joined by links.
+
+A :class:`Network` registers nodes and the links between them, resolves
+addresses to bound sockets/listeners, and accounts traffic. A
+:class:`Node` is one host: it binds listeners and sockets and opens
+stream connections.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple, Union
+
+from ..errors import (
+    AddressInUse,
+    ConnectionRefused,
+    NetworkError,
+    NoRouteError,
+)
+from ..metrics import MetricsRegistry
+from ..sim.core import Event, ProcessGenerator, Simulation
+from .address import Address
+from .link import Link
+from .message import HEADER_BYTES, Envelope
+from .transport import DatagramSocket, StreamConnection, StreamListener
+
+__all__ = ["Network", "Node"]
+
+#: First ephemeral port handed out by :meth:`Node.ephemeral_port`.
+EPHEMERAL_BASE = 49152
+
+
+class Node:
+    """A host in the simulated network."""
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.name = name
+        self._bound: Dict[int, Union[StreamListener, DatagramSocket]] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+
+    def address(self, port: int) -> Address:
+        """This node's address at *port*."""
+        return Address(self.name, port)
+
+    def ephemeral_port(self) -> int:
+        """Allocate a fresh client-side port number."""
+        while self._next_ephemeral in self._bound:
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    # -- binding -------------------------------------------------------
+
+    def listen_stream(self, port: int, backlog: Optional[int] = None) -> StreamListener:
+        """Bind a stream listener at *port*."""
+        self._check_free(port)
+        listener = StreamListener(self, port, backlog=backlog)
+        self._bound[port] = listener
+        return listener
+
+    def datagram_socket(self, port: Optional[int] = None) -> DatagramSocket:
+        """Bind a datagram socket (ephemeral port when none given)."""
+        if port is None:
+            port = self.ephemeral_port()
+        else:
+            self._check_free(port)
+        socket = DatagramSocket(self, port)
+        self._bound[port] = socket
+        return socket
+
+    def _check_free(self, port: int) -> None:
+        if port in self._bound:
+            raise AddressInUse(f"{self.name}:{port} is already bound")
+
+    def _unbind(self, port: int) -> None:
+        self._bound.pop(port, None)
+
+    # -- connecting ----------------------------------------------------
+
+    def connect_stream(self, destination: Address) -> ProcessGenerator:
+        """Open a stream connection to *destination*.
+
+        A generator for use with ``yield from``; costs one full round
+        trip on the connecting path (the TCP handshake the paper's
+        API-based baseline pays on every backend access). Raises
+        :class:`ConnectionRefused` if nothing listens there.
+        """
+        link = self.network.link_between(self.name, destination.host)
+        rng = self.network.link_rng(self.name, destination.host)
+        round_trip = link.delay(HEADER_BYTES, rng) + link.delay(HEADER_BYTES, rng)
+        yield self.sim.timeout(round_trip)
+
+        target = self.network.resolve(destination)
+        if not isinstance(target, StreamListener) or target.closed:
+            raise ConnectionRefused(f"nothing listening at {destination}")
+
+        local_port = self.ephemeral_port()
+        client = StreamConnection(self.network, self, local_port, destination)
+        server_node = self.network.nodes[destination.host]
+        server = StreamConnection(
+            self.network, server_node, destination.port, Address(self.name, local_port)
+        )
+        client.peer = server
+        server.peer = client
+        if not target._offer(server):
+            raise ConnectionRefused(f"backlog full at {destination}")
+        self.network.metrics.increment("net.connections")
+        return client
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name!r} bound={sorted(self._bound)}>"
+
+
+class Network:
+    """The set of nodes and links making up one simulated network.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulation.
+    default_link:
+        Optional link used for any node pair without an explicit link —
+        convenient for all-on-one-LAN testbeds.
+    """
+
+    def __init__(
+        self, sim: Simulation, default_link: Optional[Link] = None
+    ) -> None:
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.default_link = default_link
+        self.metrics = MetricsRegistry()
+        self._loopback = Link.loopback()
+
+    def node(self, name: str) -> Node:
+        """Create and register a node named *name*."""
+        if name in self.nodes:
+            raise NetworkError(f"node {name!r} already exists")
+        node = Node(self, name)
+        self.nodes[name] = node
+        return node
+
+    def connect(self, a: Union[Node, str], b: Union[Node, str], link: Link) -> None:
+        """Join nodes *a* and *b* with *link* (bidirectional)."""
+        name_a = a.name if isinstance(a, Node) else a
+        name_b = b.name if isinstance(b, Node) else b
+        for name in (name_a, name_b):
+            if name not in self.nodes:
+                raise NetworkError(f"unknown node {name!r}")
+        self._links[(name_a, name_b)] = link
+        self._links[(name_b, name_a)] = link
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The link joining hosts *a* and *b* (loopback when a == b)."""
+        if a == b:
+            return self._loopback
+        link = self._links.get((a, b))
+        if link is not None:
+            return link
+        if self.default_link is not None:
+            return self.default_link
+        raise NoRouteError(f"no link between {a!r} and {b!r}")
+
+    def link_rng(self, a: str, b: str) -> random.Random:
+        """The RNG substream used for jitter/loss on the a→b direction."""
+        return self.sim.rng(f"net.link.{a}->{b}")
+
+    def resolve(self, address: Address) -> Optional[Union[StreamListener, DatagramSocket]]:
+        """The listener or socket bound at *address*, if any."""
+        node = self.nodes.get(address.host)
+        if node is None:
+            raise NoRouteError(f"unknown host {address.host!r}")
+        return node._bound.get(address.port)
+
+    def account(self, size: int) -> None:
+        """Record one message of *size* bytes in the traffic counters."""
+        self.metrics.increment("net.messages")
+        self.metrics.increment("net.bytes", size)
+
+    def _deliver_datagram(self, event: Event) -> None:
+        envelope: Envelope = event.value
+        try:
+            target = self.resolve(envelope.destination)
+        except NoRouteError:
+            return
+        if isinstance(target, DatagramSocket):
+            target._deliver(envelope)
+        # else: no socket bound — datagram silently dropped, like real UDP.
+
+    def __repr__(self) -> str:
+        return f"<Network nodes={len(self.nodes)} links={len(self._links) // 2}>"

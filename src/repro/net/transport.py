@@ -1,0 +1,289 @@
+"""Transport endpoints: reliable FIFO streams and unreliable datagrams.
+
+* :class:`StreamConnection` — a TCP-like, connection-oriented channel.
+  Establishing one costs a full round trip (the paper's argument for
+  broker-side persistent connections rests on exactly this cost);
+  messages arrive in order, reliably.
+* :class:`DatagramSocket` — a UDP-like socket: connectionless, cheap, no
+  delivery or ordering guarantee. The paper's distributed broker model
+  exchanges request/response messages with the front end over UDP.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from ..errors import ConnectionClosed, NetworkError
+from ..sim.core import Event, Simulation
+from .address import Address
+from .message import HEADER_BYTES, Envelope, estimate_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import Network, Node
+
+__all__ = ["StreamConnection", "StreamListener", "DatagramSocket"]
+
+
+class _CloseMarker:
+    """Sentinel delivered in-band to signal an orderly shutdown."""
+
+    __repr__ = lambda self: "<close>"  # noqa: E731
+
+
+_CLOSE = _CloseMarker()
+
+
+class _InboxGet(Event):
+    """Pending receive; ``cancelled`` marks an abandoned waiter."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self, sim: Simulation) -> None:
+        super().__init__(sim)
+        self.cancelled = False
+
+
+class _Inbox:
+    """Receive buffer delivering items to waiting events in FIFO order."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[_InboxGet] = deque()
+        self.closed = False
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.cancelled:
+                continue
+            getter.succeed(item)
+            return
+        self.items.append(item)
+
+    def get(self) -> _InboxGet:
+        event = _InboxGet(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+        elif self.closed:
+            event.fail(ConnectionClosed("connection closed by peer"))
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        if isinstance(event, _InboxGet) and not event.triggered:
+            event.cancelled = True
+
+    def close(self) -> None:
+        self.closed = True
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.cancelled:
+                getter.fail(ConnectionClosed("connection closed by peer"))
+
+
+class StreamConnection:
+    """One side of an established, reliable, ordered byte stream.
+
+    Obtained from :meth:`Node.connect_stream` (client side) or
+    :meth:`StreamListener.accept` (server side). ``send`` is
+    fire-and-forget (infinite socket buffer); ``recv`` returns an event
+    that succeeds with the next payload or fails with
+    :class:`ConnectionClosed`.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        local_node: "Node",
+        local_port: int,
+        remote_address: Address,
+    ) -> None:
+        self._network = network
+        self.sim = network.sim
+        self.local_address = Address(local_node.name, local_port)
+        self.remote_address = remote_address
+        self.peer: Optional["StreamConnection"] = None
+        self._inbox = _Inbox(self.sim)
+        self._next_arrival = 0.0
+        self.local_closed = False
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once either side has closed the connection."""
+        return self.local_closed or self._inbox.closed
+
+    def send(self, payload: Any, size: Optional[int] = None) -> Event:
+        """Transmit *payload*; returns the delivery event (rarely awaited)."""
+        if self.local_closed:
+            raise ConnectionClosed("send() on a locally closed connection")
+        if self.peer is None:
+            raise NetworkError("connection has no peer (not established)")
+        return self._transmit(payload, size)
+
+    def _transmit(self, payload: Any, size: Optional[int]) -> Event:
+        assert self.peer is not None
+        size = HEADER_BYTES + (estimate_size(payload) if size is None else size)
+        link = self._network.link_between(
+            self.local_address.host, self.remote_address.host
+        )
+        rng = self._network.link_rng(self.local_address.host, self.remote_address.host)
+        delay = link.delay(size, rng)
+        # FIFO: a message never arrives before its predecessor.
+        arrival = max(self.sim.now + delay, self._next_arrival)
+        self._next_arrival = arrival
+        self.bytes_sent += size
+        self.messages_sent += 1
+        self._network.account(size)
+        envelope = Envelope(
+            payload=payload,
+            source=self.local_address,
+            destination=self.remote_address,
+            size=size,
+            sent_at=self.sim.now,
+        )
+        delivery = Event(self.sim)
+        delivery.callbacks.append(self.peer._deliver)
+        delivery.succeed(envelope, delay=arrival - self.sim.now)
+        return delivery
+
+    def _deliver(self, event: Event) -> None:
+        envelope = event.value
+        if self.local_closed:
+            return  # receiver already gone; bytes fall on the floor
+        if envelope.payload is _CLOSE:
+            self._inbox.close()
+        else:
+            self._inbox.put(envelope)
+
+    def recv(self) -> Event:
+        """Event succeeding with the next :class:`Envelope`."""
+        return self._inbox.get()
+
+    def cancel_recv(self, event: Event) -> None:
+        """Withdraw a pending ``recv`` (for AnyOf-with-timeout races)."""
+        self._inbox.cancel(event)
+
+    def close(self) -> None:
+        """Orderly shutdown: the peer sees buffered data, then EOF."""
+        if self.local_closed:
+            return
+        if self.peer is not None and not self._inbox.closed:
+            self._transmit(_CLOSE, 0)
+        self.local_closed = True
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<StreamConnection {self.local_address}->{self.remote_address} {state}>"
+
+
+class StreamListener:
+    """A bound, listening stream endpoint; ``accept`` yields connections."""
+
+    def __init__(self, node: "Node", port: int, backlog: Optional[int] = None) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.address = Address(node.name, port)
+        self.backlog = backlog
+        self._pending = _Inbox(self.sim)
+        self._pending_count = 0
+        self.closed = False
+
+    def accept(self) -> Event:
+        """Event succeeding with the next established :class:`StreamConnection`."""
+        event = self._pending.get()
+        if event.triggered and event.ok:
+            # Served from the backlog queue; a getter that instead gets
+            # paired later never occupied the backlog (see _offer).
+            self._pending_count -= 1
+        return event
+
+    def _offer(self, connection: StreamConnection) -> bool:
+        """Queue an incoming connection; False if the backlog is full."""
+        if self.closed:
+            return False
+        if self.backlog is not None and self._pending_count >= self.backlog:
+            return False
+        self._pending_count += 1
+        waiting = bool(self._pending._getters)
+        self._pending.put(connection)
+        if waiting:
+            self._pending_count -= 1
+        return True
+
+    def close(self) -> None:
+        """Stop listening; pending accepts fail with :class:`ConnectionClosed`."""
+        if not self.closed:
+            self.closed = True
+            self.node._unbind(self.address.port)
+            self._pending.close()
+
+    def __repr__(self) -> str:
+        return f"<StreamListener {self.address} pending={self._pending_count}>"
+
+
+class DatagramSocket:
+    """A UDP-like socket: unordered, unreliable, connectionless."""
+
+    def __init__(self, node: "Node", port: int) -> None:
+        self.node = node
+        self.sim = node.sim
+        self._network = node.network
+        self.address = Address(node.name, port)
+        self._inbox = _Inbox(self.sim)
+        self.closed = False
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+
+    def sendto(self, payload: Any, destination: Address, size: Optional[int] = None) -> None:
+        """Send one datagram; silently dropped on loss or missing receiver."""
+        if self.closed:
+            raise NetworkError("sendto() on a closed socket")
+        size = HEADER_BYTES + (estimate_size(payload) if size is None else size)
+        link = self._network.link_between(self.address.host, destination.host)
+        rng = self._network.link_rng(self.address.host, destination.host)
+        self.datagrams_sent += 1
+        self._network.account(size)
+        if link.drops(rng):
+            self.datagrams_dropped += 1
+            self._network.metrics.increment("net.datagrams.lost")
+            return
+        envelope = Envelope(
+            payload=payload,
+            source=self.address,
+            destination=destination,
+            size=size,
+            sent_at=self.sim.now,
+        )
+        delay = link.delay(size, rng)
+        delivery = Event(self.sim)
+        delivery.callbacks.append(self._network._deliver_datagram)
+        delivery.succeed(envelope, delay=delay)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if not self.closed:
+            self._inbox.put(envelope)
+
+    def recv(self) -> Event:
+        """Event succeeding with the next :class:`Envelope`."""
+        if self.closed:
+            raise NetworkError("recv() on a closed socket")
+        return self._inbox.get()
+
+    def cancel_recv(self, event: Event) -> None:
+        """Withdraw a pending ``recv`` (for AnyOf-with-timeout races)."""
+        self._inbox.cancel(event)
+
+    def close(self) -> None:
+        """Unbind the port and fail pending receives."""
+        if not self.closed:
+            self.closed = True
+            self.node._unbind(self.address.port)
+            self._inbox.close()
+
+    def __repr__(self) -> str:
+        return f"<DatagramSocket {self.address}{' closed' if self.closed else ''}>"

@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel (virtual time, processes, resources).
+
+This package is the substrate every other subsystem runs on. See
+:mod:`repro.sim.core` for the event-loop semantics and
+:mod:`repro.sim.resources` for shared resources.
+"""
+
+from .core import (
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Process,
+    ProcessGenerator,
+    Simulation,
+    Timeout,
+)
+from .cpu import HostCpu
+from .resources import PriorityResource, Request, Resource, Store, StoreGet, StorePut
+from .rng import RngRegistry, derive_rng
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "Timeout",
+    "Process",
+    "ProcessGenerator",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Store",
+    "StorePut",
+    "StoreGet",
+    "HostCpu",
+    "Tracer",
+    "TraceRecord",
+    "RngRegistry",
+    "derive_rng",
+    "URGENT",
+    "NORMAL",
+]

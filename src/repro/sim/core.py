@@ -1,0 +1,492 @@
+"""Discrete-event simulation kernel.
+
+A :class:`Simulation` owns a virtual clock and an event heap. Model code
+is written as Python generator functions ("processes") that ``yield``
+:class:`Event` objects to wait on; when an event triggers, the process
+resumes with the event's value (or the event's exception is thrown into
+the generator). Composable "blocking" calls are generators used with
+``yield from`` that terminate with ``return value``.
+
+The design follows the well-known SimPy architecture but is implemented
+from scratch, exposing only what this project needs: events, timeouts,
+processes (with interrupts), and the ``AnyOf`` / ``AllOf`` combinators.
+
+Example::
+
+    sim = Simulation(seed=1)
+
+    def worker(sim, results):
+        yield sim.timeout(3.0)
+        results.append(sim.now)
+
+    results = []
+    sim.process(worker(sim, results))
+    sim.run()
+    assert results == [3.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from ..errors import (
+    EventAlreadyTriggered,
+    EventNotTriggered,
+    Interrupt,
+    SimError,
+    StopSimulation,
+)
+from .rng import RngRegistry
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Simulation",
+    "URGENT",
+    "NORMAL",
+    "ProcessGenerator",
+]
+
+#: Scheduling priority for bookkeeping events that must run before model
+#: events scheduled at the same instant (process initialization,
+#: interrupts).
+URGENT = 0
+
+#: Default scheduling priority for model events.
+NORMAL = 1
+
+#: Sentinel marking an event that has not triggered yet.
+_PENDING = object()
+
+#: Type alias for process generator functions' return value.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A happening that processes can wait for.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, which schedules it on the simulation heap. When the
+    heap pops it, the event is *processed*: its callbacks run and any
+    waiting processes resume.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        #: Callables invoked with this event when it is processed. Set to
+        #: ``None`` once processed, so late subscribers can detect that.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: ``True`` if a failure has been handled and must not crash the run.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once :meth:`succeed` or :meth:`fail` was called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded. Raises if still pending."""
+        if self._value is _PENDING:
+            raise EventNotTriggered(f"{self!r} has not been triggered")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value the event triggered with (or its exception)."""
+        if self._value is _PENDING:
+            raise EventNotTriggered(f"{self!r} has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with *value* after *delay*."""
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with *exception*.
+
+        Processes waiting on the event will have the exception thrown
+        into them. If nothing waits on a failed event when it is
+        processed, the simulation run aborts with the exception (unless
+        :attr:`defused` is set).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class _Interruption(Event):
+    """Urgent bookkeeping event carrying an :class:`Interrupt` to a process."""
+
+    __slots__ = ()
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.sim)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self.defused = True
+        self.callbacks = [process._resume]
+        self.sim._schedule(self, 0.0, priority=URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it finishes.
+
+    The process succeeds with the generator's ``return`` value, or fails
+    with any exception the generator raises.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self, sim: "Simulation", generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event the generator currently waits on.
+        self._target: Optional[Event] = None
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks = [self._resume]
+        sim._schedule(init, 0.0, priority=URGENT)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The process is detached from whatever event it was waiting on;
+        that event stays valid and may trigger later without affecting
+        the process (its callback has been removed).
+        """
+        if self._value is not _PENDING:
+            raise SimError("cannot interrupt a terminated process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of *event*."""
+        self.sim._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    # The failure is being delivered, hence handled.
+                    event.defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self.sim._active_process = None
+                self._ok = True
+                self._value = exc.value
+                self.sim._schedule(self, 0.0)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate via event
+                self.sim._active_process = None
+                self._ok = False
+                self._value = exc
+                self.sim._schedule(self, 0.0)
+                return
+
+            if not isinstance(target, Event):
+                self.sim._active_process = None
+                exc = SimError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+                self._generator.close()
+                self._ok = False
+                self._value = exc
+                self.sim._schedule(self, 0.0)
+                return
+            if target.sim is not self.sim:
+                raise SimError("event belongs to a different Simulation")
+
+            if target.callbacks is None:
+                # Already processed: consume its outcome immediately.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            self._target = target
+            self.sim._active_process = None
+            return
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Condition(Event):
+    """An event that triggers once *evaluate* is satisfied by sub-events.
+
+    The success value is a ``dict`` mapping each already-succeeded
+    sub-event to its value, in original order. If any sub-event fails
+    before the condition triggers, the condition fails with the same
+    exception.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        events: Iterable[Event],
+        evaluate: Callable[[List[Event], int], bool],
+    ) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimError("all events must belong to the same Simulation")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    def _collect_values(self) -> Dict[Event, Any]:
+        # Only *processed* events count as having happened: a Timeout is
+        # "triggered" from the instant it is created (it is pre-scheduled),
+        # but it has not occurred until the heap pops it.
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one of *events* triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]) -> None:
+        super().__init__(sim, events, lambda events, count: count >= 1)
+
+
+class AllOf(Condition):
+    """Triggers once all of *events* have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]) -> None:
+        super().__init__(sim, events, lambda events, count: count == len(events))
+
+
+class Simulation:
+    """The event loop: virtual clock, event heap, and RNG registry.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the deterministic RNG substreams returned by
+        :meth:`rng`. Two simulations built with the same seed and the
+        same model code produce identical trajectories.
+    """
+
+    def __init__(self, seed: int = 0, tracer: Optional[Any] = None) -> None:
+        self._now = 0.0
+        self._heap: List[Any] = []
+        self._counter = count()
+        self._rngs = RngRegistry(seed)
+        self.seed = seed
+        self._active_process: Optional[Process] = None
+        #: Optional :class:`repro.sim.trace.Tracer`; see :meth:`trace`.
+        self.tracer = tracer
+
+    def trace(self, category: str, message: str, **fields: Any) -> None:
+        """Emit a trace record if a tracer is attached (else a no-op)."""
+        if self.tracer is not None:
+            self.tracer.log(self._now, category, message, **fields)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds with *value* after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start *generator* as a concurrent process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that triggers when any of *events* does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that triggers when all of *events* have."""
+        return AllOf(self, events)
+
+    def rng(self, stream: str):
+        """A deterministic ``random.Random`` for the named substream."""
+        return self._rngs.stream(stream)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._counter), event)
+        )
+
+    def _step(self) -> None:
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            # An unhandled failure: abort the run loudly rather than
+            # letting errors pass silently.
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Any = None) -> Any:
+        """Execute events until the heap empties, *until* time passes, or
+        an *until* event triggers.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run until
+        the clock would pass it; the clock is then set to it), or an
+        :class:`Event` (run until it triggers; its value is returned).
+        """
+        stop_at: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            if until.callbacks is None:
+                return until.value if until.ok else self._raise(until)
+            until.callbacks.append(self._stop_on_event)
+        elif isinstance(until, (int, float)):
+            if until < self._now:
+                raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
+            stop_at = float(until)
+        else:
+            raise TypeError(f"until must be None, a number, or an Event: {until!r}")
+
+        try:
+            while self._heap:
+                if stop_at is not None and self._heap[0][0] > stop_at:
+                    break
+                self._step()
+        except StopSimulation as stop:
+            stopper: Event = stop.value
+            return stopper.value if stopper.ok else self._raise(stopper)
+        if stop_at is not None:
+            self._now = max(self._now, stop_at)
+        if isinstance(until, Event) and not until.triggered:
+            raise SimError("run(until=event) exhausted the heap before the event")
+        if isinstance(until, Event):
+            return until.value if until.ok else self._raise(until)
+        return None
+
+    @staticmethod
+    def _raise(event: Event) -> Any:
+        event.defused = True
+        raise event.value
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        raise StopSimulation(event)
+
+    def __repr__(self) -> str:
+        return f"<Simulation t={self._now:.6g} pending={len(self._heap)}>"

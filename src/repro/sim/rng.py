@@ -1,0 +1,50 @@
+"""Deterministic named random-number substreams.
+
+Every stochastic component of a model draws from its own named stream
+(for example ``"link.wan"`` or ``"client.3.think"``). Streams are derived
+from the master seed with SHA-256, so:
+
+* the same (seed, name) pair always yields the same sequence, and
+* adding a new component with its own stream does not perturb the
+  sequences observed by existing components.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngRegistry", "derive_rng"]
+
+
+def derive_rng(seed: int, name: str) -> random.Random:
+    """Create a ``random.Random`` deterministically derived from (seed, name)."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class RngRegistry:
+    """Caches one :class:`random.Random` per stream name.
+
+    Repeated calls with the same name return the *same* generator object,
+    so a component keeps consuming its own sequence across calls.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the generator for *name*, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = derive_rng(self.seed, name)
+            self._streams[name] = rng
+        return rng
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

@@ -1,0 +1,96 @@
+"""Structured simulation tracing.
+
+Attach a :class:`Tracer` to a :class:`Simulation` and instrumented
+components (brokers, servers) emit time-stamped records through
+``sim.trace(category, message, **fields)``. With no tracer attached,
+tracing is a no-op costing one attribute check.
+
+Records live in a bounded ring buffer, so tracing long experiments
+cannot exhaust memory; :meth:`Tracer.select` filters by category and
+time window and :meth:`Tracer.to_text` renders a readable log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One human-readable log line."""
+        extra = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        text = f"[{self.time:12.6f}] {self.category:<12} {self.message}"
+        return f"{text} {extra}" if extra else text
+
+
+class Tracer:
+    """Bounded collector of :class:`TraceRecord`."""
+
+    def __init__(self, limit: int = 100_000) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1: {limit!r}")
+        self.limit = limit
+        self._records: Deque[TraceRecord] = deque(maxlen=limit)
+        self.dropped = 0
+
+    def log(self, time: float, category: str, message: str, **fields: Any) -> None:
+        """Record one entry (oldest entries roll off past the limit)."""
+        if len(self._records) == self._records.maxlen:
+            self.dropped += 1
+        self._records.append(TraceRecord(time, category, message, fields))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return list(self._records)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[TraceRecord]:
+        """Records matching the filters, in emission order."""
+        out = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if since is not None and record.time < since:
+                continue
+            if until is not None and record.time > until:
+                continue
+            out.append(record)
+        return out
+
+    def categories(self) -> Dict[str, int]:
+        """Record counts per category."""
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return counts
+
+    def to_text(self, **filters: Any) -> str:
+        """Render (optionally filtered) records as a text log."""
+        return "\n".join(record.render() for record in self.select(**filters))
+
+    def clear(self) -> None:
+        """Drop all records and reset the drop counter."""
+        self._records.clear()
+        self.dropped = 0
+
+    def __repr__(self) -> str:
+        return f"<Tracer records={len(self._records)} dropped={self.dropped}>"

@@ -1,0 +1,22 @@
+"""Workload generators and canned experiment testbeds."""
+
+from .clients import BurstClient, ClosedLoopClient, OpenLoopGenerator, zipf_sampler
+from .scenarios import (
+    QOS_SERVICE_TIMES,
+    ClusteringResult,
+    QosResult,
+    run_clustering_experiment,
+    run_qos_experiment,
+)
+
+__all__ = [
+    "BurstClient",
+    "ClosedLoopClient",
+    "OpenLoopGenerator",
+    "zipf_sampler",
+    "ClusteringResult",
+    "QosResult",
+    "run_clustering_experiment",
+    "run_qos_experiment",
+    "QOS_SERVICE_TIMES",
+]

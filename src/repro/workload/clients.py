@@ -1,0 +1,214 @@
+"""Workload generators.
+
+* :class:`ClosedLoopClient` — WebStone-style best-effort client: issue a
+  request, wait for the reply, immediately (or after a think time) issue
+  the next. The paper's Table I depends on this loop structure: clients
+  that get fast (low-fidelity) answers issue *more* requests.
+* :class:`BurstClient` — ``ab``-style: a fixed number of requests at a
+  fixed concurrency, used by the clustering experiment ("40 simultaneous
+  requests").
+* :class:`OpenLoopGenerator` — Poisson arrivals at a target rate,
+  independent of completions (for overload ablations).
+* :func:`zipf_sampler` — popularity skew for cache experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional
+
+from ..metrics import MetricsRegistry, SummaryStats
+from ..sim.core import Process, Simulation
+from ..sim.resources import Resource
+
+__all__ = [
+    "ClosedLoopClient",
+    "BurstClient",
+    "OpenLoopGenerator",
+    "zipf_sampler",
+]
+
+#: A request factory: called per iteration, returns a ``yield from``
+#: generator that performs one complete request.
+RequestFactory = Callable[..., Any]
+
+
+class ClosedLoopClient:
+    """One best-effort client looping request → response → request."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        request_factory: RequestFactory,
+        think_time: float = 0.0,
+        start_delay: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.request_factory = request_factory
+        self.think_time = think_time
+        self.start_delay = start_delay
+        self.metrics = metrics or MetricsRegistry()
+        self.response_times = SummaryStats()
+        self.completed = 0
+        self.errors = 0
+        self._process: Optional[Process] = None
+
+    def start(self, until: Optional[float] = None) -> Process:
+        """Begin the loop; stops issuing once *until* (sim time) passes."""
+        self._process = self.sim.process(self._run(until), name=f"client:{self.name}")
+        return self._process
+
+    def _run(self, until: Optional[float]):
+        if self.start_delay:
+            yield self.sim.timeout(self.start_delay)
+        iteration = 0
+        while until is None or self.sim.now < until:
+            started = self.sim.now
+            try:
+                yield from self.request_factory(self, iteration)
+            except Exception:  # noqa: BLE001 - workload keeps going
+                self.errors += 1
+                self.metrics.increment(f"client.{self.name}.errors")
+            else:
+                elapsed = self.sim.now - started
+                self.completed += 1
+                self.response_times.add(elapsed)
+                self.metrics.observe(f"client.{self.name}.response_time", elapsed)
+            iteration += 1
+            if self.think_time:
+                yield self.sim.timeout(self.think_time)
+
+    def __repr__(self) -> str:
+        return f"<ClosedLoopClient {self.name} completed={self.completed}>"
+
+
+class BurstClient:
+    """Issue *total* requests at fixed *concurrency*, then stop.
+
+    Mirrors ``ab -n total -c concurrency``: all request slots start at
+    once; each slot issues its next request as soon as the previous one
+    finishes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        request_factory: RequestFactory,
+        total: int,
+        concurrency: int,
+    ) -> None:
+        if total < 1 or concurrency < 1:
+            raise ValueError("total and concurrency must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.request_factory = request_factory
+        self.total = total
+        self.concurrency = concurrency
+        self.response_times = SummaryStats()
+        self.errors = 0
+
+    def run(self) -> Process:
+        """Start the burst; returns a process that ends when all complete."""
+        return self.sim.process(self._run(), name=f"burst:{self.name}")
+
+    def _run(self):
+        slots = Resource(self.sim, self.concurrency)
+        children = []
+        for index in range(self.total):
+            children.append(
+                self.sim.process(self._one(slots, index), name=f"{self.name}:{index}")
+            )
+        yield self.sim.all_of(children)
+        return self.response_times
+
+    def _one(self, slots: Resource, index: int):
+        slot = slots.request()
+        yield slot
+        started = self.sim.now
+        try:
+            yield from self.request_factory(self, index)
+        except Exception:  # noqa: BLE001 - workload keeps going
+            self.errors += 1
+        else:
+            self.response_times.add(self.sim.now - started)
+        finally:
+            slots.release(slot)
+
+
+class OpenLoopGenerator:
+    """Poisson arrivals at *rate*/second, each spawning one request."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        request_factory: RequestFactory,
+        rate: float,
+        rng_stream: Optional[str] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate!r}")
+        self.sim = sim
+        self.name = name
+        self.request_factory = request_factory
+        self.rate = rate
+        self.rng = sim.rng(rng_stream or f"openloop.{name}")
+        self.response_times = SummaryStats()
+        self.errors = 0
+        self.issued = 0
+
+    def start(self, until: Optional[float] = None) -> Process:
+        """Begin generating arrivals until *until* (sim time)."""
+        return self.sim.process(self._run(until), name=f"openloop:{self.name}")
+
+    def _run(self, until: Optional[float]):
+        while until is None or self.sim.now < until:
+            yield self.sim.timeout(self.rng.expovariate(self.rate))
+            if until is not None and self.sim.now >= until:
+                return
+            self.issued += 1
+            self.sim.process(self._one(self.issued), name=f"{self.name}:{self.issued}")
+
+    def _one(self, index: int):
+        started = self.sim.now
+        try:
+            yield from self.request_factory(self, index)
+        except Exception:  # noqa: BLE001 - workload keeps going
+            self.errors += 1
+        else:
+            self.response_times.add(self.sim.now - started)
+
+
+def zipf_sampler(rng, n: int, skew: float = 1.0) -> Callable[[], int]:
+    """A sampler of ranks 0..n-1 with Zipf(skew) popularity.
+
+    Rank 0 is the most popular. Uses inverse-CDF over the precomputed
+    harmonic weights — exact, fine for the n in the thousands used here.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1: {n!r}")
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n)]
+    total = math.fsum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def sample() -> int:
+        u = rng.random()
+        # Binary search the CDF.
+        low, high = 0, n - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < u:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    return sample

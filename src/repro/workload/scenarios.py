@@ -1,0 +1,446 @@
+"""Canned testbeds reproducing the paper's two experiments.
+
+* :func:`run_clustering_experiment` — §V.A / Figure 7: a front-end web
+  application relays requests to a backend web server whose CGI script
+  queries a 42,000-record database; the broker clusters *degree*
+  requests into one backend call carrying ``repeat=degree``.
+* :func:`run_qos_experiment` — §V.B / Figures 9-10, Tables I-IV: three
+  brokers front three backend web servers with bounded CGI processing
+  times of 1/2/3 seconds; WebStone-like closed-loop clients in three QoS
+  classes drive the system through a front end, in either API-based or
+  broker-based mode.
+
+Both return plain result dataclasses the benchmark harness renders as
+the paper's tables/series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.adapters import HttpAdapter
+from ..core.broker import ServiceBroker
+from ..core.client import BrokerClient
+from ..core.clustering import ClusteringConfig, RepeatWorkloadCombiner
+from ..core.protocol import ReplyStatus
+from ..core.qos import QoSPolicy
+from ..db.client import DatabaseClient
+from ..db.engine import Database
+from ..db.server import DatabaseServer
+from ..frontend.app import QOS_HEADER, WebApplication, qos_of
+from ..frontend.api_access import ApiBackendGateway
+from ..frontend.server import FrontendWebServer
+from ..http.client import HttpClient
+from ..http.messages import HttpRequest, HttpResponse
+from ..metrics import MetricsRegistry, SummaryStats
+from ..net.link import Link
+from ..net.network import Network
+from ..sim.core import Simulation
+from .clients import ClosedLoopClient
+
+__all__ = [
+    "ClusteringResult",
+    "run_clustering_experiment",
+    "QosResult",
+    "run_qos_experiment",
+    "QOS_SERVICE_TIMES",
+]
+
+#: Bounded CGI processing times (seconds) at backends 1, 2, 3 (paper §V.B).
+QOS_SERVICE_TIMES: Tuple[float, ...] = (1.0, 2.0, 3.0)
+
+
+# ---------------------------------------------------------------------------
+# Experiment A — request clustering (Figure 7)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """One point of the Figure-7 curve."""
+
+    degree: int
+    requests: int
+    mean_response_time: float
+    max_response_time: float
+    backend_calls: int
+    errors: int
+
+
+def run_clustering_experiment(
+    degree: int,
+    n_requests: int = 40,
+    backend_capacity: int = 5,
+    table_rows: int = 42_000,
+    groups: int = 1_000,
+    cgi_overhead: float = 0.030,
+    window: float = 0.02,
+    seed: int = 0,
+) -> ClusteringResult:
+    """Run the Figure-7 testbed at one *degree* of clustering.
+
+    *cgi_overhead* is the per-invocation cost of the backend CGI script
+    (2003-era process spawn + script startup); the per-repeat cost is a
+    real indexed query against the 42,000-row table over a per-access
+    database connection, exactly the workload structure of the paper.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1: {degree!r}")
+    sim = Simulation(seed=seed)
+    net = Network(sim, default_link=Link.lan())
+    client_node = net.node("client")
+    frontend_node = net.node("frontend")
+    backend_node = net.node("backend")
+    db_node = net.node("dbhost")
+    rng = sim.rng("clustering.workload")
+
+    # Database: 42,000 records in `groups` groups, hash-indexed.
+    database = Database("records-db")
+    table = database.create_table(
+        "records", [("id", int), ("grp", int), ("payload", str)]
+    )
+    for i in range(table_rows):
+        table.insert((i, i % groups, f"record-{i}"))
+    table.create_index("grp", "hash")
+    db_server = DatabaseServer(sim, db_node, database, max_workers=16)
+
+    # Backend web server: capacity-5 Apache running the lookup script.
+    from ..http.server import BackendWebServer
+
+    backend = BackendWebServer(
+        sim, backend_node, max_clients=backend_capacity, name="backend"
+    )
+
+    def lookup_cgi(server, request):
+        """The paper's backend script: repeat the workload `repeat` times."""
+        yield server.sim.timeout(cgi_overhead)
+        repeat = int(request.param("repeat", 1))
+        grp = int(request.param("grp", 0))
+        total = 0
+        for _ in range(repeat):
+            connection = yield from DatabaseClient.connect(
+                sim, backend_node, db_server.address
+            )
+            result = yield from connection.query(
+                f"SELECT COUNT(*) FROM records WHERE grp = {grp}"
+            )
+            yield from connection.close()
+            total += result.rows[0][0]
+        return HttpResponse.text(f"rows={total}")
+
+    backend.add_cgi("/lookup", lookup_cgi)
+
+    # Broker on the front-end host, clustering to the configured degree.
+    clustering = None
+    if degree > 1:
+        clustering = ClusteringConfig(
+            combiner=RepeatWorkloadCombiner(),
+            max_batch=degree,
+            window=window,
+        )
+    broker = ServiceBroker(
+        sim,
+        frontend_node,
+        service="backend",
+        adapters=[HttpAdapter(sim, frontend_node, backend.address, name="backend")],
+        qos=QoSPolicy(levels=1, threshold=10_000),  # no drops in this experiment
+        clustering=clustering,
+        pool_size=8,
+        dispatchers=8,
+        name="clustering-broker",
+    )
+    broker_client = BrokerClient(sim, frontend_node, {"backend": broker.address})
+
+    # Front-end application: relay the client request through the broker.
+    def relay_app(frontend, request):
+        grp = request.param("grp", 0)
+        reply = yield from broker_client.call(
+            "backend", "get", ("/lookup", {"grp": grp}), cacheable=False
+        )
+        if reply.status is not ReplyStatus.OK:
+            return HttpResponse.error(503, reply.error)
+        return reply.payload
+
+    frontend = FrontendWebServer(sim, frontend_node, name="frontend")
+    frontend.register_app(WebApplication(path="/app", handler=relay_app))
+
+    # ab-style burst: n_requests simultaneous requests.
+    from .clients import BurstClient
+
+    def one_request(_client, _index):
+        response = yield from HttpClient.get(
+            sim,
+            client_node,
+            frontend.address,
+            "/app",
+            {"grp": rng.randrange(groups)},
+        )
+        if not response.ok:
+            raise RuntimeError(f"request failed: {response.status}")
+
+    burst = BurstClient(
+        sim, "ab", one_request, total=n_requests, concurrency=n_requests
+    )
+    stats = sim.run(burst.run())
+
+    return ClusteringResult(
+        degree=degree,
+        requests=n_requests,
+        mean_response_time=stats.mean,
+        max_response_time=stats.maximum,
+        backend_calls=int(backend.metrics.counter("http.requests")),
+        errors=burst.errors,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Experiment B — service differentiation (Figures 9-10, Tables I-IV)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QosResult:
+    """Measurements from one run of the differentiation testbed."""
+
+    mode: str
+    n_clients: int
+    duration: float
+    #: QoS class -> response-time stats measured at the clients.
+    response_times: Dict[int, SummaryStats] = field(default_factory=dict)
+    #: QoS class -> completed requests (any fidelity) — the access-log count.
+    completions: Dict[int, int] = field(default_factory=dict)
+    #: QoS class -> requests answered at full fidelity (all 3 stages served).
+    full_fidelity: Dict[int, int] = field(default_factory=dict)
+    #: Broker name -> QoS class -> drop ratio (Tables II-IV).
+    drop_ratios: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    #: QoS class -> front-door 503 rejections (centralized mode only).
+    frontend_rejections: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_response_time(self) -> float:
+        merged = SummaryStats()
+        for stats in self.response_times.values():
+            for value in stats.values():
+                merged.add(value)
+        return merged.mean
+
+    def mean_response_of(self, level: int) -> float:
+        """Mean response time of QoS class *level*."""
+        return self.response_times[level].mean
+
+
+def run_qos_experiment(
+    n_clients: int,
+    mode: str = "broker",
+    duration: float = 300.0,
+    service_times: Tuple[float, ...] = QOS_SERVICE_TIMES,
+    threshold: int = 20,
+    backend_capacity: int = 5,
+    levels: int = 3,
+    think_time: float = 0.1,
+    fractions: Optional[Dict[int, float]] = None,
+    seed: int = 0,
+) -> QosResult:
+    """Run the §V.B testbed with *n_clients* split evenly over QoS classes.
+
+    ``mode`` selects the access model:
+
+    * ``"broker"`` — the distributed broker model (UDP messaging,
+      threshold-20 admission at each broker);
+    * ``"centralized"`` — the same brokers, but admission happens at the
+      front end from streamed load reports (paper §IV, Figure 4);
+      rejected requests get an immediate 503;
+    * ``"api"`` — the baseline: the front end calls each backend
+      directly; requests queue without bound.
+
+    ``think_time`` models the per-iteration client-side overhead of the
+    WebStone workstation (request construction, parsing, logging);
+    without it, instantly answered low-fidelity replies would let a
+    closed-loop client reissue at an unphysical rate.
+    """
+    if mode not in ("broker", "api", "centralized"):
+        raise ValueError(
+            f"mode must be 'broker', 'centralized', or 'api': {mode!r}"
+        )
+    if n_clients < levels:
+        raise ValueError(f"need at least {levels} clients, got {n_clients}")
+    sim = Simulation(seed=seed)
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+    stages = len(service_times)
+
+    # Backend web servers with bounded CGI processing times.
+    from ..http.server import BackendWebServer
+
+    backends: List[BackendWebServer] = []
+    for index, service_time in enumerate(service_times, 1):
+        node = net.node(f"backend{index}")
+        server = BackendWebServer(
+            sim, node, max_clients=backend_capacity, name=f"backend{index}"
+        )
+
+        def bounded_cgi(server, request, _t=service_time):
+            yield server.sim.timeout(_t)
+            return HttpResponse.text("served")
+
+        server.add_cgi("/service", bounded_cgi)
+        backends.append(server)
+
+    frontend = FrontendWebServer(sim, web_node, name="frontend")
+    if fractions is None and levels == 3:
+        # Calibrated so the paper's "no drops below 20 clients" band
+        # holds: closed-loop analysis puts broker 3's outstanding count
+        # near 10 at 20 clients, so the lowest class needs a limit of
+        # ~2/3 x threshold. See EXPERIMENTS.md.
+        fractions = {1: 1.0, 2: 5.0 / 6.0, 3: 2.0 / 3.0}
+    qos_policy = QoSPolicy(levels=levels, threshold=threshold, fractions=fractions)
+
+    brokers: List[ServiceBroker] = []
+    if mode in ("broker", "centralized"):
+        # In the centralized model admission happens at the front end,
+        # so the brokers themselves must not shed (huge threshold).
+        broker_policy = (
+            qos_policy
+            if mode == "broker"
+            else QoSPolicy(levels=levels, threshold=1_000_000)
+        )
+        for index, backend in enumerate(backends, 1):
+            broker = ServiceBroker(
+                sim,
+                web_node,
+                service=f"svc{index}",
+                port=7000 + index,
+                adapters=[
+                    HttpAdapter(sim, web_node, backend.address, name=f"backend{index}")
+                ],
+                qos=broker_policy,
+                pool_size=backend_capacity,
+                dispatchers=backend_capacity,
+                # The paper's testbed uses "just a binary mode of forward
+                # or drop": differentiation happens at admission, and the
+                # bounded queue drains FCFS.
+                priority_queueing=False,
+                name=f"broker{index}",
+            )
+            brokers.append(broker)
+        routes = {f"svc{i}": b.address for i, b in enumerate(brokers, 1)}
+        broker_client = BrokerClient(sim, web_node, routes)
+
+        if mode == "centralized":
+            from ..core.centralized import (
+                CentralizedController,
+                LoadListener,
+                ResourceProfileRegistry,
+            )
+
+            listener = LoadListener(sim, web_node, process_time=0.0005)
+            for broker in brokers:
+                broker.report_load_to(listener.address, interval=0.05)
+            profiles = ResourceProfileRegistry()
+            profiles.register(
+                "/page", [f"svc{i}" for i in range(1, stages + 1)]
+            )
+            controller = CentralizedController(listener, profiles, qos_policy)
+            frontend.admission = controller.admit
+
+        def page_app(frontend_server, request):
+            """3-stage request: one access per backend, in order.
+
+            On the first drop the application immediately returns a
+            low-fidelity page (the paper: "a low fidelity response is
+            replied immediately").
+            """
+            level = qos_of(request)
+            for stage in range(1, stages + 1):
+                reply = yield from broker_client.call(
+                    f"svc{stage}",
+                    "get",
+                    ("/service", {}),
+                    qos_level=level,
+                    cacheable=False,
+                )
+                if reply.status is not ReplyStatus.OK:
+                    frontend_server.metrics.increment(f"app.lowfid.qos{level}")
+                    return HttpResponse.text(f"low-fidelity (stage {stage})")
+            frontend_server.metrics.increment(f"app.fullfid.qos{level}")
+            return HttpResponse.text("full-fidelity")
+
+    else:
+        gateway = ApiBackendGateway(sim, web_node)
+
+        def page_app(frontend_server, request):
+            """API baseline: direct per-request access to each backend."""
+            level = qos_of(request)
+            for backend in backends:
+                yield from gateway.http_get(backend.address, "/service")
+            frontend_server.metrics.increment(f"app.fullfid.qos{level}")
+            return HttpResponse.text("full-fidelity")
+
+    frontend.register_app(WebApplication(path="/page", handler=page_app))
+
+    # WebStone-like closed-loop clients: one workstation node per class.
+    per_class = n_clients // levels
+    extra = n_clients - per_class * levels
+    clients_by_class: Dict[int, List[ClosedLoopClient]] = {}
+    stagger_rng = sim.rng("qos.stagger")
+    for level in range(1, levels + 1):
+        workstation = net.node(f"workstation{level}")
+        count_for_class = per_class + (1 if level <= extra else 0)
+        class_clients: List[ClosedLoopClient] = []
+        for index in range(count_for_class):
+
+            def one_request(_client, _iteration, _level=level):
+                response = yield from HttpClient.fetch(
+                    sim,
+                    workstation,
+                    frontend.address,
+                    HttpRequest(
+                        method="GET",
+                        path="/page",
+                        headers={QOS_HEADER: str(_level)},
+                    ),
+                )
+                # A 503 is the centralized model's immediate low-fidelity
+                # answer ("an error message is sent to the end user") and
+                # counts as a completed request, like a broker drop reply.
+                if response.status == 500:
+                    raise RuntimeError(f"server error {response.status}")
+
+            client = ClosedLoopClient(
+                sim,
+                name=f"qos{level}-{index}",
+                request_factory=one_request,
+                think_time=think_time,
+                start_delay=stagger_rng.uniform(0.0, sum(service_times)),
+            )
+            client.start(until=duration)
+            class_clients.append(client)
+        clients_by_class[level] = class_clients
+
+    sim.run(until=duration + 0.0)
+    # Let in-flight requests finish so their metrics are counted.
+    sim.run(until=duration + 200.0)
+
+    result = QosResult(mode=mode, n_clients=n_clients, duration=duration)
+    for level, class_clients in clients_by_class.items():
+        merged = SummaryStats()
+        completed = 0
+        for client in class_clients:
+            completed += client.completed
+            for value in client.response_times.values():
+                merged.add(value)
+        result.response_times[level] = merged
+        result.completions[level] = completed
+        result.full_fidelity[level] = int(
+            frontend.metrics.counter(f"app.fullfid.qos{level}")
+        )
+    for broker in brokers:
+        result.drop_ratios[broker.name] = {
+            level: broker.drop_ratio(level) for level in range(1, levels + 1)
+        }
+    for level in range(1, levels + 1):
+        result.frontend_rejections[level] = int(
+            frontend.metrics.counter(f"frontend.rejected.qos{level}")
+        )
+    return result

@@ -1,0 +1,127 @@
+"""The simulator reproduces closed-form queueing theory.
+
+These tests are the quantitative calibration of the whole substrate:
+M/M/1, M/M/c, and closed-loop MVA systems built from the kernel's
+primitives must match theory within a few percent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import erlang_c, mm1_metrics, mmc_metrics, mva_single_station
+from repro.metrics import SummaryStats
+from repro.sim import Resource, Simulation
+
+
+def simulate_open_queue(arrival_rate, service_rate, servers, horizon=4000.0, seed=6):
+    """Poisson arrivals into a c-server exponential station."""
+    sim = Simulation(seed=seed)
+    station = Resource(sim, capacity=servers)
+    responses = SummaryStats()
+    arrival_rng = sim.rng("arrivals")
+    service_rng = sim.rng("services")
+
+    def job():
+        started = sim.now
+        grant = station.request()
+        yield grant
+        yield sim.timeout(service_rng.expovariate(service_rate))
+        station.release(grant)
+        responses.add(sim.now - started)
+
+    def source():
+        while sim.now < horizon:
+            yield sim.timeout(arrival_rng.expovariate(arrival_rate))
+            if sim.now >= horizon:
+                return
+            sim.process(job())
+
+    sim.process(source())
+    sim.run()
+    return responses
+
+
+class TestFormulas:
+    def test_mm1_known_values(self):
+        metrics = mm1_metrics(arrival_rate=8.0, service_rate=10.0)
+        assert metrics.utilization == pytest.approx(0.8)
+        assert metrics.mean_response == pytest.approx(0.5)
+        assert metrics.mean_jobs == pytest.approx(4.0)
+
+    def test_mm1_rejects_unstable(self):
+        with pytest.raises(ValueError):
+            mm1_metrics(10.0, 10.0)
+        with pytest.raises(ValueError):
+            mm1_metrics(-1.0, 10.0)
+
+    def test_mmc_reduces_to_mm1(self):
+        a = mm1_metrics(5.0, 10.0)
+        b = mmc_metrics(5.0, 10.0, servers=1)
+        assert b.mean_response == pytest.approx(a.mean_response)
+        assert b.mean_wait == pytest.approx(a.mean_wait)
+
+    def test_erlang_c_known_value(self):
+        # Classic check: 2 servers, offered load 1 Erlang -> P(wait)=1/3.
+        assert erlang_c(10.0, 10.0, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_more_servers_less_waiting(self):
+        waits = [mmc_metrics(9.0, 10.0, c).mean_wait for c in (1, 2, 4)]
+        assert waits[0] > waits[1] > waits[2]
+
+    def test_mva_asymptotes(self):
+        # Light load: response ~ service demand; heavy load: X -> 1/D.
+        light = mva_single_station(1, service_demand=0.1, think_time=10.0)
+        assert light.mean_response == pytest.approx(0.1)
+        heavy = mva_single_station(200, service_demand=0.1, think_time=1.0)
+        assert heavy.throughput == pytest.approx(10.0, rel=0.01)
+
+    def test_mva_validation_errors(self):
+        with pytest.raises(ValueError):
+            mva_single_station(0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            mva_single_station(5, -0.1, 1.0)
+
+
+class TestSimulatorMatchesTheory:
+    @pytest.mark.parametrize("utilization", [0.5, 0.8])
+    def test_mm1_response_time(self, utilization):
+        service_rate = 10.0
+        arrival_rate = utilization * service_rate
+        theory = mm1_metrics(arrival_rate, service_rate)
+        measured = simulate_open_queue(arrival_rate, service_rate, servers=1)
+        assert measured.count > 10_000
+        assert measured.mean == pytest.approx(theory.mean_response, rel=0.08)
+
+    def test_mmc_response_time(self):
+        theory = mmc_metrics(arrival_rate=25.0, service_rate=10.0, servers=3)
+        measured = simulate_open_queue(25.0, 10.0, servers=3)
+        assert measured.mean == pytest.approx(theory.mean_response, rel=0.08)
+
+    def test_closed_loop_matches_mva(self):
+        sim = Simulation(seed=9)
+        station = Resource(sim, capacity=1)
+        service_rng = sim.rng("service")
+        think_rng = sim.rng("think")
+        completed = [0]
+        responses = SummaryStats()
+        demand, think, n_clients, horizon = 0.05, 0.5, 12, 2000.0
+
+        def client():
+            while sim.now < horizon:
+                yield sim.timeout(think_rng.expovariate(1.0 / think))
+                started = sim.now
+                grant = station.request()
+                yield grant
+                yield sim.timeout(service_rng.expovariate(1.0 / demand))
+                station.release(grant)
+                responses.add(sim.now - started)
+                completed[0] += 1
+
+        for _ in range(n_clients):
+            sim.process(client())
+        sim.run(until=horizon + 50)
+        theory = mva_single_station(n_clients, demand, think)
+        measured_throughput = completed[0] / horizon
+        assert measured_throughput == pytest.approx(theory.throughput, rel=0.05)
+        assert responses.mean == pytest.approx(theory.mean_response, rel=0.10)

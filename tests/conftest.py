@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Link, Network
+from repro.sim import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh simulation with a fixed seed."""
+    return Simulation(seed=42)
+
+
+@pytest.fixture
+def net(sim: Simulation) -> Network:
+    """A network where every node pair is joined by a LAN link."""
+    return Network(sim, default_link=Link.lan())

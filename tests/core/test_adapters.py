@@ -1,0 +1,132 @@
+"""Each ServiceAdapter exercised through a real broker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BrokerClient,
+    DirectoryAdapter,
+    MailAdapter,
+    QoSPolicy,
+    ReplyStatus,
+    ServiceBroker,
+)
+from repro.ldapdir import DirectoryServer, DirectoryTree
+from repro.mail import MailServer, MessageStore
+
+
+@pytest.fixture
+def directory_stack(sim, net):
+    tree = DirectoryTree()
+    tree.add("dc=corp", {"objectClass": "domain"})
+    tree.add("ou=people,dc=corp", {"objectClass": "organizationalUnit"})
+    for i in range(6):
+        tree.add(
+            f"cn=emp{i},ou=people,dc=corp",
+            {"objectClass": "person", "dept": "eng" if i % 2 else "sales"},
+        )
+    server = DirectoryServer(sim, net.node("ldap"), tree)
+    node = net.node("web")
+    broker = ServiceBroker(
+        sim,
+        node,
+        service="ldap",
+        adapters=[DirectoryAdapter(sim, node, server.address)],
+        qos=QoSPolicy(levels=1, threshold=100),
+    )
+    client = BrokerClient(sim, node, {"ldap": broker.address})
+    return tree, server, broker, client
+
+
+class TestDirectoryAdapter:
+    def test_search_through_broker(self, sim, directory_stack):
+        _tree, _server, _broker, client = directory_stack
+
+        def run():
+            reply = yield from client.call(
+                "ldap", "search", ("ou=people,dc=corp", "sub", "(dept=eng)")
+            )
+            return reply
+
+        reply = sim.run(sim.process(run()))
+        assert reply.status is ReplyStatus.OK
+        assert len(reply.payload.entries) == 3
+
+    def test_modify_through_broker(self, sim, directory_stack):
+        tree, _server, _broker, client = directory_stack
+
+        def run():
+            reply = yield from client.call(
+                "ldap",
+                "modify",
+                ("cn=emp0,ou=people,dc=corp", {"dept": "mgmt"}),
+                cacheable=False,
+            )
+            return reply
+
+        reply = sim.run(sim.process(run()))
+        assert reply.status is ReplyStatus.OK
+        assert tree.get("cn=emp0,ou=people,dc=corp").first("dept") == "mgmt"
+
+    def test_search_error_surfaces(self, sim, directory_stack):
+        _tree, _server, _broker, client = directory_stack
+
+        def run():
+            reply = yield from client.call(
+                "ldap", "search", ("dc=nowhere", "sub", None)
+            )
+            return reply
+
+        reply = sim.run(sim.process(run()))
+        assert reply.status is ReplyStatus.ERROR
+        assert "nowhere" in reply.error
+
+    def test_unknown_operation_is_error_reply(self, sim, directory_stack):
+        _tree, _server, broker, client = directory_stack
+
+        def run():
+            reply = yield from client.call("ldap", "frobnicate", ())
+            return reply
+
+        reply = sim.run(sim.process(run()))
+        assert reply.status is ReplyStatus.ERROR
+        assert broker.outstanding == 0
+
+
+class TestMailAdapter:
+    @pytest.fixture
+    def mail_stack(self, sim, net):
+        store = MessageStore()
+        store.create_mailbox("ops")
+        server = MailServer(sim, net.node("mail"), store)
+        node = net.node("web")
+        broker = ServiceBroker(
+            sim,
+            node,
+            service="mail",
+            adapters=[MailAdapter(sim, node, server.address)],
+            qos=QoSPolicy(levels=1, threshold=100),
+        )
+        client = BrokerClient(sim, node, {"mail": broker.address})
+        return store, client
+
+    def test_send_list_retrieve_via_broker(self, sim, mail_stack):
+        store, client = mail_stack
+
+        def run():
+            sent = yield from client.call(
+                "mail", "send", ("alerts", "ops", "disk", "disk 91% full"),
+                cacheable=False,
+            )
+            listed = yield from client.call("mail", "list", "ops", cacheable=False)
+            fetched = yield from client.call(
+                "mail", "retr", ("ops", sent.payload), cacheable=False
+            )
+            return sent, listed, fetched
+
+        sent, listed, fetched = sim.run(sim.process(run()))
+        assert sent.status is ReplyStatus.OK
+        assert listed.payload == [sent.payload]
+        assert fetched.payload["subject"] == "disk"
+        assert len(store.mailbox("ops")) == 1

@@ -1,0 +1,161 @@
+"""Tests for broker-to-broker transaction-state gossip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BrokerClient,
+    BrokerPeerGroup,
+    HttpAdapter,
+    QoSPolicy,
+    ReplyStatus,
+    ServiceBroker,
+    TransactionTracker,
+)
+from repro.errors import BrokerError
+from repro.http import BackendWebServer
+
+
+def make_vendor_broker(sim, net, web_node, index: int, threshold: int = 6):
+    server = BackendWebServer(sim, net.node(f"vendor{index}"), max_clients=3)
+
+    def quote_cgi(server, request):
+        yield server.sim.timeout(0.1)
+        return f"quote-{index}"
+
+    server.add_cgi("/quote", quote_cgi)
+    broker = ServiceBroker(
+        sim,
+        web_node,
+        service=f"vendor{index}",
+        port=7300 + index,
+        adapters=[HttpAdapter(sim, web_node, server.address)],
+        qos=QoSPolicy(levels=3, threshold=threshold),
+        transactions=TransactionTracker(escalation_per_step=1, protect_from_step=3),
+        pool_size=3,
+    )
+    return broker, server
+
+
+@pytest.fixture
+def two_vendors(sim, net):
+    web_node = net.node("agency")
+    broker_a, server_a = make_vendor_broker(sim, net, web_node, 1)
+    broker_b, server_b = make_vendor_broker(sim, net, web_node, 2)
+    group = BrokerPeerGroup()
+    group.join(broker_a)
+    group.join(broker_b)
+    client = BrokerClient(
+        sim, web_node, {"vendor1": broker_a.address, "vendor2": broker_b.address}
+    )
+    return broker_a, broker_b, client
+
+
+class TestPeerGroup:
+    def test_join_requires_transactions(self, sim, net):
+        web_node = net.node("agency")
+        server = BackendWebServer(sim, net.node("v"), max_clients=1)
+        plain = ServiceBroker(
+            sim,
+            web_node,
+            service="plain",
+            adapters=[HttpAdapter(sim, web_node, server.address)],
+        )
+        with pytest.raises(BrokerError):
+            BrokerPeerGroup().join(plain)
+
+    def test_double_join_rejected(self, sim, two_vendors):
+        broker_a, _broker_b, _client = two_vendors
+        with pytest.raises(BrokerError):
+            broker_a.peer_group.join(broker_a)
+
+    def test_step_advance_propagates(self, sim, two_vendors):
+        broker_a, broker_b, client = two_vendors
+
+        def run():
+            yield from client.call(
+                "vendor1", "get", ("/quote", {}),
+                txn_id="T1", txn_step=2, cacheable=False,
+            )
+            yield sim.timeout(0.01)  # gossip delivery
+
+        sim.run(sim.process(run()))
+        assert broker_b.transactions.step_of("T1") == 2
+        assert broker_a.metrics.counter("peering.updates_sent") == 1
+        assert broker_b.metrics.counter("peering.updates_received") == 1
+
+    def test_repeat_step_not_regossiped(self, sim, two_vendors):
+        broker_a, _broker_b, client = two_vendors
+
+        def run():
+            for _ in range(3):
+                yield from client.call(
+                    "vendor1", "get", ("/quote", {}),
+                    txn_id="T1", txn_step=2, cacheable=False,
+                )
+
+        sim.run(sim.process(run()))
+        assert broker_a.metrics.counter("peering.updates_sent") == 1
+
+    def test_untagged_access_protected_via_peer_knowledge(self, sim, two_vendors):
+        """The paper's cross-backend case: a transaction that invested
+        step 3 at vendor 1 is protected at vendor 2 even though the
+        request to vendor 2 carries no step tag."""
+        broker_a, broker_b, client = two_vendors
+        results = {}
+
+        def run():
+            # Advance T1 to step 3 at vendor1; gossip reaches vendor2.
+            yield from client.call(
+                "vendor1", "get", ("/quote", {}),
+                txn_id="T1", txn_step=3, cacheable=False,
+            )
+            yield sim.timeout(0.01)
+            # Saturate vendor2 so plain level-3 requests are shed.
+            for i in range(8):
+                sim.process(
+                    client.call(
+                        "vendor2", "get", ("/quote", {"i": i}),
+                        qos_level=2, cacheable=False,
+                    )
+                )
+            yield sim.timeout(0.001)
+            # Probe both at the same instant, while vendor2 is saturated.
+            known_probe = sim.process(
+                client.call(
+                    "vendor2", "get", ("/quote", {}),
+                    qos_level=3, txn_id="T1", txn_step=0, cacheable=False,
+                )
+            )
+            unknown_probe = sim.process(
+                client.call(
+                    "vendor2", "get", ("/quote", {}),
+                    qos_level=3, txn_id="T-other", txn_step=0, cacheable=False,
+                )
+            )
+            yield sim.all_of([known_probe, unknown_probe])
+            results["known"] = known_probe.value.status
+            results["unknown"] = unknown_probe.value.status
+
+        sim.run(sim.process(run()))
+        assert results["known"] is ReplyStatus.OK
+        assert results["unknown"] is ReplyStatus.DROPPED
+
+    def test_gossip_ignored_without_tracker(self, sim, net):
+        """A TxnStateUpdate arriving at a tracker-less broker is dropped."""
+        web_node = net.node("agency")
+        server = BackendWebServer(sim, net.node("v"), max_clients=1)
+        plain = ServiceBroker(
+            sim,
+            web_node,
+            service="plain",
+            adapters=[HttpAdapter(sim, web_node, server.address)],
+        )
+        from repro.core import TxnStateUpdate
+
+        sender = net.node("peer").datagram_socket()
+        sender.sendto(TxnStateUpdate("T1", 3, "other", 0.0), plain.address)
+        sim.run()
+        assert plain.metrics.counter("peering.updates_received") == 0
+        assert plain.metrics.counter("broker.malformed") == 0

@@ -1,0 +1,149 @@
+"""Unit and property tests for the broker queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BrokerQueue, BrokerRequest
+from repro.net import Address
+from repro.sim import Simulation
+
+REPLY_TO = Address("web", 50000)
+
+
+def make_request(request_id: int, qos: int, txn_step: int = 0) -> BrokerRequest:
+    return BrokerRequest(
+        request_id=request_id,
+        service="svc",
+        operation="get",
+        payload=request_id,
+        reply_to=REPLY_TO,
+        qos_level=qos,
+        txn_step=txn_step,
+    )
+
+
+class TestBrokerQueue:
+    def test_priority_order_then_fcfs(self, sim):
+        queue = BrokerQueue(sim)
+        queue.put(make_request(1, qos=3))
+        queue.put(make_request(2, qos=1))
+        queue.put(make_request(3, qos=1))
+        queue.put(make_request(4, qos=2))
+        order = [item.request.request_id for item in queue.snapshot()]
+        assert order == [2, 3, 4, 1]
+
+    def test_get_blocks_until_put(self, sim):
+        queue = BrokerQueue(sim)
+        got = []
+
+        def consumer():
+            item = yield queue.get()
+            got.append((sim.now, item.request.request_id))
+
+        def producer():
+            yield sim.timeout(3)
+            queue.put(make_request(7, qos=1))
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(3.0, 7)]
+
+    def test_len_excludes_claimed(self, sim):
+        queue = BrokerQueue(sim)
+        queue.put(make_request(1, qos=1))
+        queue.put(make_request(2, qos=1))
+        assert len(queue) == 2
+        taken = queue.take_matching(lambda item: True, limit=1)
+        assert len(taken) == 1
+        assert len(queue) == 1
+
+    def test_take_matching_respects_predicate_and_limit(self, sim):
+        queue = BrokerQueue(sim)
+        for i in range(6):
+            queue.put(make_request(i, qos=1 + i % 2))
+        even = queue.take_matching(
+            lambda item: item.request.payload % 2 == 0, limit=2
+        )
+        assert [item.request.payload for item in even] == [0, 2]
+        remaining = [item.request.payload for item in queue.snapshot()]
+        assert 0 not in remaining and 2 not in remaining
+
+    def test_cancelled_get_skipped(self, sim):
+        queue = BrokerQueue(sim)
+        first = queue.get()
+        second = queue.get()
+        queue.cancel(first)
+        queue.put(make_request(1, qos=1))
+        sim.run()
+        assert not first.triggered
+        assert second.processed
+        assert second.value.request.request_id == 1
+
+    def test_reprioritize_resorts(self, sim):
+        boost = {"on": False}
+
+        def priority(request: BrokerRequest) -> int:
+            if boost["on"] and request.txn_step >= 2:
+                return 1
+            return request.qos_level
+
+        queue = BrokerQueue(sim, priority_of=priority)
+        queue.put(make_request(1, qos=3, txn_step=2))
+        queue.put(make_request(2, qos=2))
+        assert [i.request.request_id for i in queue.snapshot()] == [2, 1]
+        boost["on"] = True
+        queue.reprioritize()
+        assert [i.request.request_id for i in queue.snapshot()] == [1, 2]
+
+    def test_dispatch_to_multiple_getters_in_order(self, sim):
+        queue = BrokerQueue(sim)
+        served = []
+
+        def consumer(tag):
+            item = yield queue.get()
+            served.append((tag, item.request.request_id))
+
+        sim.process(consumer("c1"))
+        sim.process(consumer("c2"))
+        queue.put(make_request(1, qos=1))
+        queue.put(make_request(2, qos=1))
+        sim.run()
+        assert served == [("c1", 1), ("c2", 2)]
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=3), st.integers()),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_no_request_lost_or_duplicated(self, arrivals):
+        sim = Simulation()
+        queue = BrokerQueue(sim)
+        for index, (qos, _) in enumerate(arrivals):
+            queue.put(make_request(index, qos=qos))
+        drained = []
+        while len(queue):
+            drained.extend(queue.take_matching(lambda item: True, limit=1))
+        ids = [item.request.request_id for item in drained]
+        assert sorted(ids) == list(range(len(arrivals)))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=60)
+    )
+    @settings(max_examples=60)
+    def test_service_order_is_priority_then_arrival(self, levels):
+        sim = Simulation()
+        queue = BrokerQueue(sim)
+        for index, qos in enumerate(levels):
+            queue.put(make_request(index, qos=qos))
+        order = [item.request for item in queue.snapshot()]
+        keys = [(r.qos_level, r.request_id) for r in order]
+        assert keys == sorted(keys)

@@ -1,0 +1,132 @@
+"""Tests for aggregate functions and GROUP BY."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database
+from repro.errors import QueryError, SqlSyntaxError, UnknownColumnError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    table = database.create_table(
+        "sales", [("region", str), ("product", str), ("amount", int), ("price", float)]
+    )
+    rows = [
+        ("east", "widget", 10, 2.5),
+        ("east", "gadget", 5, 10.0),
+        ("west", "widget", 20, 2.5),
+        ("west", "widget", 1, 2.5),
+        ("north", "gadget", 7, 9.0),
+    ]
+    for row in rows:
+        table.insert(row)
+    return database
+
+
+class TestPlainAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM sales").scalar() == 5
+
+    def test_sum(self, db):
+        assert db.execute("SELECT SUM(amount) FROM sales").scalar() == 43
+
+    def test_avg(self, db):
+        result = db.execute("SELECT AVG(price) FROM sales")
+        assert result.columns == ("avg_price",)
+        assert result.scalar() == pytest.approx(5.3)
+
+    def test_min_max(self, db):
+        result = db.execute("SELECT MIN(amount), MAX(amount) FROM sales")
+        assert result.columns == ("min_amount", "max_amount")
+        assert result.rows == ((1, 20),)
+
+    def test_min_max_on_strings(self, db):
+        result = db.execute("SELECT MIN(region), MAX(region) FROM sales")
+        assert result.rows == (("east", "west"),)
+
+    def test_count_column_skips_nulls(self, db):
+        table = db.table("sales")
+        table.insert({"region": "south"})  # product/amount/price are NULL
+        assert db.execute("SELECT COUNT(*) FROM sales").scalar() == 6
+        assert db.execute("SELECT COUNT(amount) FROM sales").scalar() == 5
+
+    def test_aggregate_with_where(self, db):
+        assert (
+            db.execute("SELECT SUM(amount) FROM sales WHERE region = 'west'").scalar()
+            == 21
+        )
+
+    def test_aggregates_over_empty_match(self, db):
+        result = db.execute("SELECT SUM(amount), MIN(price) FROM sales WHERE amount > 99")
+        assert result.rows == ((None, None),)
+        assert db.execute("SELECT COUNT(*) FROM sales WHERE amount > 99").scalar() == 0
+
+    def test_sum_on_text_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute("SELECT SUM(region) FROM sales")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(UnknownColumnError):
+            db.execute("SELECT SUM(ghost) FROM sales")
+
+
+class TestGroupBy:
+    def test_group_counts(self, db):
+        result = db.execute(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region"
+        )
+        assert result.columns == ("region", "count")
+        assert result.rows == (("east", 2), ("north", 1), ("west", 2))
+
+    def test_group_multiple_aggregates(self, db):
+        result = db.execute(
+            "SELECT region, SUM(amount), AVG(price) FROM sales GROUP BY region"
+        )
+        as_dict = {r[0]: (r[1], r[2]) for r in result.rows}
+        assert as_dict["east"] == (15, pytest.approx(6.25))
+        assert as_dict["west"] == (21, pytest.approx(2.5))
+
+    def test_group_without_selecting_key(self, db):
+        result = db.execute("SELECT COUNT(*) FROM sales GROUP BY product")
+        assert result.columns == ("count",)
+        assert sorted(r[0] for r in result.rows) == [2, 3]
+
+    def test_group_with_where(self, db):
+        result = db.execute(
+            "SELECT region, SUM(amount) FROM sales WHERE product = 'widget' "
+            "GROUP BY region"
+        )
+        assert result.rows == (("east", 10), ("west", 21))
+
+    def test_order_by_aggregate_label(self, db):
+        result = db.execute(
+            "SELECT region, SUM(amount) FROM sales GROUP BY region "
+            "ORDER BY sum_amount DESC LIMIT 2"
+        )
+        assert result.rows == (("west", 21), ("east", 15))
+
+    def test_order_by_non_output_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute(
+                "SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY price"
+            )
+
+
+class TestAggregateSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT region, COUNT(*) FROM sales",  # mixed without GROUP BY
+            "SELECT product, COUNT(*) FROM sales GROUP BY region",  # not the key
+            "SELECT region FROM sales GROUP BY region",  # no aggregate
+            "SELECT SUM(*) FROM sales",
+            "SELECT COUNT( FROM sales",
+            "SELECT COUNT(*) FROM sales GROUP region",
+        ],
+    )
+    def test_rejected(self, db, bad):
+        with pytest.raises(SqlSyntaxError):
+            db.execute(bad)

@@ -1,0 +1,178 @@
+"""Unit tests for the mini-SQL tokenizer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import parse
+from repro.db.parser import tokenize
+from repro.db.query import (
+    And,
+    Between,
+    Comparison,
+    DeleteStatement,
+    InList,
+    InsertStatement,
+    Like,
+    Or,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.errors import SqlSyntaxError
+
+
+class TestTokenizer:
+    def test_numbers(self):
+        kinds = [(t.kind, t.value) for t in tokenize("1 2.5 007")]
+        assert kinds == [("int", 1), ("float", 2.5), ("int", 7)]
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM WhErE")
+        assert [t.value for t in tokens] == ["SELECT", "FROM", "WHERE"]
+
+    def test_operators(self):
+        tokens = tokenize("= != <> < <= > >=")
+        assert [t.value for t in tokens] == ["=", "!=", "!=", "<", "<=", ">", ">="]
+
+    def test_rejects_junk(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @ FROM t")
+
+
+class TestSelectParsing:
+    def test_star(self):
+        stmt = parse("SELECT * FROM movies")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.table == "movies"
+        assert stmt.is_star
+
+    def test_column_list(self):
+        stmt = parse("SELECT title, year FROM movies")
+        assert stmt.columns == ("title", "year")
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM movies")
+        assert stmt.count_star
+
+    def test_where_comparison(self):
+        stmt = parse("SELECT * FROM t WHERE year >= 1990")
+        assert stmt.where == Comparison("year", ">=", 1990)
+
+    def test_where_and_or_precedence(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.parts[0], And)
+        assert stmt.where.parts[1] == Comparison("c", "=", 3)
+
+    def test_parenthesized_predicates(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.parts[1], Or)
+
+    def test_between(self):
+        stmt = parse("SELECT * FROM t WHERE year BETWEEN 1990 AND 2000")
+        assert stmt.where == Between("year", 1990, 2000)
+
+    def test_in_list(self):
+        stmt = parse("SELECT * FROM t WHERE g IN (1, 2, 3)")
+        assert stmt.where == InList("g", (1, 2, 3))
+
+    def test_like(self):
+        stmt = parse("SELECT * FROM t WHERE name LIKE 'Al%'")
+        assert stmt.where == Like("name", "Al%")
+
+    def test_order_by_and_limit(self):
+        stmt = parse("SELECT * FROM t ORDER BY year DESC LIMIT 5")
+        assert stmt.order_by == "year"
+        assert stmt.descending
+        assert stmt.limit == 5
+
+    def test_order_by_asc_default(self):
+        stmt = parse("SELECT * FROM t ORDER BY year ASC")
+        assert not stmt.descending
+
+    def test_string_literals(self):
+        stmt = parse("SELECT * FROM t WHERE name = 'O''Brien'")
+        assert stmt.where == Comparison("name", "=", "O'Brien")
+
+
+class TestOtherStatements:
+    def test_insert(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert stmt == InsertStatement("t", ("a", "b"), (1, "x"))
+
+    def test_insert_count_mismatch(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = 'y' WHERE c = 0")
+        assert isinstance(stmt, UpdateStatement)
+        assert stmt.assignments == (("a", 1), ("b", "y"))
+        assert stmt.where == Comparison("c", "=", 0)
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a < 5")
+        assert isinstance(stmt, DeleteStatement)
+        assert stmt.where == Comparison("a", "<", 5)
+
+    def test_delete_without_where(self):
+        stmt = parse("DELETE FROM t")
+        assert stmt.where is None
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELEC * FROM t",
+            "SELECT * FROM",
+            "SELECT FROM t",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a",
+            "SELECT * FROM t WHERE a = ",
+            "SELECT * FROM t LIMIT 'five'",
+            "SELECT * FROM t trailing",
+            "SELECT * FROM t WHERE a LIKE 5",
+            "SELECT * FROM t WHERE a BETWEEN 1",
+            "INSERT INTO t VALUES (1)",
+            "42",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse(bad)
+
+    def test_where_equals_where_keyword_column_fails(self):
+        # Keywords cannot be used as identifiers.
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t WHERE select = 1")
+
+
+class TestLikeSemantics:
+    @pytest.mark.parametrize(
+        ("pattern", "value", "expected"),
+        [
+            ("abc", "abc", True),
+            ("abc", "ABC", True),
+            ("a%", "abcdef", True),
+            ("%f", "abcdef", True),
+            ("a_c", "abc", True),
+            ("a_c", "abbc", False),
+            ("%b%", "abc", True),
+            ("", "", True),
+            ("a.c", "abc", False),  # dot is literal, not regex
+        ],
+    )
+    def test_matches(self, pattern, value, expected):
+        assert Like("x", pattern).matches(value) is expected
+
+    def test_prefix_extraction(self):
+        assert Like("x", "abc%").prefix == "abc"
+        assert Like("x", "%abc").prefix is None
+        assert Like("x", "a_b").prefix == "a"

@@ -1,0 +1,125 @@
+"""Property-based tests: the engine agrees with a naive Python model."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database
+from repro.db.index import SortedIndex
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),  # key
+        st.integers(min_value=0, max_value=9),  # group
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+
+def build(rows: List[Tuple[int, int]], index_kind=None) -> Database:
+    db = Database()
+    table = db.create_table("t", [("k", int), ("g", int)])
+    for k, g in rows:
+        table.insert((k, g))
+    if index_kind:
+        table.create_index("k", index_kind)
+    return db
+
+
+class TestEngineAgainstModel:
+    @given(rows_strategy, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60)
+    def test_equality_matches_filter(self, rows, key):
+        db = build(rows, "hash")
+        got = sorted(db.execute(f"SELECT k, g FROM t WHERE k = {key}").rows)
+        expected = sorted((k, g) for k, g in rows if k == key)
+        assert got == expected
+
+    @given(
+        rows_strategy,
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60)
+    def test_between_matches_filter(self, rows, lo, hi):
+        db = build(rows, "sorted")
+        got = sorted(db.execute(f"SELECT k, g FROM t WHERE k BETWEEN {lo} AND {hi}").rows)
+        expected = sorted((k, g) for k, g in rows if lo <= k <= hi)
+        assert got == expected
+
+    @given(rows_strategy, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60)
+    def test_range_ops_match_filter(self, rows, pivot):
+        db = build(rows, "sorted")
+        for op, pred in (
+            ("<", lambda k: k < pivot),
+            ("<=", lambda k: k <= pivot),
+            (">", lambda k: k > pivot),
+            (">=", lambda k: k >= pivot),
+            ("!=", lambda k: k != pivot),
+        ):
+            got = sorted(db.execute(f"SELECT k FROM t WHERE k {op} {pivot}").rows)
+            expected = sorted((k,) for k, _ in rows if pred(k))
+            assert got == expected, op
+
+    @given(rows_strategy, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=60)
+    def test_count_star(self, rows, group):
+        db = build(rows)
+        got = db.execute(f"SELECT COUNT(*) FROM t WHERE g = {group}").scalar()
+        assert got == sum(1 for _, g in rows if g == group)
+
+    @given(rows_strategy)
+    @settings(max_examples=40)
+    def test_order_by_sorts(self, rows):
+        db = build(rows)
+        got = [r[0] for r in db.execute("SELECT k FROM t ORDER BY k").rows]
+        assert got == sorted(k for k, _ in rows)
+
+    @given(rows_strategy, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40)
+    def test_delete_then_query_consistent(self, rows, key):
+        db = build(rows, "hash")
+        db.execute(f"DELETE FROM t WHERE k = {key}")
+        assert len(db.execute(f"SELECT * FROM t WHERE k = {key}").rows) == 0
+        remaining = db.execute("SELECT COUNT(*) FROM t").scalar()
+        assert remaining == sum(1 for k, _ in rows if k != key)
+
+
+class TestSortedIndexProperties:
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=100))
+    def test_incremental_equals_bulk_load(self, values):
+        incremental = SortedIndex("v")
+        for row_id, value in enumerate(values):
+            incremental.insert(value, row_id)
+        bulk = SortedIndex("v")
+        bulk.bulk_load((value, row_id) for row_id, value in enumerate(values))
+        assert incremental._entries == bulk._entries
+
+    @given(
+        st.lists(st.integers(min_value=-50, max_value=50), max_size=80),
+        st.integers(min_value=-60, max_value=60),
+        st.integers(min_value=-60, max_value=60),
+    )
+    def test_range_bounds_semantics(self, values, lo, hi):
+        index = SortedIndex("v")
+        index.bulk_load((value, row_id) for row_id, value in enumerate(values))
+        closed = set(index.range(low=lo, high=hi))
+        expected = {i for i, v in enumerate(values) if lo <= v <= hi}
+        assert closed == expected
+        open_both = set(index.range(low=lo, high=hi, low_open=True, high_open=True))
+        expected_open = {i for i, v in enumerate(values) if lo < v < hi}
+        assert open_both == expected_open
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=50))
+    def test_remove_really_removes(self, values):
+        index = SortedIndex("v")
+        for row_id, value in enumerate(values):
+            index.insert(value, row_id)
+        index.remove(values[0], 0)
+        assert 0 not in index.lookup(values[0])
+        assert len(index) == len(values) - 1

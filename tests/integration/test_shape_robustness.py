@@ -1,0 +1,46 @@
+"""The paper's headline shapes hold across seeds (not seed luck).
+
+Reduced-size sweeps of the two experiments at several seeds; the
+qualitative claims (clustering U-curve, QoS drop ordering, API
+linearity) must hold for every one of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import run_clustering_experiment, run_qos_experiment
+
+SEEDS = (1, 7, 42)
+
+
+class TestClusteringShapeAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sweet_spot_beats_extremes(self, seed):
+        unclustered = run_clustering_experiment(1, seed=seed)
+        sweet = run_clustering_experiment(8, seed=seed)
+        extreme = run_clustering_experiment(40, seed=seed)
+        assert sweet.mean_response_time < unclustered.mean_response_time
+        assert sweet.mean_response_time < extreme.mean_response_time
+        assert all(r.errors == 0 for r in (unclustered, sweet, extreme))
+
+
+class TestQosShapeAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_drop_ordering_and_api_growth(self, seed):
+        light = run_qos_experiment(9, mode="broker", duration=40.0, seed=seed)
+        heavy = run_qos_experiment(45, mode="broker", duration=40.0, seed=seed)
+        # No drops when lightly loaded.
+        for drops in light.drop_ratios.values():
+            assert all(ratio == 0.0 for ratio in drops.values())
+        # Heavy load: cumulative drops ordered by class.
+        totals = {
+            level: sum(d[level] for d in heavy.drop_ratios.values())
+            for level in (1, 2, 3)
+        }
+        assert totals[3] > 0
+        assert totals[3] >= totals[2] >= totals[1]
+        # API baseline grows with load at every seed.
+        api_small = run_qos_experiment(9, mode="api", duration=40.0, seed=seed)
+        api_large = run_qos_experiment(27, mode="api", duration=40.0, seed=seed)
+        assert api_large.mean_response_time > 1.5 * api_small.mean_response_time

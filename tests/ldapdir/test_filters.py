@@ -1,0 +1,137 @@
+"""Unit and property tests for DN parsing and search filters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FilterSyntaxError, ServiceError
+from repro.ldapdir import DN, Entry, parse_filter
+from repro.ldapdir.filters import AndF, Compare, Equality, NotF, OrF, Presence
+
+
+class TestDN:
+    def test_parse_and_str_round_trip(self):
+        dn = DN.of("cn=Alice, ou=people , dc=example")
+        assert str(dn) == "cn=Alice,ou=people,dc=example"
+
+    def test_parent_and_rdn(self):
+        dn = DN.of("cn=a,ou=b,dc=c")
+        assert str(dn.parent) == "ou=b,dc=c"
+        assert dn.rdn == ("cn", "a")
+        assert dn.depth == 3
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ServiceError):
+            _ = DN.of("").parent
+
+    def test_descendant_check(self):
+        base = DN.of("ou=b,dc=c")
+        child = DN.of("cn=a,ou=b,dc=c")
+        assert child.is_descendant_of(base)
+        assert not base.is_descendant_of(child)
+        assert not base.is_descendant_of(base)
+
+    def test_malformed_rdn_rejected(self):
+        with pytest.raises(ServiceError):
+            DN.of("no-equals-sign")
+        with pytest.raises(ServiceError):
+            DN.of("=value")
+
+
+class TestEntry:
+    def test_rdn_attribute_implicit(self):
+        entry = Entry("cn=alice,dc=x", {"mail": "a@x"})
+        assert entry.get("cn") == ["alice"]
+
+    def test_multivalued_attributes(self):
+        entry = Entry("cn=a,dc=x", {"member": ["u1", "u2"]})
+        assert entry.get("member") == ["u1", "u2"]
+        assert entry.first("member") == "u1"
+        assert entry.first("absent") == ""
+
+    def test_case_insensitive_names(self):
+        entry = Entry("cn=a,dc=x", {"Mail": "a@x"})
+        assert entry.get("mail") == ["a@x"]
+        assert entry.has("MAIL")
+
+    def test_replace_and_remove(self):
+        entry = Entry("cn=a,dc=x", {"mail": "old"})
+        entry.replace("mail", "new")
+        assert entry.get("mail") == ["new"]
+        entry.remove("mail")
+        assert not entry.has("mail")
+
+
+class TestFilterParsing:
+    def test_equality(self):
+        assert parse_filter("(cn=alice)") == Equality("cn", "alice")
+
+    def test_presence(self):
+        assert parse_filter("(mail=*)") == Presence("mail")
+
+    def test_comparisons(self):
+        assert parse_filter("(age>=30)") == Compare("age", ">=", "30")
+        assert parse_filter("(age<=30)") == Compare("age", "<=", "30")
+
+    def test_boolean_combinators(self):
+        parsed = parse_filter("(&(a=1)(|(b=2)(c=3))(!(d=4)))")
+        assert isinstance(parsed, AndF)
+        assert isinstance(parsed.parts[1], OrF)
+        assert isinstance(parsed.parts[2], NotF)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "(", "()", "(cn=alice", "cn=alice", "(&)", "(!)", "(>=5)", "((a=1))x"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter(bad)
+
+
+class TestFilterEvaluation:
+    @pytest.fixture
+    def entry(self):
+        return Entry(
+            "cn=alice,ou=people,dc=x",
+            {"objectClass": "person", "age": "30", "mail": "alice@x.org"},
+        )
+
+    def test_equality_case_insensitive(self, entry):
+        assert parse_filter("(CN=ALICE)").matches(entry)
+
+    def test_wildcards(self, entry):
+        assert parse_filter("(mail=*@x.org)").matches(entry)
+        assert parse_filter("(mail=alice*)").matches(entry)
+        assert parse_filter("(mail=*ice*)").matches(entry)
+        assert not parse_filter("(mail=bob*)").matches(entry)
+
+    def test_numeric_comparison(self, entry):
+        assert parse_filter("(age>=30)").matches(entry)
+        assert parse_filter("(age<=30)").matches(entry)
+        assert not parse_filter("(age>=31)").matches(entry)
+
+    def test_lexicographic_comparison(self, entry):
+        assert parse_filter("(cn>=aaa)").matches(entry)
+        assert not parse_filter("(cn>=zzz)").matches(entry)
+
+    def test_boolean_semantics(self, entry):
+        assert parse_filter("(&(objectClass=person)(age>=18))").matches(entry)
+        assert parse_filter("(|(cn=bob)(cn=alice))").matches(entry)
+        assert parse_filter("(!(cn=bob))").matches(entry)
+        assert not parse_filter("(&(cn=alice)(cn=bob))").matches(entry)
+
+    def test_presence_semantics(self, entry):
+        assert parse_filter("(mail=*)").matches(entry)
+        assert not parse_filter("(phone=*)").matches(entry)
+
+    @given(
+        st.text(alphabet="abcdef", min_size=1, max_size=8),
+        st.text(alphabet="abcdef", min_size=0, max_size=8),
+    )
+    def test_equality_matches_iff_equal_when_no_wildcard(self, stored, probed):
+        entry = Entry("cn=x,dc=y", {"attr": stored})
+        assert parse_filter(f"(attr={probed})").matches(entry) == (
+            stored == probed if probed else False
+        )

@@ -1,0 +1,153 @@
+"""Tests for the DIT and the networked directory server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoSuchEntryError, ServiceError
+from repro.ldapdir import (
+    SCOPE_BASE,
+    SCOPE_ONE,
+    SCOPE_SUB,
+    DirectoryClient,
+    DirectoryServer,
+    DirectoryTree,
+)
+
+
+@pytest.fixture
+def tree():
+    t = DirectoryTree()
+    t.add("dc=example", {"objectClass": "domain"})
+    t.add("ou=people,dc=example", {"objectClass": "organizationalUnit"})
+    t.add("ou=groups,dc=example", {"objectClass": "organizationalUnit"})
+    for i in range(4):
+        t.add(
+            f"cn=user{i},ou=people,dc=example",
+            {"objectClass": "person", "age": str(25 + i)},
+        )
+    t.add("cn=admins,ou=groups,dc=example", {"objectClass": "group"})
+    return t
+
+
+class TestDirectoryTree:
+    def test_add_requires_parent(self, tree):
+        with pytest.raises(NoSuchEntryError):
+            tree.add("cn=x,ou=missing,dc=example", {})
+
+    def test_add_duplicate_rejected(self, tree):
+        with pytest.raises(ServiceError):
+            tree.add("ou=people,dc=example", {})
+
+    def test_get_and_modify(self, tree):
+        tree.modify("cn=user0,ou=people,dc=example", {"age": "99", "mail": "u@x"})
+        entry = tree.get("cn=user0,ou=people,dc=example")
+        assert entry.first("age") == "99"
+        assert entry.first("mail") == "u@x"
+        tree.modify("cn=user0,ou=people,dc=example", {"mail": None})
+        assert not entry.has("mail")
+
+    def test_delete_leaf_only(self, tree):
+        with pytest.raises(ServiceError):
+            tree.delete("ou=people,dc=example")
+        tree.delete("cn=user0,ou=people,dc=example")
+        assert "cn=user0,ou=people,dc=example" not in tree
+
+    def test_scope_base(self, tree):
+        matches, examined = tree.search("dc=example", SCOPE_BASE)
+        assert [str(e.dn) for e in matches] == ["dc=example"]
+        assert examined == 1
+
+    def test_scope_one(self, tree):
+        matches, _ = tree.search("dc=example", SCOPE_ONE)
+        assert sorted(str(e.dn) for e in matches) == [
+            "ou=groups,dc=example",
+            "ou=people,dc=example",
+        ]
+
+    def test_scope_sub_includes_base(self, tree):
+        matches, examined = tree.search("ou=people,dc=example", SCOPE_SUB)
+        assert len(matches) == 5  # the OU plus 4 users
+        assert examined == 5
+
+    def test_search_with_filter(self, tree):
+        matches, _ = tree.search("dc=example", SCOPE_SUB, "(&(objectClass=person)(age>=27))")
+        assert sorted(e.first("cn") for e in matches) == ["user2", "user3"]
+
+    def test_search_missing_base(self, tree):
+        with pytest.raises(NoSuchEntryError):
+            tree.search("dc=nowhere")
+
+    def test_bad_scope(self, tree):
+        with pytest.raises(ServiceError):
+            tree.search("dc=example", scope="tree")
+
+
+class TestDirectoryServer:
+    def test_search_over_network(self, sim, net, tree):
+        server = DirectoryServer(sim, net.node("ldap"), tree)
+        client_node = net.node("app")
+
+        def run():
+            conn = yield from DirectoryClient.connect(sim, client_node, server.address)
+            result = yield from conn.search(
+                "dc=example", SCOPE_SUB, "(objectClass=person)"
+            )
+            yield from conn.unbind()
+            return result
+
+        result = sim.run(sim.process(run()))
+        assert len(result) == 4
+        assert result.examined == 8
+        assert all(dn.startswith("cn=user") for dn in result.dns())
+
+    def test_write_operations(self, sim, net, tree):
+        server = DirectoryServer(sim, net.node("ldap"), tree)
+        client_node = net.node("app")
+
+        def run():
+            conn = yield from DirectoryClient.connect(sim, client_node, server.address)
+            yield from conn.add(
+                "cn=user9,ou=people,dc=example", {"objectClass": "person"}
+            )
+            yield from conn.modify("cn=user9,ou=people,dc=example", {"age": "40"})
+            result = yield from conn.search(
+                "ou=people,dc=example", SCOPE_SUB, "(age=40)"
+            )
+            yield from conn.delete("cn=user9,ou=people,dc=example")
+            yield from conn.unbind()
+            return result
+
+        result = sim.run(sim.process(run()))
+        assert result.dns() == ["cn=user9,ou=people,dc=example"]
+        assert "cn=user9,ou=people,dc=example" not in tree
+
+    def test_error_reply_does_not_kill_session(self, sim, net, tree):
+        server = DirectoryServer(sim, net.node("ldap"), tree)
+        client_node = net.node("app")
+
+        def run():
+            conn = yield from DirectoryClient.connect(sim, client_node, server.address)
+            try:
+                yield from conn.search("dc=nowhere")
+            except ServiceError:
+                pass
+            result = yield from conn.search("dc=example", SCOPE_BASE)
+            yield from conn.unbind()
+            return result
+
+        assert len(sim.run(sim.process(run()))) == 1
+
+    def test_requires_bind(self, sim, net, tree):
+        server = DirectoryServer(sim, net.node("ldap"), tree)
+        client_node = net.node("app")
+
+        def run():
+            stream = yield from client_node.connect_stream(server.address)
+            stream.send(("search", "dc=example", SCOPE_BASE, None))
+            envelope = yield stream.recv()
+            stream.close()
+            return envelope.payload
+
+        reply = sim.run(sim.process(run()))
+        assert reply[0] == "error"

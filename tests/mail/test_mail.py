@@ -1,0 +1,120 @@
+"""Tests for the mail store, server, and client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MailboxError
+from repro.mail import MailClient, MailServer, MessageStore
+
+
+class TestMessageStore:
+    def test_deliver_and_retrieve(self):
+        store = MessageStore()
+        store.create_mailbox("bob")
+        message = store.deliver("alice", "bob", "hi", "body", now=1.0)
+        mailbox = store.mailbox("bob")
+        assert mailbox.list_ids() == [message.message_id]
+        assert mailbox.get(message.message_id).subject == "hi"
+
+    def test_ids_are_unique_and_increasing(self):
+        store = MessageStore()
+        store.create_mailbox("bob")
+        ids = [
+            store.deliver("a", "bob", "s", "b", now=0.0).message_id for _ in range(5)
+        ]
+        assert ids == sorted(set(ids))
+
+    def test_unknown_mailbox(self):
+        store = MessageStore()
+        with pytest.raises(MailboxError):
+            store.deliver("a", "ghost", "s", "b", now=0.0)
+        with pytest.raises(MailboxError):
+            store.mailbox("ghost")
+
+    def test_duplicate_mailbox(self):
+        store = MessageStore()
+        store.create_mailbox("bob")
+        with pytest.raises(MailboxError):
+            store.create_mailbox("bob")
+
+    def test_delete_message(self):
+        store = MessageStore()
+        store.create_mailbox("bob")
+        message = store.deliver("a", "bob", "s", "b", now=0.0)
+        store.mailbox("bob").delete(message.message_id)
+        assert store.mailbox("bob").list_ids() == []
+        with pytest.raises(MailboxError):
+            store.mailbox("bob").delete(message.message_id)
+
+    def test_size_accounting(self):
+        store = MessageStore()
+        store.create_mailbox("bob")
+        store.deliver("a", "bob", "s", "x" * 100, now=0.0)
+        assert store.mailbox("bob").total_size > 100
+
+
+class TestMailServer:
+    @pytest.fixture
+    def served(self, sim, net):
+        store = MessageStore()
+        store.create_mailbox("bob")
+        server = MailServer(sim, net.node("mail"), store)
+        return server, net.node("app")
+
+    def test_send_list_retrieve_delete(self, sim, served):
+        server, client_node = served
+
+        def run():
+            conn = yield from MailClient.connect(sim, client_node, server.address)
+            message_id = yield from conn.send("alice", "bob", "lunch", "noon?")
+            ids = yield from conn.list("bob")
+            message = yield from conn.retrieve("bob", message_id)
+            yield from conn.delete("bob", message_id)
+            after = yield from conn.list("bob")
+            yield from conn.quit()
+            return ids, message, after
+
+        ids, message, after = sim.run(sim.process(run()))
+        assert ids == [1]
+        assert message["subject"] == "lunch"
+        assert message["sender"] == "alice"
+        assert after == []
+
+    def test_unknown_recipient_is_error(self, sim, served):
+        server, client_node = served
+
+        def run():
+            conn = yield from MailClient.connect(sim, client_node, server.address)
+            try:
+                yield from conn.send("alice", "ghost", "s", "b")
+            except MailboxError as exc:
+                yield from conn.quit()
+                return str(exc)
+
+        assert "ghost" in sim.run(sim.process(run()))
+
+    def test_requires_helo(self, sim, served):
+        server, client_node = served
+
+        def run():
+            stream = yield from client_node.connect_stream(server.address)
+            stream.send(("list", "bob"))
+            envelope = yield stream.recv()
+            stream.close()
+            return envelope.payload
+
+        assert sim.run(sim.process(run()))[0] == "error"
+
+    def test_delivery_timestamp_uses_sim_clock(self, sim, served):
+        server, client_node = served
+
+        def run():
+            yield sim.timeout(5.0)
+            conn = yield from MailClient.connect(sim, client_node, server.address)
+            message_id = yield from conn.send("a", "bob", "s", "b")
+            message = yield from conn.retrieve("bob", message_id)
+            yield from conn.quit()
+            return message["delivered_at"]
+
+        assert sim.run(sim.process(run())) >= 5.0

@@ -1,0 +1,129 @@
+"""Property-based tests for kernel invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulation, Store
+from repro.sim.rng import derive_rng
+
+
+class TestEventOrderingProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_timeouts_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulation()
+        fired = []
+
+        def proc(delay):
+            yield sim.timeout(delay)
+            fired.append(sim.now)
+
+        for delay in delays:
+            sim.process(proc(delay))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+    def test_clock_ends_at_max_delay(self, delays):
+        sim = Simulation()
+        for delay in delays:
+            sim.timeout(delay)
+        sim.run()
+        assert sim.now == max(delays)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10),  # start offset
+                st.floats(min_value=0, max_value=5),  # hold duration
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40)
+    def test_resource_capacity_never_exceeded(self, jobs, capacity):
+        sim = Simulation()
+        res = Resource(sim, capacity=capacity)
+        max_seen = [0]
+
+        def worker(offset, hold):
+            yield sim.timeout(offset)
+            req = res.request()
+            yield req
+            max_seen[0] = max(max_seen[0], res.in_use)
+            yield sim.timeout(hold)
+            res.release(req)
+
+        for offset, hold in jobs:
+            sim.process(worker(offset, hold))
+        sim.run()
+        assert max_seen[0] <= capacity
+        assert res.in_use == 0
+
+
+class TestStoreProperties:
+    @given(st.lists(st.integers(), min_size=0, max_size=60))
+    def test_store_preserves_order_and_content(self, items):
+        sim = Simulation()
+        store = Store(sim)
+        received = []
+
+        def producer():
+            for item in items:
+                yield sim.timeout(0.01)
+                store.put(item)
+
+        def consumer():
+            for _ in range(len(items)):
+                value = yield store.get()
+                received.append(value)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == items
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_bounded_store_never_overflows(self, items, capacity):
+        sim = Simulation()
+        store = Store(sim, capacity=capacity)
+        peak = [0]
+        received = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+                peak[0] = max(peak[0], len(store))
+
+        def consumer():
+            for _ in range(len(items)):
+                yield sim.timeout(0.5)
+                value = yield store.get()
+                received.append(value)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert peak[0] <= capacity
+        assert received == items
+
+
+class TestRngProperties:
+    @given(st.integers(), st.text(min_size=0, max_size=30))
+    def test_derivation_is_deterministic(self, seed, name):
+        assert derive_rng(seed, name).random() == derive_rng(seed, name).random()
+
+    @given(st.integers())
+    def test_different_names_give_different_streams(self, seed):
+        # Not cryptographically guaranteed, but SHA-256-derived streams
+        # colliding on the first draw would indicate a bug.
+        a = derive_rng(seed, "alpha").random()
+        b = derive_rng(seed, "beta").random()
+        assert a != b

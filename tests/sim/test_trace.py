@@ -1,0 +1,112 @@
+"""Tests for the tracing facility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulation, Tracer
+from repro.sim.trace import TraceRecord
+
+
+class TestTracer:
+    def test_log_and_records(self):
+        tracer = Tracer()
+        tracer.log(1.0, "a", "first", x=1)
+        tracer.log(2.0, "b", "second")
+        assert len(tracer) == 2
+        assert tracer.records[0].fields == {"x": 1}
+
+    def test_ring_buffer_limit(self):
+        tracer = Tracer(limit=3)
+        for i in range(5):
+            tracer.log(float(i), "c", f"m{i}")
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [r.message for r in tracer.records] == ["m2", "m3", "m4"]
+
+    def test_select_filters(self):
+        tracer = Tracer()
+        tracer.log(1.0, "a", "one")
+        tracer.log(2.0, "b", "two")
+        tracer.log(3.0, "a", "three")
+        assert [r.message for r in tracer.select(category="a")] == ["one", "three"]
+        assert [r.message for r in tracer.select(since=2.0)] == ["two", "three"]
+        assert [r.message for r in tracer.select(until=2.0)] == ["one", "two"]
+        assert [r.message for r in tracer.select(category="a", since=2.0)] == ["three"]
+
+    def test_categories_count(self):
+        tracer = Tracer()
+        tracer.log(0.0, "x", "m")
+        tracer.log(0.0, "x", "m")
+        tracer.log(0.0, "y", "m")
+        assert tracer.categories() == {"x": 2, "y": 1}
+
+    def test_render_and_to_text(self):
+        record = TraceRecord(1.5, "broker", "drop", {"qos": 3})
+        text = record.render()
+        assert "broker" in text and "drop" in text and "qos=3" in text
+        tracer = Tracer()
+        tracer.log(1.5, "broker", "drop", qos=3)
+        assert tracer.to_text() == text
+
+    def test_clear(self):
+        tracer = Tracer(limit=1)
+        tracer.log(0.0, "a", "m")
+        tracer.log(0.0, "a", "m")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(limit=0)
+
+
+class TestSimulationIntegration:
+    def test_trace_noop_without_tracer(self):
+        sim = Simulation()
+        sim.trace("cat", "message", a=1)  # must not raise
+
+    def test_trace_records_sim_time(self):
+        tracer = Tracer()
+        sim = Simulation(tracer=tracer)
+
+        def proc():
+            yield sim.timeout(5.0)
+            sim.trace("test", "after-sleep")
+
+        sim.run(sim.process(proc()))
+        assert tracer.records[0].time == 5.0
+
+    def test_broker_emits_trace_records(self, net):
+        """An end-to-end scenario produces arrival/dispatch/drop traces."""
+        sim = net.sim
+        tracer = Tracer()
+        sim.tracer = tracer
+        from repro.core import BrokerClient, HttpAdapter, QoSPolicy, ServiceBroker
+        from repro.http import BackendWebServer
+
+        node = net.node("web")
+        server = BackendWebServer(sim, net.node("origin"), max_clients=1)
+
+        def slow_cgi(server, request):
+            yield server.sim.timeout(0.5)
+            return "ok"
+
+        server.add_cgi("/s", slow_cgi)
+        broker = ServiceBroker(
+            sim,
+            node,
+            service="web",
+            adapters=[HttpAdapter(sim, node, server.address)],
+            qos=QoSPolicy(levels=1, threshold=2),
+            pool_size=1,
+        )
+        client = BrokerClient(sim, node, {"web": broker.address})
+        for i in range(5):
+            sim.process(client.call("web", "get", ("/s", {"i": i}), cacheable=False))
+        sim.run()
+        counts = tracer.categories()
+        assert counts.get("broker", 0) >= 5
+        messages = {r.message for r in tracer.select(category="broker")}
+        assert {"arrival", "dispatch", "drop"} <= messages

@@ -1,0 +1,68 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig7_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.command == "fig7"
+        assert args.degrees[0] == 1
+        assert args.seed == 2026
+
+    def test_int_list_parsing(self):
+        args = build_parser().parse_args(["fig9", "--clients", "5,10"])
+        assert args.clients == [5, 10]
+
+    def test_bad_int_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "--clients", "ten"])
+
+    def test_seed_per_subcommand(self):
+        args = build_parser().parse_args(["fig7", "--seed", "9"])
+        assert args.seed == 9
+
+
+class TestCommands:
+    def test_fig7_output(self, capsys):
+        assert main(["fig7", "--degrees", "1,4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "degree" in out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == 5  # title + header + rule + 2 rows
+
+    def test_fig9_output(self, capsys):
+        assert main(["fig9", "--clients", "4", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "api_s" in out and "broker_s" in out
+
+    def test_fig10_output(self, capsys):
+        assert main(["fig10", "--clients", "4", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "qos1_s" in out and "qos3_s" in out
+
+    def test_table1_output(self, capsys):
+        assert main(["table1", "--clients", "4", "--duration", "15"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_drops_prints_three_tables(self, capsys):
+        assert main(["drops", "--clients", "4", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        for table in ("Table II", "Table III", "Table IV"):
+            assert table in out
+
+    def test_determinism_across_invocations(self, capsys):
+        main(["fig7", "--degrees", "2", "--seed", "11"])
+        first = capsys.readouterr().out
+        main(["fig7", "--degrees", "2", "--seed", "11"])
+        second = capsys.readouterr().out
+        assert first == second

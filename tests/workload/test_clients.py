@@ -1,0 +1,132 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim import Simulation
+from repro.workload import BurstClient, ClosedLoopClient, OpenLoopGenerator, zipf_sampler
+
+
+def make_request_factory(sim, duration):
+    def factory(_client, _iteration):
+        yield sim.timeout(duration)
+
+    return factory
+
+
+class TestClosedLoopClient:
+    def test_loops_until_deadline(self, sim):
+        client = ClosedLoopClient(sim, "c", make_request_factory(sim, 1.0))
+        client.start(until=10.0)
+        sim.run()
+        assert client.completed == 10
+        assert client.response_times.mean == pytest.approx(1.0)
+
+    def test_think_time_slows_loop(self, sim):
+        client = ClosedLoopClient(
+            sim, "c", make_request_factory(sim, 1.0), think_time=1.0
+        )
+        client.start(until=10.0)
+        sim.run()
+        assert client.completed == 5
+
+    def test_start_delay(self, sim):
+        client = ClosedLoopClient(
+            sim, "c", make_request_factory(sim, 1.0), start_delay=5.0
+        )
+        client.start(until=10.0)
+        sim.run()
+        assert client.completed == 5
+
+    def test_errors_counted_and_loop_continues(self, sim):
+        calls = {"n": 0}
+
+        def flaky(_client, iteration):
+            calls["n"] += 1
+            yield sim.timeout(1.0)
+            if iteration % 2 == 0:
+                raise RuntimeError("flaky")
+
+        client = ClosedLoopClient(sim, "c", flaky)
+        client.start(until=10.0)
+        sim.run()
+        assert client.errors == 5
+        assert client.completed == 5
+        assert calls["n"] == 10
+
+
+class TestBurstClient:
+    def test_respects_concurrency(self, sim):
+        active = {"now": 0, "peak": 0}
+
+        def tracked(_client, _index):
+            active["now"] += 1
+            active["peak"] = max(active["peak"], active["now"])
+            yield sim.timeout(1.0)
+            active["now"] -= 1
+
+        burst = BurstClient(sim, "b", tracked, total=10, concurrency=3)
+        stats = sim.run(burst.run())
+        assert stats.count == 10
+        assert active["peak"] == 3
+
+    def test_all_requests_complete(self, sim):
+        burst = BurstClient(sim, "b", make_request_factory(sim, 0.5), total=7, concurrency=7)
+        stats = sim.run(burst.run())
+        assert stats.count == 7
+        assert sim.now == pytest.approx(0.5)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            BurstClient(sim, "b", make_request_factory(sim, 1), total=0, concurrency=1)
+
+
+class TestOpenLoopGenerator:
+    def test_rate_approximately_honored(self):
+        sim = Simulation(seed=5)
+        generator = OpenLoopGenerator(sim, "g", make_request_factory(sim, 0.01), rate=50.0)
+        generator.start(until=20.0)
+        sim.run()
+        assert 800 < generator.issued < 1200  # 50/s for 20s = 1000 expected
+
+    def test_arrivals_independent_of_completions(self):
+        sim = Simulation(seed=5)
+        # Each request takes far longer than the inter-arrival gap.
+        generator = OpenLoopGenerator(sim, "g", make_request_factory(sim, 100.0), rate=10.0)
+        generator.start(until=5.0)
+        sim.run(until=5.0)
+        assert generator.issued > 20
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            OpenLoopGenerator(sim, "g", make_request_factory(sim, 1), rate=0)
+
+
+class TestZipfSampler:
+    def test_rank_zero_most_popular(self):
+        sim = Simulation(seed=3)
+        sample = zipf_sampler(sim.rng("zipf"), n=100, skew=1.0)
+        counts = [0] * 100
+        for _ in range(20_000):
+            counts[sample()] += 1
+        assert counts[0] > counts[10] > counts[99]
+        # Zipf(1): rank 0 should get roughly 1/H(100) ~ 19% of draws.
+        assert 0.12 < counts[0] / 20_000 < 0.30
+
+    def test_all_ranks_in_range(self):
+        sim = Simulation(seed=3)
+        sample = zipf_sampler(sim.rng("z2"), n=5, skew=2.0)
+        assert all(0 <= sample() < 5 for _ in range(1000))
+
+    def test_single_item(self):
+        sim = Simulation(seed=3)
+        sample = zipf_sampler(sim.rng("z3"), n=1)
+        assert sample() == 0
+
+    def test_validation(self):
+        sim = Simulation(seed=3)
+        with pytest.raises(ValueError):
+            zipf_sampler(sim.rng("z4"), n=0)

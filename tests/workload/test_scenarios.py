@@ -1,0 +1,112 @@
+"""Integration tests for the paper's two testbeds (scaled-down runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import run_clustering_experiment, run_qos_experiment
+
+
+class TestClusteringScenario:
+    def test_degree_one_serves_every_request_individually(self):
+        result = run_clustering_experiment(degree=1, n_requests=10, seed=1)
+        assert result.errors == 0
+        assert result.backend_calls == 10
+        assert result.mean_response_time > 0
+
+    def test_clustering_reduces_backend_calls(self):
+        result = run_clustering_experiment(degree=5, n_requests=10, seed=1)
+        assert result.errors == 0
+        assert result.backend_calls < 10
+
+    def test_moderate_clustering_beats_no_clustering(self):
+        # The headline Figure-7 effect at its design point (degree ~= n/capacity).
+        unclustered = run_clustering_experiment(degree=1, n_requests=40, seed=1)
+        clustered = run_clustering_experiment(degree=8, n_requests=40, seed=1)
+        assert clustered.mean_response_time < unclustered.mean_response_time
+
+    def test_extreme_clustering_overshoots(self):
+        # Serializing all 40 requests into one giant call is slower than
+        # the sweet spot — the right side of the U.
+        sweet = run_clustering_experiment(degree=8, n_requests=40, seed=1)
+        extreme = run_clustering_experiment(degree=40, n_requests=40, seed=1)
+        assert extreme.mean_response_time > sweet.mean_response_time
+
+    def test_determinism(self):
+        a = run_clustering_experiment(degree=4, n_requests=10, seed=7)
+        b = run_clustering_experiment(degree=4, n_requests=10, seed=7)
+        assert a.mean_response_time == b.mean_response_time
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            run_clustering_experiment(degree=0)
+
+
+class TestQosScenario:
+    def test_api_mode_has_no_differentiation(self):
+        result = run_qos_experiment(9, mode="api", duration=40.0, seed=3)
+        # All classes complete everything at full fidelity.
+        assert result.full_fidelity == result.completions
+        times = [result.mean_response_of(level) for level in (1, 2, 3)]
+        assert max(times) - min(times) < 1.0
+
+    def test_light_load_no_drops(self):
+        result = run_qos_experiment(9, mode="broker", duration=40.0, seed=3)
+        for broker_drops in result.drop_ratios.values():
+            assert all(ratio == 0.0 for ratio in broker_drops.values())
+
+    def test_overload_drops_ordered_by_class(self):
+        result = run_qos_experiment(45, mode="broker", duration=60.0, seed=3)
+        total_drops = {
+            level: sum(d[level] for d in result.drop_ratios.values())
+            for level in (1, 2, 3)
+        }
+        assert total_drops[3] > 0
+        assert total_drops[3] >= total_drops[2] >= total_drops[1]
+
+    def test_overload_response_times_ordered_by_class(self):
+        result = run_qos_experiment(45, mode="broker", duration=60.0, seed=3)
+        # Full-service class 1 keeps the longest (highest-fidelity)
+        # processing time; shed class 3 answers fastest on average.
+        assert result.mean_response_of(1) > result.mean_response_of(3)
+
+    def test_lower_classes_complete_more_under_overload(self):
+        result = run_qos_experiment(45, mode="broker", duration=60.0, seed=3)
+        assert result.completions[3] > result.completions[1]
+
+    def test_api_scales_linearly_broker_saturates(self):
+        api_small = run_qos_experiment(9, mode="api", duration=40.0, seed=3)
+        api_large = run_qos_experiment(36, mode="api", duration=40.0, seed=3)
+        ratio = api_large.mean_response_time / api_small.mean_response_time
+        assert ratio > 2.0  # closed-loop FCFS: roughly proportional to N
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            run_qos_experiment(9, mode="magic")
+        with pytest.raises(ValueError):
+            run_qos_experiment(2, mode="api")
+
+
+class TestCentralizedQosScenario:
+    def test_light_load_admits_everything(self):
+        result = run_qos_experiment(9, mode="centralized", duration=40.0, seed=3)
+        assert sum(result.frontend_rejections.values()) == 0
+        assert result.full_fidelity == result.completions
+
+    def test_overload_rejects_at_the_front_door(self):
+        result = run_qos_experiment(45, mode="centralized", duration=60.0, seed=3)
+        rejections = result.frontend_rejections
+        assert sum(rejections.values()) > 100
+        # Rejections class-ordered; brokers themselves shed nothing.
+        assert rejections[3] >= rejections[2] >= rejections[1]
+        for drops in result.drop_ratios.values():
+            assert all(ratio == 0.0 for ratio in drops.values())
+
+    def test_aborted_before_processing(self):
+        """Rejected requests never consume backend capacity: full-fidelity
+        throughput stays near the broker mode's."""
+        centralized = run_qos_experiment(45, mode="centralized", duration=60.0, seed=3)
+        broker = run_qos_experiment(45, mode="broker", duration=60.0, seed=3)
+        served_c = sum(centralized.full_fidelity.values())
+        served_b = sum(broker.full_fidelity.values())
+        assert served_c > 0.5 * served_b
