@@ -105,6 +105,19 @@ def main() -> None:
     print(f"  Broker speedup: {speedup:.1f}x")
     assert speedup > 1.5, "broker should beat per-request API access"
 
+    # Every request flowed through the broker's stage pipeline; each
+    # stage records its latency and decisions in the metrics registry.
+    print("\n  Pipeline profile (broker.stage.* metrics):")
+    for name in broker.describe_pipeline():
+        timing = broker.metrics.sample(f"broker.stage.{name}.time")
+        if timing.count == 0:
+            continue
+        print(f"    {name:<12} n={timing.count:<4.0f} "
+              f"mean {timing.mean * 1000:7.3f} ms")
+    hits = int(broker.metrics.counter("broker.stage.cache-lookup.hit"))
+    misses = int(broker.metrics.counter("broker.stage.cache-lookup.miss"))
+    print(f"    cache-lookup decisions: {hits} hit / {misses} miss")
+
 
 if __name__ == "__main__":
     main()

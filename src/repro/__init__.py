@@ -26,6 +26,7 @@ from .core import (
     BrokerPeerGroup,
     BrokerReply,
     BrokerRequest,
+    BrokerStage,
     CentralizedController,
     ClusteringConfig,
     ConnectionPool,
@@ -50,11 +51,15 @@ from .core import (
     QoSPolicy,
     RepeatWorkloadCombiner,
     ReplyStatus,
+    RequestContext,
     ResourceProfileRegistry,
     ResultCache,
     RoundRobinBalancer,
     ServiceBroker,
+    StagePipeline,
     TransactionTracker,
+    centralized_stage_plan,
+    distributed_stage_plan,
 )
 from .db import Database, DatabaseClient, DatabaseServer
 from .frontend import ApiBackendGateway, FrontendWebServer, WebApplication, qos_of
@@ -110,6 +115,11 @@ __all__ = [
     "qos_of",
     # broker framework
     "ServiceBroker",
+    "BrokerStage",
+    "StagePipeline",
+    "RequestContext",
+    "distributed_stage_plan",
+    "centralized_stage_plan",
     "BrokerClient",
     "BrokerRequest",
     "BrokerReply",

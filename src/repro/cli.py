@@ -7,6 +7,7 @@ Usage::
     python -m repro fig10  [--clients ...] [--duration S] [--seed N]
     python -m repro table1 [--clients ...] [--duration S] [--seed N]
     python -m repro drops  [--clients ...] [--duration S] [--seed N]
+    python -m repro pipeline --describe [--model distributed|centralized|all]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -73,6 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--duration", type=float, default=120.0,
             help="virtual seconds per point (default 120)",
         )
+
+    pipeline = sub.add_parser(
+        "pipeline", help="describe the broker's stage pipeline"
+    )
+    pipeline.add_argument(
+        "--describe", action="store_true",
+        help="print the stage order of the selected model(s)",
+    )
+    pipeline.add_argument(
+        "--model", choices=("distributed", "centralized", "all"),
+        default="all",
+        help="which stage plan to describe (default: all)",
+    )
     return parser
 
 
@@ -158,12 +172,31 @@ def run_drops(args) -> str:
     return "\n\n".join(sections)
 
 
+def run_pipeline(args) -> str:
+    """Render the stage order of the requested broker model(s)."""
+    from .core.pipeline import stage_plan
+
+    models = (
+        ("distributed", "centralized") if args.model == "all" else (args.model,)
+    )
+    sections = []
+    for model in models:
+        stages = stage_plan(model)
+        lines = [f"{model} broker pipeline ({len(stages)} stages):"]
+        for index, stage in enumerate(stages, 1):
+            marker = "  [ingress/dispatch boundary]" if stage.boundary else ""
+            lines.append(f"  {index:>2}. {stage.name:<12} {stage.summary()}{marker}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
 _COMMANDS = {
     "fig7": run_fig7,
     "fig9": run_fig9,
     "fig10": run_fig10,
     "table1": run_table1,
     "drops": run_drops,
+    "pipeline": run_pipeline,
 }
 
 

@@ -37,6 +37,28 @@ from .loadbalance import (
     RoundRobinBalancer,
 )
 from .peering import BrokerPeerGroup, TxnStateUpdate
+from .pipeline import (
+    AdmissionStage,
+    ArrivalStage,
+    BatchContext,
+    BrokerStage,
+    CacheFillStage,
+    CacheLookupStage,
+    ClusterStage,
+    EnqueueStage,
+    ExecuteStage,
+    FidelityFallbackStage,
+    LoadReportStage,
+    ReplyStage,
+    RequestContext,
+    StageOutcome,
+    StagePipeline,
+    StageRecord,
+    ValidateServiceStage,
+    centralized_stage_plan,
+    distributed_stage_plan,
+    stage_plan,
+)
 from .pool import ConnectionPool
 from .prefetch import Prefetcher, PrefetchRule
 from .protocol import BrokerReply, BrokerRequest, ReplyStatus
@@ -57,6 +79,26 @@ __all__ = [
     "AdmissionDecision",
     "BrokerQueue",
     "QueuedRequest",
+    "BrokerStage",
+    "StagePipeline",
+    "StageOutcome",
+    "StageRecord",
+    "RequestContext",
+    "BatchContext",
+    "ValidateServiceStage",
+    "ArrivalStage",
+    "CacheLookupStage",
+    "AdmissionStage",
+    "FidelityFallbackStage",
+    "EnqueueStage",
+    "ClusterStage",
+    "ExecuteStage",
+    "CacheFillStage",
+    "ReplyStage",
+    "LoadReportStage",
+    "distributed_stage_plan",
+    "centralized_stage_plan",
+    "stage_plan",
     "ResultCache",
     "CacheEntry",
     "CacheStats",

@@ -2,24 +2,32 @@
 
 A :class:`ServiceBroker` is the dedicated middleware process the paper
 proposes: it owns the access point to one backend service, receives
-request messages from web applications over UDP, and
+request messages from web applications over UDP, and runs every request
+through a composable :class:`~repro.core.pipeline.StagePipeline`:
 
-* answers cache hits immediately,
-* applies QoS admission control (threshold + per-class intensity gates),
-  answering rejected requests at once with an adaptive low-fidelity
-  reply,
-* queues admitted requests in QoS order,
-* clusters compatible requests into batched backend accesses,
-* executes them over pooled persistent connections to (possibly
-  replicated) backends chosen by a load balancer,
-* caches results for future requests,
-* and periodically reports its load (for the centralized model's
-  listener).
+* answering cache hits immediately (:class:`CacheLookupStage`),
+* applying QoS admission control — threshold + per-class intensity
+  gates (:class:`AdmissionStage`), answering rejected requests at once
+  with an adaptive low-fidelity reply (:class:`FidelityFallbackStage`),
+* queueing admitted requests in QoS order (:class:`EnqueueStage`),
+* clustering compatible requests into batched backend accesses
+  (:class:`ClusterStage`),
+* executing them over pooled persistent connections to (possibly
+  replicated) backends chosen by a load balancer
+  (:class:`ExecuteStage`),
+* caching results for future requests (:class:`CacheFillStage`),
+* and periodically reporting its load for the centralized model's
+  listener (:class:`LoadReportStage`).
+
+The stage list is a constructor argument (``stages=``), so the
+distributed and centralized models — and any custom policy — are stage
+configurations rather than separate code paths. See
+:mod:`repro.core.pipeline`.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 from ..errors import (
     BrokerError,
@@ -37,11 +45,16 @@ from .cache import ResultCache
 from .clustering import ClusteringConfig
 from .fidelity import FidelityPolicy
 from .loadbalance import BackendState, Balancer, LeastOutstandingBalancer
-from .pool import ConnectionPool
-from typing import TYPE_CHECKING
-
 from .peering import TxnStateUpdate
-from .protocol import BrokerReply, BrokerRequest, ReplyStatus
+from .pipeline import (
+    BrokerStage,
+    LoadReportStage,
+    RequestContext,
+    StagePipeline,
+    distributed_stage_plan,
+)
+from .pool import ConnectionPool
+from .protocol import BrokerReply, BrokerRequest
 from .qos import QoSPolicy
 from .queueing import BrokerQueue, QueuedRequest
 from .transactions import TransactionTracker
@@ -75,6 +88,13 @@ class ServiceBroker:
         Persistent connections kept per backend replica.
     dispatchers:
         Concurrent dispatcher processes (default: total pool capacity).
+    stages:
+        The broker's stage plan — an ordered list of
+        :class:`~repro.core.pipeline.BrokerStage` objects. Defaults to
+        :func:`~repro.core.pipeline.distributed_stage_plan`; pass
+        :func:`~repro.core.pipeline.centralized_stage_plan` () for the
+        centralized model, or any custom list. Plans are per-broker
+        (stages bind to exactly one broker).
     """
 
     def __init__(
@@ -96,6 +116,7 @@ class ServiceBroker:
         priority_queueing: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         name: str = "",
+        stages: Optional[Sequence[BrokerStage]] = None,
     ) -> None:
         if not adapters:
             raise BrokerError("a broker needs at least one backend adapter")
@@ -124,12 +145,16 @@ class ServiceBroker:
         # the only differentiation mechanism and the bounded queue is
         # drained in arrival order.
         self.priority_queueing = priority_queueing
-        queue_priority = self._priority_of if priority_queueing else (lambda _r: 0)
+        queue_priority = self.priority_of if priority_queueing else (lambda _r: 0)
         self.queue = BrokerQueue(sim, priority_of=queue_priority)
         self.socket = node.datagram_socket(port)
         self.address = self.socket.address
         #: Set by :meth:`BrokerPeerGroup.join`; enables txn-state gossip.
         self.peer_group: Optional["BrokerPeerGroup"] = None
+        #: The request path as an ordered, composable stage list.
+        self.pipeline = StagePipeline(
+            self, stages if stages is not None else distributed_stage_plan()
+        )
         worker_count = (
             dispatchers if dispatchers is not None else len(self.backends) * pool_size
         )
@@ -152,223 +177,45 @@ class ServiceBroker:
         drops = self.metrics.counter(f"broker.drops.qos{level}")
         return drops / arrivals if arrivals else 0.0
 
-    def _priority_of(self, request: BrokerRequest) -> int:
+    def priority_of(self, request: BrokerRequest) -> int:
+        """A request's effective QoS level (transaction escalation aware)."""
         if self.transactions is not None:
             return self.qos.clamp(self.transactions.effective_level(request))
         return self.qos.clamp(request.qos_level)
 
+    def describe_pipeline(self) -> List[str]:
+        """The broker's configured stage names, in execution order."""
+        return self.pipeline.describe()
+
     # -- receive path (never blocks) -------------------------------------
 
     def _receive_loop(self):
+        """Demultiplex datagrams and feed requests to the ingress stages.
+
+        Only transport-level concerns live here (peer gossip, malformed
+        payloads); all request processing is pipeline stages.
+        """
         while True:
             envelope = yield self.socket.recv()
-            request = envelope.payload
-            if isinstance(request, TxnStateUpdate):
+            message = envelope.payload
+            if isinstance(message, TxnStateUpdate):
                 if self.transactions is not None:
-                    self.transactions.observe_remote(request.txn_id, request.step)
+                    self.transactions.observe_remote(message.txn_id, message.step)
                     self.metrics.increment("peering.updates_received")
                 continue
-            if not isinstance(request, BrokerRequest):
+            if not isinstance(message, BrokerRequest):
                 self.metrics.increment("broker.malformed")
                 continue
-            if request.service != self.service:
-                self._send_reply(
-                    request,
-                    BrokerReply(
-                        request_id=request.request_id,
-                        status=ReplyStatus.ERROR,
-                        error=f"unknown service {request.service!r}",
-                        broker=self.name,
-                    ),
-                )
-                continue
-            self._on_request(request)
-
-    def _on_request(self, request: BrokerRequest) -> None:
-        level = self.qos.clamp(request.qos_level)
-        self.metrics.increment("broker.arrivals")
-        self.metrics.increment(f"broker.arrivals.qos{level}")
-        self.admission.record_arrival(level)
-        if self.transactions is not None:
-            advanced_to = self.transactions.observe(request)
-            if advanced_to is not None and self.peer_group is not None:
-                self.peer_group.publish(self, request.txn_id, advanced_to)
-
-        self.sim.trace(
-            "broker", "arrival",
-            broker=self.name, request_id=request.request_id, qos=level,
-            operation=request.operation,
-        )
-        if self.cache is not None and request.cacheable:
-            value = self.cache.get(request.key())
-            if value is not None:
-                self.metrics.increment("broker.cache_replies")
-                self.sim.trace(
-                    "broker", "cache-hit",
-                    broker=self.name, request_id=request.request_id,
-                )
-                self._send_reply(
-                    request,
-                    BrokerReply(
-                        request_id=request.request_id,
-                        status=ReplyStatus.OK,
-                        payload=value,
-                        fidelity=1.0,
-                        from_cache=True,
-                        broker=self.name,
-                    ),
-                )
-                return
-
-        effective = self._priority_of(request)
-        protected = (
-            self.transactions.protected(request)
-            if self.transactions is not None
-            else False
-        )
-        decision = self.admission.decide(effective, protected=protected)
-        if not decision.admitted:
-            self.metrics.increment("broker.drops")
-            self.metrics.increment(f"broker.drops.qos{level}")
-            self.sim.trace(
-                "broker", "drop",
-                broker=self.name, request_id=request.request_id, qos=level,
-                reason=decision.reason, outstanding=self.outstanding,
-            )
-            reply = self.fidelity.degrade(
-                request, self.cache, decision.reason, broker_name=self.name
-            )
-            if reply.status is ReplyStatus.DEGRADED:
-                self.metrics.increment("broker.degraded_replies")
-            self._send_reply(request, reply)
-            return
-
-        self.admission.request_started()
-        self.metrics.increment("broker.admitted")
-        self.metrics.increment(f"broker.admitted.qos{level}")
-        self.queue.put(request)
+            ctx = RequestContext.adopt(message, now=self.sim.now, broker=self.name)
+            self.pipeline.run_ingress(ctx)
 
     # -- dispatch path -----------------------------------------------------
 
     def _dispatcher(self):
+        """Pull queued requests and run them through the dispatch stages."""
         while True:
             item: QueuedRequest = yield self.queue.get()
-            batch = [item]
-            config = self.clustering
-            if config is not None and config.max_batch > 1:
-                key = config.combiner.key(item.request)
-                if key is not None:
-                    if config.window > 0:
-                        yield self.sim.timeout(config.window)
-                    companions = self.queue.take_matching(
-                        lambda queued: config.combiner.key(queued.request) == key,
-                        config.max_batch - 1,
-                    )
-                    batch.extend(companions)
-                    if companions:
-                        self.metrics.increment("broker.clustered_batches")
-                        self.metrics.observe("broker.batch_size", len(batch))
-            yield from self._execute_batch(batch)
-
-    def _combined_call(self, batch: List[QueuedRequest]):
-        if self.clustering is not None and len(batch) > 1:
-            return self.clustering.combiner.combine([item.request for item in batch])
-        head = batch[0].request
-        return head.operation, head.payload
-
-    def _execute_batch(self, batch: List[QueuedRequest]):
-        operation, payload = self._combined_call(batch)
-        backend = self.balancer.pick(self.backends)
-        self.sim.trace(
-            "broker", "dispatch",
-            broker=self.name, backend=backend.name, batch=len(batch),
-            operation=operation,
-        )
-        backend.note_dispatch()
-        started = self.sim.now
-        attempts = 0
-        result: Any = None
-        failure: Optional[str] = None
-        while True:
-            try:
-                connection = yield from backend.pool.acquire()
-            except (ConnectionClosed, NetworkError) as exc:
-                attempts += 1
-                if attempts >= 2:
-                    failure = f"backend unreachable: {exc}"
-                    break
-                continue
-            try:
-                result = yield from backend.adapter.execute(
-                    connection, operation, payload
-                )
-            except (ConnectionClosed, NetworkError) as exc:
-                backend.pool.release(connection, discard=True)
-                attempts += 1
-                if attempts >= 2:
-                    failure = f"backend unreachable: {exc}"
-                    break
-                continue
-            except ServiceError as exc:
-                backend.pool.release(connection)
-                failure = str(exc)
-                break
-            backend.pool.release(connection)
-            break
-        latency = self.sim.now - started
-
-        if failure is not None:
-            backend.note_completion(latency, error=True)
-            self.metrics.increment("broker.backend_errors")
-            self.sim.trace(
-                "broker", "backend-error",
-                broker=self.name, backend=backend.name, error=failure,
-            )
-            for item in batch:
-                self._send_reply(
-                    item.request,
-                    BrokerReply(
-                        request_id=item.request.request_id,
-                        status=ReplyStatus.ERROR,
-                        error=failure,
-                        broker=self.name,
-                        queue_time=started - item.enqueued_at,
-                        service_time=latency,
-                    ),
-                )
-                self.admission.request_finished()
-            return
-
-        backend.note_completion(latency)
-        requests = [item.request for item in batch]
-        if self.clustering is not None and len(batch) > 1:
-            payloads = self.clustering.combiner.split(requests, result)
-        else:
-            payloads = [result]
-        for item, item_payload in zip(batch, payloads):
-            request = item.request
-            if self.cache is not None and request.cacheable:
-                self.cache.put(request.key(), item_payload)
-            level = self.qos.clamp(request.qos_level)
-            queue_time = started - item.enqueued_at
-            self.metrics.increment("broker.served")
-            self.metrics.increment(f"broker.served.qos{level}")
-            self.metrics.observe("broker.queue_time", queue_time)
-            self.metrics.observe(f"broker.queue_time.qos{level}", queue_time)
-            self.metrics.observe("broker.service_time", latency)
-            self._send_reply(
-                request,
-                BrokerReply(
-                    request_id=request.request_id,
-                    status=ReplyStatus.OK,
-                    payload=item_payload,
-                    fidelity=1.0,
-                    broker=self.name,
-                    queue_time=queue_time,
-                    service_time=latency,
-                ),
-            )
-            self.admission.request_finished()
+            yield from self.pipeline.run_dispatch(item)
 
     # -- direct execution (prefetcher, warmup) -----------------------------
 
@@ -376,7 +223,9 @@ class ServiceBroker:
         """Run one backend call outside admission; ``yield from`` this.
 
         Used by the prefetcher and by warm-up code; the result is
-        returned but *not* automatically cached (callers decide).
+        returned but *not* automatically cached (callers decide). By
+        design this bypasses the stage pipeline: prefetches must not
+        consume admission slots or skew per-request metrics.
         """
         backend = self.balancer.pick(self.backends)
         backend.note_dispatch()
@@ -402,27 +251,23 @@ class ServiceBroker:
 
     # -- replies and load reports -----------------------------------------
 
-    def _send_reply(self, request: BrokerRequest, reply: BrokerReply) -> None:
+    def send_reply(self, request: BrokerRequest, reply: BrokerReply) -> None:
+        """Send *reply* to the request's ``reply_to`` address."""
         self.socket.sendto(reply, request.reply_to)
 
     def report_load_to(self, address: Address, interval: float = 0.1):
-        """Start periodically sending load reports to *address*."""
-        from .centralized import LoadReport  # local import avoids a cycle
+        """Start periodically sending load reports to *address*.
 
-        def reporter():
-            while True:
-                yield self.sim.timeout(interval)
-                report = LoadReport(
-                    broker=self.name,
-                    service=self.service,
-                    outstanding=self.outstanding,
-                    queue_depth=len(self.queue),
-                    threshold=self.qos.threshold,
-                    sent_at=self.sim.now,
-                )
-                self.socket.sendto(report, address)
-
-        return self.sim.process(reporter(), name=f"{self.name}:load-report")
+        Activates the pipeline's :class:`LoadReportStage` (appending one
+        if the current stage plan has none — brokers built with the
+        distributed plan can still feed a listener).
+        """
+        try:
+            stage = self.pipeline.stage(LoadReportStage.name)
+        except BrokerError:
+            stage = LoadReportStage()
+            self.pipeline.append(stage)
+        return stage.start(address, interval=interval)
 
     def __repr__(self) -> str:
         return (

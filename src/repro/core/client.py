@@ -13,13 +13,14 @@ lossless LAN (the default testbeds) neither ever fires.
 from __future__ import annotations
 
 from itertools import count
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import BrokerTimeout, UnknownServiceError
 from ..metrics import MetricsRegistry
 from ..net.address import Address
 from ..net.network import Node
 from ..sim.core import Event, Simulation
+from .pipeline import RequestContext
 from .protocol import BrokerReply, BrokerRequest
 
 __all__ = ["BrokerClient", "CallSpec"]
@@ -87,6 +88,12 @@ class BrokerClient:
         or ERROR — callers inspect ``reply.status``). Raises
         :class:`BrokerTimeout` if no reply arrives within *timeout*
         after ``retries`` resends.
+
+        Every attempt originates a fresh
+        :class:`~repro.core.pipeline.RequestContext` here, at the
+        front-end side; it rides the request through the net layer and
+        the broker's stage pipeline, and comes back on
+        ``reply.context`` with the complete per-stage timeline.
         """
         address = self.routes.get(service)
         if address is None:
@@ -97,6 +104,9 @@ class BrokerClient:
         attempts = self.retries + 1
         for attempt in range(attempts):
             request_id = next(self._ids)
+            context = RequestContext.originate(
+                now=self.sim.now, origin=self.node.name
+            )
             request = BrokerRequest(
                 request_id=request_id,
                 service=service,
@@ -109,7 +119,9 @@ class BrokerClient:
                 cacheable=cacheable,
                 cache_key=cache_key,
                 sent_at=self.sim.now,
+                context=context,
             )
+            context.request = request
             waiter = Event(self.sim)
             self._pending[request_id] = waiter
             self.metrics.increment("client.calls")
@@ -127,6 +139,10 @@ class BrokerClient:
                 reply = outcome[waiter]
             self.metrics.observe("client.call_time", self.sim.now - started)
             self.metrics.increment(f"client.replies.{reply.status.value}")
+            if reply.context is not None:
+                reply.context.record_stage(
+                    "client", started, self.sim.now, reply.status.value
+                )
             return reply
         raise BrokerTimeout(
             f"no reply from {service!r} broker after {attempts} attempt(s)"

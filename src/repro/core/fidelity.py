@@ -11,10 +11,13 @@ system is busy without waiting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional
 
 from .cache import ResultCache
 from .protocol import BrokerReply, BrokerRequest, ReplyStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import RequestContext
 
 __all__ = ["FidelityPolicy"]
 
@@ -41,6 +44,7 @@ class FidelityPolicy:
         cache: Optional[ResultCache],
         reason: str,
         broker_name: str = "",
+        context: Optional["RequestContext"] = None,
     ) -> BrokerReply:
         """Build the immediate low-fidelity reply for a rejected request."""
         if self.serve_stale and cache is not None and request.cacheable:
@@ -62,6 +66,7 @@ class FidelityPolicy:
                         from_cache=True,
                         error=reason,
                         broker=broker_name,
+                        context=context,
                     )
         return BrokerReply(
             request_id=request.request_id,
@@ -71,4 +76,5 @@ class FidelityPolicy:
             from_cache=False,
             error=reason,
             broker=broker_name,
+            context=context,
         )

@@ -1,0 +1,1042 @@
+"""The broker's composable stage pipeline.
+
+The paper describes the broker as a *sequence of mechanisms* — admission
+control, cache lookup, QoS queueing, clustering, pooled execution,
+fidelity degradation (§III-§IV) — and this module makes that sequence
+explicit. A :class:`ServiceBroker` no longer hard-wires its control
+flow; it runs an ordered list of :class:`BrokerStage` objects assembled
+into a :class:`StagePipeline`, and every request carries a
+:class:`RequestContext` from the moment the front end creates it,
+through the net layer, through every stage, to the backend adapter and
+back.
+
+Two stock configurations express the paper's two models as *stage
+plans* rather than code paths:
+
+* :func:`distributed_stage_plan` — admission happens at the broker
+  (§III, Figure 2);
+* :func:`centralized_stage_plan` — admission happens at the front end
+  from streamed load reports, so the broker omits its admission gate
+  and gains a :class:`LoadReportStage` (§IV, Figure 4).
+
+The context records a per-stage timeline (enter/exit timestamps and the
+stage's decision) and the pipeline mirrors it into the broker's
+:class:`~repro.metrics.MetricsRegistry` (``broker.stage.<name>.time``
+samples, ``broker.stage.<name>.<decision>`` counters) and the
+simulation tracer (category ``"pipeline"``), so every layer gets
+uniform instrumentation for free.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import (
+    BrokerError,
+    ConnectionClosed,
+    NetworkError,
+    ServiceError,
+)
+from ..net.address import Address
+from .protocol import BrokerReply, BrokerRequest, ReplyStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .broker import ServiceBroker
+    from .loadbalance import BackendState
+    from .queueing import QueuedRequest
+
+__all__ = [
+    "StageOutcome",
+    "StageRecord",
+    "RequestContext",
+    "BatchContext",
+    "BrokerStage",
+    "StagePipeline",
+    "ValidateServiceStage",
+    "ArrivalStage",
+    "CacheLookupStage",
+    "AdmissionStage",
+    "FidelityFallbackStage",
+    "EnqueueStage",
+    "ClusterStage",
+    "ExecuteStage",
+    "CacheFillStage",
+    "ReplyStage",
+    "LoadReportStage",
+    "distributed_stage_plan",
+    "centralized_stage_plan",
+    "stage_plan",
+]
+
+
+class StageOutcome(Enum):
+    """What a stage tells the pipeline to do next."""
+
+    CONTINUE = "continue"
+    """Proceed to the next stage."""
+
+    REPLY = "reply"
+    """``ctx.reply`` is set; send it and stop processing the request."""
+
+    QUEUED = "queued"
+    """The request was handed to the broker queue; a dispatcher resumes
+    it at the first dispatch stage."""
+
+    DONE = "done"
+    """Dispatch finished; replies (if any) have been sent by the stage."""
+
+
+class StageRecord:
+    """One entry of a request's per-stage timeline."""
+
+    __slots__ = ("stage", "entered", "exited", "decision")
+
+    def __init__(
+        self, stage: str, entered: float, exited: float, decision: str = ""
+    ) -> None:
+        self.stage = stage
+        self.entered = entered
+        self.exited = exited
+        self.decision = decision
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds spent in the stage."""
+        return self.exited - self.entered
+
+    def __repr__(self) -> str:
+        return (
+            f"<StageRecord {self.stage} +{self.duration:.6f}s "
+            f"{self.decision or 'continue'}>"
+        )
+
+
+class RequestContext:
+    """Mutable per-request state threaded through every broker stage.
+
+    A context is created where the request originates (the front-end
+    side's :class:`~repro.core.client.BrokerClient`, or a
+    :class:`~repro.frontend.server.FrontendWebServer` for HTTP-level
+    requests), rides the request message through the net layer (it
+    contributes no simulated wire bytes — see
+    :func:`repro.net.message.estimate_size`), and is then threaded
+    through every pipeline stage to the adapter and back: the broker's
+    reply carries the same context object, so the caller can inspect
+    the complete end-to-end timeline.
+    """
+
+    #: Fields of this object never count toward simulated message sizes.
+    __wire_bytes__ = 0
+
+    __slots__ = (
+        "request",
+        "origin",
+        "created_at",
+        "broker",
+        "received_at",
+        "qos_level",
+        "effective_level",
+        "protected",
+        "admission",
+        "reply",
+        "enqueued_at",
+        "dispatched_at",
+        "completed_at",
+        "backend",
+        "batch_size",
+        "stages",
+        "annotations",
+        "_decision",
+    )
+
+    def __init__(
+        self,
+        request: Optional[BrokerRequest] = None,
+        created_at: float = 0.0,
+        origin: str = "",
+    ) -> None:
+        self.request = request
+        self.origin = origin
+        self.created_at = created_at
+        self.broker = ""
+        self.received_at: Optional[float] = None
+        self.qos_level = request.qos_level if request is not None else 1
+        self.effective_level = self.qos_level
+        self.protected = False
+        self.admission: Optional[Any] = None
+        self.reply: Optional[BrokerReply] = None
+        self.enqueued_at: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.backend = ""
+        self.batch_size = 1
+        self.stages: List[StageRecord] = []
+        self.annotations: Dict[str, Any] = {}
+        self._decision = ""
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def originate(
+        cls,
+        now: float,
+        origin: str = "",
+        request: Optional[BrokerRequest] = None,
+    ) -> "RequestContext":
+        """Create a fresh context at the point a request enters the system."""
+        return cls(request=request, created_at=now, origin=origin)
+
+    @classmethod
+    def adopt(
+        cls, request: BrokerRequest, now: float, broker: str = ""
+    ) -> "RequestContext":
+        """The context for *request* at broker ingress.
+
+        Reuses the context the front end attached (recording the network
+        transit as a ``"net"`` stage) or creates a fresh one for bare
+        requests sent without a context.
+        """
+        ctx = request.context
+        if ctx is None:
+            ctx = cls(request=request, created_at=now)
+        else:
+            ctx.request = request
+            ctx.record_stage("net", request.sent_at, now, "udp")
+        ctx.broker = broker
+        ctx.received_at = now
+        return ctx
+
+    # -- per-stage records ----------------------------------------------
+
+    def record_stage(
+        self, stage: str, entered: float, exited: float, decision: str = ""
+    ) -> StageRecord:
+        """Append one :class:`StageRecord` to the timeline and return it."""
+        record = StageRecord(stage, entered, exited, decision)
+        self.stages.append(record)
+        return record
+
+    def set_decision(self, decision: str) -> None:
+        """Stages call this to label the record the pipeline is writing."""
+        self._decision = decision
+
+    def take_decision(self, default: str = "") -> str:
+        """Consume the pending stage decision (pipeline internal)."""
+        decision, self._decision = self._decision, ""
+        return decision or default
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach free-form metadata to the request (visible end to end)."""
+        self.annotations[key] = value
+
+    # -- inspection ------------------------------------------------------
+
+    def stage_names(self) -> List[str]:
+        """The names of the stages traversed so far, in order."""
+        return [record.stage for record in self.stages]
+
+    def timeline(self) -> List[Tuple[str, float, float, str]]:
+        """The timeline as ``(stage, entered, exited, decision)`` tuples."""
+        return [
+            (r.stage, r.entered, r.exited, r.decision) for r in self.stages
+        ]
+
+    def duration_of(self, stage: str) -> float:
+        """Total simulated time spent in all records of *stage*."""
+        return sum(r.duration for r in self.stages if r.stage == stage)
+
+    @property
+    def rejected(self) -> bool:
+        """True once admission control has rejected the request."""
+        return self.admission is not None and not self.admission.admitted
+
+    @property
+    def finished(self) -> bool:
+        """True once a reply has been produced for the request."""
+        return self.completed_at is not None
+
+    def __repr__(self) -> str:
+        rid = self.request.request_id if self.request is not None else "?"
+        return (
+            f"<RequestContext request={rid} broker={self.broker!r} "
+            f"stages={self.stage_names()}>"
+        )
+
+
+class BatchContext:
+    """Shared state for one dispatch-path traversal.
+
+    Dispatchers pull one queued request and run it through the dispatch
+    stages; clustering may add companions, so dispatch stages operate on
+    a *batch* of queued requests (usually of size one) with one combined
+    backend call.
+    """
+
+    __slots__ = (
+        "broker",
+        "items",
+        "operation",
+        "payload",
+        "backend",
+        "started",
+        "latency",
+        "result",
+        "failure",
+        "payloads",
+    )
+
+    def __init__(self, broker: "ServiceBroker", items: List["QueuedRequest"]) -> None:
+        self.broker = broker
+        self.items = items
+        self.operation = ""
+        self.payload: Any = None
+        self.backend: Optional["BackendState"] = None
+        self.started = 0.0
+        self.latency = 0.0
+        self.result: Any = None
+        self.failure: Optional[str] = None
+        self.payloads: List[Any] = []
+
+    @property
+    def requests(self) -> List[BrokerRequest]:
+        """The batched requests, leader first."""
+        return [item.request for item in self.items]
+
+    @property
+    def contexts(self) -> List[RequestContext]:
+        """The request contexts of the batch (skipping bare items)."""
+        return [item.context for item in self.items if item.context is not None]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"<BatchContext size={len(self.items)} op={self.operation!r}>"
+
+
+class BrokerStage:
+    """One replaceable step of the broker's request path.
+
+    Subclasses override :meth:`on_request` (ingress path, synchronous —
+    it must never block) and/or :meth:`on_batch` (dispatch path; may be
+    a ``yield from`` generator that advances simulated time). A stage
+    instance belongs to exactly one broker; :meth:`bind` is called once
+    when the pipeline is assembled.
+    """
+
+    #: Stage name used in metrics, traces, and ``describe()`` output.
+    name = "stage"
+
+    #: True for the stage that hands requests to the broker queue; it
+    #: marks the boundary between the ingress and dispatch sections.
+    boundary = False
+
+    def __init__(self) -> None:
+        self.broker: Optional["ServiceBroker"] = None
+
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Attach the stage to *broker* (stages are per-broker objects)."""
+        if self.broker is not None and self.broker is not broker:
+            raise BrokerError(
+                f"stage {self.name!r} is already bound to {self.broker.name!r}; "
+                "stage plans cannot be shared between brokers"
+            )
+        self.broker = broker
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Process one arriving request; ingress stages override this."""
+        return StageOutcome.CONTINUE
+
+    def on_batch(self, batch: BatchContext):
+        """Process one dispatch batch; dispatch stages override this.
+
+        May return a :class:`StageOutcome` directly or be a generator
+        (the pipeline ``yield from``-s it and uses its return value).
+        """
+        return StageOutcome.CONTINUE
+
+    @classmethod
+    def summary(cls) -> str:
+        """The first line of the stage's docstring (for ``describe()``)."""
+        doc = cls.__doc__ or ""
+        for line in doc.splitlines():
+            line = line.strip()
+            if line:
+                return line
+        return ""
+
+    def __repr__(self) -> str:
+        bound = self.broker.name if self.broker is not None else "unbound"
+        return f"<{type(self).__name__} {self.name!r} ({bound})>"
+
+
+# ---------------------------------------------------------------------------
+# Ingress stages (synchronous; run in the broker's receive loop)
+# ---------------------------------------------------------------------------
+
+
+class ValidateServiceStage(BrokerStage):
+    """Rejects requests naming a service this broker does not front."""
+
+    name = "validate"
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Answer with an ERROR reply when the service name mismatches."""
+        broker = self.broker
+        request = ctx.request
+        if request.service == broker.service:
+            return StageOutcome.CONTINUE
+        ctx.set_decision("unknown-service")
+        ctx.reply = BrokerReply(
+            request_id=request.request_id,
+            status=ReplyStatus.ERROR,
+            error=f"unknown service {request.service!r}",
+            broker=broker.name,
+            context=ctx,
+        )
+        return StageOutcome.REPLY
+
+
+class ArrivalStage(BrokerStage):
+    """Arrival accounting: metrics, intensity window, transaction state.
+
+    Clamps the QoS level, feeds the admission controller's sliding
+    arrival window, advances transaction tracking (publishing txn-state
+    gossip to peers when configured), and computes the request's
+    effective priority and protection flag.
+    """
+
+    name = "arrival"
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Record the arrival and stamp QoS/transaction state on *ctx*."""
+        broker = self.broker
+        request = ctx.request
+        level = broker.qos.clamp(request.qos_level)
+        ctx.qos_level = level
+        broker.metrics.increment("broker.arrivals")
+        broker.metrics.increment(f"broker.arrivals.qos{level}")
+        broker.admission.record_arrival(level)
+        if broker.transactions is not None:
+            advanced_to = broker.transactions.observe(request)
+            if advanced_to is not None and broker.peer_group is not None:
+                broker.peer_group.publish(broker, request.txn_id, advanced_to)
+        broker.sim.trace(
+            "broker", "arrival",
+            broker=broker.name, request_id=request.request_id, qos=level,
+            operation=request.operation,
+        )
+        ctx.effective_level = broker.priority_of(request)
+        ctx.protected = (
+            broker.transactions.protected(request)
+            if broker.transactions is not None
+            else False
+        )
+        return StageOutcome.CONTINUE
+
+
+class CacheLookupStage(BrokerStage):
+    """Answers cacheable requests from the result cache immediately."""
+
+    name = "cache-lookup"
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Reply from cache on a fresh hit; otherwise continue."""
+        broker = self.broker
+        request = ctx.request
+        if broker.cache is None or not request.cacheable:
+            ctx.set_decision("bypass")
+            return StageOutcome.CONTINUE
+        value = broker.cache.get(request.key())
+        if value is None:
+            ctx.set_decision("miss")
+            return StageOutcome.CONTINUE
+        broker.metrics.increment("broker.cache_replies")
+        broker.sim.trace(
+            "broker", "cache-hit",
+            broker=broker.name, request_id=request.request_id,
+        )
+        ctx.set_decision("hit")
+        ctx.reply = BrokerReply(
+            request_id=request.request_id,
+            status=ReplyStatus.OK,
+            payload=value,
+            fidelity=1.0,
+            from_cache=True,
+            broker=broker.name,
+            context=ctx,
+        )
+        return StageOutcome.REPLY
+
+
+class AdmissionStage(BrokerStage):
+    """QoS admission control: the threshold and intensity gates.
+
+    On rejection the request is *not* answered here — the decision is
+    recorded on the context and the fidelity-fallback stage produces
+    the immediate low-fidelity reply. The centralized stage plan omits
+    this stage entirely (admission happens at the front end).
+    """
+
+    name = "admission"
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Apply the admission gates and record the decision."""
+        broker = self.broker
+        decision = broker.admission.decide(
+            ctx.effective_level, protected=ctx.protected
+        )
+        ctx.admission = decision
+        if decision.admitted:
+            ctx.set_decision("admitted")
+            return StageOutcome.CONTINUE
+        level = ctx.qos_level
+        broker.metrics.increment("broker.drops")
+        broker.metrics.increment(f"broker.drops.qos{level}")
+        broker.sim.trace(
+            "broker", "drop",
+            broker=broker.name, request_id=ctx.request.request_id, qos=level,
+            reason=decision.reason, outstanding=broker.outstanding,
+        )
+        ctx.set_decision(decision.reason)
+        return StageOutcome.CONTINUE
+
+
+class FidelityFallbackStage(BrokerStage):
+    """Immediate low-fidelity replies for admission-rejected requests.
+
+    Pass-through for admitted requests; for rejected ones it builds the
+    paper's adaptive reply — a stale cached result with decayed fidelity
+    when one exists, else a "system busy" indication.
+    """
+
+    name = "fidelity"
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Degrade rejected requests; admitted ones pass through."""
+        broker = self.broker
+        if ctx.admission is None or ctx.admission.admitted:
+            ctx.set_decision("pass")
+            return StageOutcome.CONTINUE
+        reply = broker.fidelity.degrade(
+            ctx.request,
+            broker.cache,
+            ctx.admission.reason,
+            broker_name=broker.name,
+            context=ctx,
+        )
+        if reply.status is ReplyStatus.DEGRADED:
+            broker.metrics.increment("broker.degraded_replies")
+        ctx.set_decision(reply.status.value)
+        ctx.reply = reply
+        return StageOutcome.REPLY
+
+
+class EnqueueStage(BrokerStage):
+    """Hands admitted requests to the QoS priority queue.
+
+    The boundary stage: ingress processing ends here and a dispatcher
+    process resumes the request at the first dispatch stage.
+    """
+
+    name = "enqueue"
+    boundary = True
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Count the admitted request and enqueue it (with its context)."""
+        broker = self.broker
+        broker.admission.request_started()
+        level = ctx.qos_level
+        broker.metrics.increment("broker.admitted")
+        broker.metrics.increment(f"broker.admitted.qos{level}")
+        item = broker.queue.put(ctx.request, context=ctx)
+        ctx.enqueued_at = item.enqueued_at
+        ctx.set_decision(f"depth={len(broker.queue)}")
+        return StageOutcome.QUEUED
+
+
+# ---------------------------------------------------------------------------
+# Dispatch stages (run inside dispatcher processes; may advance sim time)
+# ---------------------------------------------------------------------------
+
+
+class ClusterStage(BrokerStage):
+    """Gathers compatible queued requests into one batched backend call.
+
+    Waits the configured gather window, claims companions that share
+    the leader's cluster key, and computes the combined
+    ``(operation, payload)`` for the batch.
+    """
+
+    name = "cluster"
+
+    def on_batch(self, batch: BatchContext):
+        """Batch companions behind the leader and combine the call."""
+        broker = self.broker
+        config = broker.clustering
+        leader = batch.items[0]
+        if config is not None and config.max_batch > 1:
+            key = config.combiner.key(leader.request)
+            if key is not None:
+                if config.window > 0:
+                    yield broker.sim.timeout(config.window)
+                companions = broker.queue.take_matching(
+                    lambda queued: config.combiner.key(queued.request) == key,
+                    config.max_batch - 1,
+                )
+                batch.items.extend(companions)
+                if companions:
+                    broker.metrics.increment("broker.clustered_batches")
+                    broker.metrics.observe("broker.batch_size", len(batch.items))
+        if config is not None and len(batch.items) > 1:
+            batch.operation, batch.payload = config.combiner.combine(
+                batch.requests
+            )
+        else:
+            head = leader.request
+            batch.operation, batch.payload = head.operation, head.payload
+        for ctx in batch.contexts:
+            ctx.batch_size = len(batch.items)
+        return StageOutcome.CONTINUE
+
+
+class ExecuteStage(BrokerStage):
+    """Pooled execution of the batch against a load-balanced backend.
+
+    Picks a backend replica, acquires a persistent connection from its
+    pool, runs the adapter, and retries once on transport failure.
+    Records the chosen backend and service latency on the batch.
+    """
+
+    name = "execute"
+
+    def on_batch(self, batch: BatchContext):
+        """Run the combined call over a pooled connection."""
+        broker = self.broker
+        backend = broker.balancer.pick(broker.backends)
+        batch.backend = backend
+        broker.sim.trace(
+            "broker", "dispatch",
+            broker=broker.name, backend=backend.name, batch=len(batch.items),
+            operation=batch.operation,
+        )
+        backend.note_dispatch()
+        batch.started = broker.sim.now
+        for ctx in batch.contexts:
+            ctx.dispatched_at = batch.started
+            ctx.backend = backend.name
+        attempts = 0
+        result: Any = None
+        failure: Optional[str] = None
+        while True:
+            try:
+                connection = yield from backend.pool.acquire()
+            except (ConnectionClosed, NetworkError) as exc:
+                attempts += 1
+                if attempts >= 2:
+                    failure = f"backend unreachable: {exc}"
+                    break
+                continue
+            try:
+                result = yield from backend.adapter.execute(
+                    connection, batch.operation, batch.payload
+                )
+            except (ConnectionClosed, NetworkError) as exc:
+                backend.pool.release(connection, discard=True)
+                attempts += 1
+                if attempts >= 2:
+                    failure = f"backend unreachable: {exc}"
+                    break
+                continue
+            except ServiceError as exc:
+                backend.pool.release(connection)
+                failure = str(exc)
+                break
+            backend.pool.release(connection)
+            break
+        batch.latency = broker.sim.now - batch.started
+        batch.result = result
+        batch.failure = failure
+        if failure is not None:
+            backend.note_completion(batch.latency, error=True)
+            broker.metrics.increment("broker.backend_errors")
+            broker.sim.trace(
+                "broker", "backend-error",
+                broker=broker.name, backend=backend.name, error=failure,
+            )
+            for ctx in batch.contexts:
+                ctx.set_decision("error")
+        else:
+            backend.note_completion(batch.latency)
+        return StageOutcome.CONTINUE
+
+
+class CacheFillStage(BrokerStage):
+    """Splits the combined result per request and fills the cache."""
+
+    name = "cache-fill"
+
+    def on_batch(self, batch: BatchContext):
+        """Scatter the result back per request; write fresh cache entries."""
+        broker = self.broker
+        if batch.failure is not None:
+            return StageOutcome.CONTINUE
+        if broker.clustering is not None and len(batch.items) > 1:
+            batch.payloads = broker.clustering.combiner.split(
+                batch.requests, batch.result
+            )
+        else:
+            batch.payloads = [batch.result]
+        if broker.cache is not None:
+            for item, payload in zip(batch.items, batch.payloads):
+                if item.request.cacheable:
+                    broker.cache.put(item.request.key(), payload)
+        return StageOutcome.CONTINUE
+
+
+class ReplyStage(BrokerStage):
+    """Builds and sends the per-request replies; closes the books.
+
+    Emits the served/queue-time/service-time metrics, sends OK replies
+    (or ERROR replies when execution failed), and releases each
+    request's admission slot.
+    """
+
+    name = "reply"
+
+    def on_batch(self, batch: BatchContext):
+        """Answer every request of the batch and release admission slots."""
+        broker = self.broker
+        started, latency = batch.started, batch.latency
+        if batch.failure is not None:
+            for item in batch.items:
+                reply = BrokerReply(
+                    request_id=item.request.request_id,
+                    status=ReplyStatus.ERROR,
+                    error=batch.failure,
+                    broker=broker.name,
+                    queue_time=started - item.enqueued_at,
+                    service_time=latency,
+                    context=item.context,
+                )
+                self._answer(item, reply)
+            return StageOutcome.DONE
+        for item, payload in zip(batch.items, batch.payloads):
+            request = item.request
+            level = broker.qos.clamp(request.qos_level)
+            queue_time = started - item.enqueued_at
+            broker.metrics.increment("broker.served")
+            broker.metrics.increment(f"broker.served.qos{level}")
+            broker.metrics.observe("broker.queue_time", queue_time)
+            broker.metrics.observe(f"broker.queue_time.qos{level}", queue_time)
+            broker.metrics.observe("broker.service_time", latency)
+            reply = BrokerReply(
+                request_id=request.request_id,
+                status=ReplyStatus.OK,
+                payload=payload,
+                fidelity=1.0,
+                broker=broker.name,
+                queue_time=queue_time,
+                service_time=latency,
+                context=item.context,
+            )
+            self._answer(item, reply)
+        return StageOutcome.DONE
+
+    def _answer(self, item: "QueuedRequest", reply: BrokerReply) -> None:
+        broker = self.broker
+        if item.context is not None:
+            item.context.reply = reply
+        broker.send_reply(item.request, reply)
+        broker.admission.request_finished()
+
+
+class LoadReportStage(BrokerStage):
+    """Periodic load reporting to the centralized model's listener.
+
+    Not a per-request step: :meth:`start` launches the reporter process
+    that streams :class:`~repro.core.centralized.LoadReport` datagrams
+    to the front end's load listener. Part of the centralized stage
+    plan; :meth:`ServiceBroker.report_load_to` activates it.
+    """
+
+    name = "load-report"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.address: Optional[Address] = None
+        self.interval = 0.1
+
+    def start(self, address: Address, interval: float = 0.1):
+        """Begin streaming load reports to *address* every *interval* s."""
+        from .centralized import LoadReport  # local import avoids a cycle
+
+        broker = self.broker
+        self.address = address
+        self.interval = interval
+
+        def reporter():
+            while True:
+                yield broker.sim.timeout(self.interval)
+                report = LoadReport(
+                    broker=broker.name,
+                    service=broker.service,
+                    outstanding=broker.outstanding,
+                    queue_depth=len(broker.queue),
+                    threshold=broker.qos.threshold,
+                    sent_at=broker.sim.now,
+                )
+                broker.socket.sendto(report, self.address)
+
+        return broker.sim.process(
+            reporter(), name=f"{broker.name}:load-report"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+
+class StagePipeline:
+    """An ordered list of :class:`BrokerStage` objects run per request.
+
+    The list splits at the boundary stage (normally
+    :class:`EnqueueStage`): stages up to and including it form the
+    *ingress* section, run synchronously in the broker's receive loop;
+    stages after it form the *dispatch* section, run by dispatcher
+    processes (and may advance simulated time). Per-stage latency and
+    decisions are recorded on each request's :class:`RequestContext`
+    and mirrored into the broker's metrics registry.
+    """
+
+    def __init__(
+        self, broker: "ServiceBroker", stages: Sequence[BrokerStage]
+    ) -> None:
+        if not stages:
+            raise BrokerError("a pipeline needs at least one stage")
+        self.broker = broker
+        self.stages: List[BrokerStage] = list(stages)
+        for stage in self.stages:
+            stage.bind(broker)
+        self._split()
+
+    def _split(self) -> None:
+        boundary = next(
+            (i for i, stage in enumerate(self.stages) if stage.boundary),
+            len(self.stages) - 1,
+        )
+        self._ingress = self.stages[: boundary + 1]
+        self._dispatch = self.stages[boundary + 1 :]
+
+    # -- composition -----------------------------------------------------
+
+    @property
+    def ingress_stages(self) -> List[BrokerStage]:
+        """The stages run synchronously at request arrival."""
+        return list(self._ingress)
+
+    @property
+    def dispatch_stages(self) -> List[BrokerStage]:
+        """The stages run by dispatcher processes after dequeue."""
+        return list(self._dispatch)
+
+    def stage(self, name: str) -> BrokerStage:
+        """The stage called *name* (raises :class:`BrokerError` if absent)."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise BrokerError(f"no stage named {name!r} in {self.describe()}")
+
+    def _index_of(self, name: str) -> int:
+        for index, stage in enumerate(self.stages):
+            if stage.name == name:
+                return index
+        raise BrokerError(f"no stage named {name!r} in {self.describe()}")
+
+    def insert_before(self, name: str, stage: BrokerStage) -> None:
+        """Insert *stage* immediately before the stage called *name*."""
+        stage.bind(self.broker)
+        self.stages.insert(self._index_of(name), stage)
+        self._split()
+
+    def insert_after(self, name: str, stage: BrokerStage) -> None:
+        """Insert *stage* immediately after the stage called *name*."""
+        stage.bind(self.broker)
+        self.stages.insert(self._index_of(name) + 1, stage)
+        self._split()
+
+    def append(self, stage: BrokerStage) -> None:
+        """Add *stage* at the end of the dispatch section."""
+        stage.bind(self.broker)
+        self.stages.append(stage)
+        self._split()
+
+    def describe(self) -> List[str]:
+        """The configured stage names, in execution order."""
+        return [stage.name for stage in self.stages]
+
+    def __iter__(self) -> Iterator[BrokerStage]:
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    # -- execution -------------------------------------------------------
+
+    def run_ingress(self, ctx: RequestContext) -> StageOutcome:
+        """Run the ingress section for one arriving request."""
+        sim = self.broker.sim
+        outcome = StageOutcome.CONTINUE
+        for stage in self._ingress:
+            entered = sim.now
+            outcome = stage.on_request(ctx) or StageOutcome.CONTINUE
+            self._record(stage, ctx, entered, sim.now, outcome)
+            if outcome is StageOutcome.CONTINUE:
+                continue
+            if outcome is StageOutcome.REPLY:
+                self._complete(ctx)
+            return outcome
+        return outcome
+
+    def run_dispatch(self, leader: "QueuedRequest"):
+        """Run the dispatch section for one dequeued request.
+
+        A ``yield from`` generator driven by a dispatcher process; the
+        batch may grow at the clustering stage.
+        """
+        broker = self.broker
+        sim = broker.sim
+        batch = BatchContext(broker, [leader])
+        for stage in self._dispatch:
+            entered = sim.now
+            outcome = stage.on_batch(batch)
+            if outcome is not None and hasattr(outcome, "send"):
+                outcome = yield from outcome
+            outcome = outcome or StageOutcome.CONTINUE
+            exited = sim.now
+            broker.metrics.observe(f"broker.stage.{stage.name}.time", exited - entered)
+            for ctx in batch.contexts:
+                decision = ctx.take_decision(outcome.value)
+                ctx.record_stage(stage.name, entered, exited, decision)
+                broker.metrics.increment(
+                    f"broker.stage.{stage.name}.{decision.split('=')[0]}"
+                )
+            if outcome is StageOutcome.DONE:
+                break
+        for ctx in batch.contexts:
+            if ctx.reply is None:
+                # A custom terminal stage answered out of band (or not
+                # at all); there is nothing to stamp as completed.
+                continue
+            self._complete(ctx, send=False)
+
+    def _record(
+        self,
+        stage: BrokerStage,
+        ctx: RequestContext,
+        entered: float,
+        exited: float,
+        outcome: StageOutcome,
+    ) -> None:
+        decision = ctx.take_decision(outcome.value)
+        ctx.record_stage(stage.name, entered, exited, decision)
+        metrics = self.broker.metrics
+        metrics.observe(f"broker.stage.{stage.name}.time", exited - entered)
+        metrics.increment(
+            f"broker.stage.{stage.name}.{decision.split('=')[0]}"
+        )
+
+    def _complete(self, ctx: RequestContext, send: bool = True) -> None:
+        broker = self.broker
+        ctx.completed_at = broker.sim.now
+        if send and ctx.reply is not None and ctx.request is not None:
+            if ctx.reply.context is None:
+                # Replies built by stock stages carry the context; patch
+                # replies a custom stage built without one.
+                ctx.reply = ctx.reply.with_context(ctx)
+            broker.send_reply(ctx.request, ctx.reply)
+        anchor = ctx.received_at if ctx.received_at is not None else ctx.created_at
+        broker.metrics.observe("broker.pipeline.time", ctx.completed_at - anchor)
+        broker.sim.trace(
+            "pipeline", "complete",
+            broker=broker.name,
+            request_id=ctx.request.request_id if ctx.request else None,
+            status=ctx.reply.status.value if ctx.reply is not None else None,
+            stages=ctx.stage_names(),
+        )
+
+    def __repr__(self) -> str:
+        return f"<StagePipeline {' -> '.join(self.describe())}>"
+
+
+# ---------------------------------------------------------------------------
+# Stock stage plans (the paper's two models as configurations)
+# ---------------------------------------------------------------------------
+
+
+def distributed_stage_plan() -> List[BrokerStage]:
+    """The distributed model (§III): admission happens at the broker."""
+    return [
+        ValidateServiceStage(),
+        ArrivalStage(),
+        CacheLookupStage(),
+        AdmissionStage(),
+        FidelityFallbackStage(),
+        EnqueueStage(),
+        ClusterStage(),
+        ExecuteStage(),
+        CacheFillStage(),
+        ReplyStage(),
+    ]
+
+
+def centralized_stage_plan() -> List[BrokerStage]:
+    """The centralized model (§IV): front-end admission + load reports.
+
+    The broker omits its admission gate (the front end rejects from
+    streamed load state before requests reach the broker) and carries a
+    :class:`LoadReportStage` feeding the front end's listener.
+    """
+    return [
+        ValidateServiceStage(),
+        ArrivalStage(),
+        CacheLookupStage(),
+        FidelityFallbackStage(),
+        EnqueueStage(),
+        ClusterStage(),
+        ExecuteStage(),
+        CacheFillStage(),
+        ReplyStage(),
+        LoadReportStage(),
+    ]
+
+
+#: Factories for the stock stage plans, by model name.
+_STAGE_PLANS: Dict[str, Callable[[], List[BrokerStage]]] = {
+    "distributed": distributed_stage_plan,
+    "centralized": centralized_stage_plan,
+}
+
+
+def stage_plan(model: str) -> List[BrokerStage]:
+    """The stock stage plan for *model* (``"distributed"``/``"centralized"``)."""
+    try:
+        factory = _STAGE_PLANS[model]
+    except KeyError:
+        raise BrokerError(
+            f"unknown broker model {model!r}; "
+            f"expected one of {sorted(_STAGE_PLANS)}"
+        ) from None
+    return factory()

@@ -9,11 +9,14 @@ reply carries the result (possibly degraded) plus provenance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Any, Optional, Tuple
+from typing import TYPE_CHECKING, Any, ClassVar, FrozenSet, Optional
 
 from ..net.address import Address
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import RequestContext
 
 __all__ = ["BrokerRequest", "BrokerReply", "ReplyStatus"]
 
@@ -36,7 +39,16 @@ class ReplyStatus(str, Enum):
 
 @dataclass(frozen=True)
 class BrokerRequest:
-    """One message from a web application to a service broker."""
+    """One message from a web application to a service broker.
+
+    ``context`` is the request's :class:`~repro.core.pipeline.RequestContext`
+    riding along from the front end to the broker. It models an
+    out-of-band trace header: excluded from equality, repr, and
+    simulated wire size (see ``__nonwire_fields__``).
+    """
+
+    #: Dataclass fields that contribute no simulated wire bytes.
+    __nonwire_fields__: ClassVar[FrozenSet[str]] = frozenset({"context"})
 
     request_id: int
     service: str
@@ -49,6 +61,9 @@ class BrokerRequest:
     cacheable: bool = True
     cache_key: Optional[str] = None
     sent_at: float = 0.0
+    context: Optional["RequestContext"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def key(self) -> str:
         """The cache/clustering key for this request."""
@@ -59,7 +74,15 @@ class BrokerRequest:
 
 @dataclass(frozen=True)
 class BrokerReply:
-    """One reply from a service broker to a web application."""
+    """One reply from a service broker to a web application.
+
+    ``context`` carries the request's pipeline context back to the
+    caller, so the full per-stage timeline is inspectable end to end.
+    Like the request's, it adds no simulated wire bytes.
+    """
+
+    #: Dataclass fields that contribute no simulated wire bytes.
+    __nonwire_fields__: ClassVar[FrozenSet[str]] = frozenset({"context"})
 
     request_id: int
     status: ReplyStatus
@@ -70,6 +93,13 @@ class BrokerReply:
     broker: str = ""
     queue_time: float = 0.0
     service_time: float = 0.0
+    context: Optional["RequestContext"] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def with_context(self, context: "RequestContext") -> "BrokerReply":
+        """A copy of the reply carrying *context* (replies are frozen)."""
+        return replace(self, context=context)
 
     @property
     def ok(self) -> bool:

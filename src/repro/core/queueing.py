@@ -13,27 +13,43 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from itertools import count
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
 
 from ..sim.core import Event, Simulation
 from .protocol import BrokerRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import RequestContext
 
 __all__ = ["BrokerQueue", "QueuedRequest"]
 
 
 class QueuedRequest:
-    """A request plus its queueing metadata."""
+    """A request plus its queueing metadata.
 
-    __slots__ = ("request", "effective_level", "enqueued_at", "seq", "claimed")
+    ``context`` is the request's pipeline :class:`RequestContext`; it
+    rides through the queue so dispatch stages can keep appending to
+    the same per-request timeline.
+    """
+
+    __slots__ = (
+        "request", "effective_level", "enqueued_at", "seq", "claimed", "context"
+    )
 
     def __init__(
-        self, request: BrokerRequest, effective_level: int, enqueued_at: float, seq: int
+        self,
+        request: BrokerRequest,
+        effective_level: int,
+        enqueued_at: float,
+        seq: int,
+        context: Optional["RequestContext"] = None,
     ) -> None:
         self.request = request
         self.effective_level = effective_level
         self.enqueued_at = enqueued_at
         self.seq = seq
         self.claimed = False
+        self.context = context
 
     def sort_key(self) -> Tuple[int, int]:
         """Heap ordering: (effective level, arrival sequence)."""
@@ -78,13 +94,16 @@ class BrokerQueue:
         """Number of requests waiting (alias of ``len``)."""
         return len(self)
 
-    def put(self, request: BrokerRequest) -> QueuedRequest:
-        """Enqueue an admitted request."""
+    def put(
+        self, request: BrokerRequest, context: Optional["RequestContext"] = None
+    ) -> QueuedRequest:
+        """Enqueue an admitted request (with its pipeline context, if any)."""
         item = QueuedRequest(
             request=request,
             effective_level=self.priority_of(request),
             enqueued_at=self.sim.now,
             seq=next(self._seq),
+            context=context,
         )
         heapq.heappush(self._heap, (*item.sort_key(), item))
         self._dispatch()

@@ -13,8 +13,10 @@ it with 503 (see :class:`repro.core.centralized.CentralizedController`).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, Optional
 
+from ..core.pipeline import RequestContext
 from ..errors import ConnectionClosed
 from ..metrics import MetricsRegistry
 from ..net.network import Node
@@ -87,9 +89,22 @@ class FrontendWebServer:
             qos = qos_of(request)
             self.metrics.increment("frontend.requests")
             self.metrics.increment(f"frontend.requests.qos{qos}")
+            # The end-to-end request context is born here, at the front
+            # end; applications read `request.context` and their broker
+            # calls extend the same per-request timeline.
+            ctx = RequestContext.originate(now=self.sim.now, origin=self.name)
+            ctx.qos_level = qos
+            request = replace(request, context=ctx)
 
             if self.admission is not None:
+                admitted_at = self.sim.now
                 accepted, reason = self.admission(request)
+                ctx.record_stage(
+                    "frontend-admission",
+                    admitted_at,
+                    self.sim.now,
+                    "admitted" if accepted else reason,
+                )
                 if not accepted:
                     self.metrics.increment("frontend.rejected")
                     self.metrics.increment(f"frontend.rejected.qos{qos}")
@@ -97,16 +112,21 @@ class FrontendWebServer:
                         "frontend", "rejected",
                         path=request.path, qos=qos, reason=reason,
                     )
+                    ctx.completed_at = self.sim.now
                     connection.send(HttpResponse.error(503, reason))
                     continue
 
             started = self.sim.now
             process_slot = self.processes.request()
             yield process_slot
+            ctx.record_stage("frontend-process-wait", started, self.sim.now)
+            app_started = self.sim.now
             try:
                 response = yield from self._run_app(request)
             finally:
                 self.processes.release(process_slot)
+            ctx.record_stage("frontend-app", app_started, self.sim.now)
+            ctx.completed_at = self.sim.now
             elapsed = self.sim.now - started
             self.metrics.observe("frontend.response_time", elapsed)
             self.metrics.observe(f"frontend.response_time.qos{qos}", elapsed)

@@ -9,7 +9,7 @@ POST, and the batched MGET from the paper's clustering discussion
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, ClassVar, Dict, FrozenSet, Mapping, Tuple
 
 __all__ = ["HttpRequest", "HttpResponse", "STATUS_REASONS"]
 
@@ -29,7 +29,16 @@ class HttpRequest:
 
     ``params`` carries decoded query-string / form parameters. For MGET,
     ``paths`` holds the batched URIs and ``path`` is ignored.
+
+    ``context`` is the per-request
+    :class:`~repro.core.pipeline.RequestContext` the front-end web
+    server attaches at arrival (applications read it to link their
+    broker calls to the HTTP request). Like a trace header, it is
+    excluded from equality, repr, and simulated wire size.
     """
+
+    #: Dataclass fields that contribute no simulated wire bytes.
+    __nonwire_fields__: ClassVar[FrozenSet[str]] = frozenset({"context"})
 
     method: str
     path: str
@@ -37,6 +46,7 @@ class HttpRequest:
     headers: Mapping[str, str] = field(default_factory=dict)
     body: str = ""
     paths: Tuple[str, ...] = ()
+    context: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.method not in ("GET", "POST", "MGET"):

@@ -25,7 +25,17 @@ def estimate_size(payload: Any) -> int:
     Deterministic and cheap; used whenever a caller does not pass an
     explicit size. Numbers count 8 bytes, strings/bytes their length,
     containers the sum of their items plus a small framing overhead.
+
+    Two escape hatches keep simulation-side instrumentation off the
+    wire: an object with a ``__wire_bytes__`` attribute contributes
+    exactly that many bytes (a :class:`~repro.core.pipeline.RequestContext`
+    declares 0 — it models an out-of-band trace header), and a
+    dataclass may list fields in ``__nonwire_fields__`` to exclude them
+    from its size.
     """
+    wire_bytes = getattr(type(payload), "__wire_bytes__", None)
+    if wire_bytes is not None:
+        return int(wire_bytes)
     if payload is None:
         return 1
     if isinstance(payload, bool):
@@ -44,8 +54,11 @@ def estimate_size(payload: Any) -> int:
             for key, value in payload.items()
         )
     if is_dataclass(payload) and not isinstance(payload, type):
+        nonwire = getattr(type(payload), "__nonwire_fields__", ())
         return 8 + sum(
-            estimate_size(getattr(payload, f.name)) for f in fields(payload)
+            estimate_size(getattr(payload, f.name))
+            for f in fields(payload)
+            if f.name not in nonwire
         )
     return max(8, len(repr(payload)))
 

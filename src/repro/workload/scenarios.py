@@ -23,6 +23,7 @@ from ..core.adapters import HttpAdapter
 from ..core.broker import ServiceBroker
 from ..core.client import BrokerClient
 from ..core.clustering import ClusteringConfig, RepeatWorkloadCombiner
+from ..core.pipeline import centralized_stage_plan, distributed_stage_plan
 from ..core.protocol import ReplyStatus
 from ..core.qos import QoSPolicy
 from ..db.client import DatabaseClient
@@ -33,7 +34,7 @@ from ..frontend.api_access import ApiBackendGateway
 from ..frontend.server import FrontendWebServer
 from ..http.client import HttpClient
 from ..http.messages import HttpRequest, HttpResponse
-from ..metrics import MetricsRegistry, SummaryStats
+from ..metrics import SummaryStats
 from ..net.link import Link
 from ..net.network import Network
 from ..sim.core import Simulation
@@ -298,14 +299,16 @@ def run_qos_experiment(
 
     brokers: List[ServiceBroker] = []
     if mode in ("broker", "centralized"):
-        # In the centralized model admission happens at the front end,
-        # so the brokers themselves must not shed (huge threshold).
-        broker_policy = (
-            qos_policy
-            if mode == "broker"
-            else QoSPolicy(levels=levels, threshold=1_000_000)
-        )
         for index, backend in enumerate(backends, 1):
+            # The two access models are two stage configurations of the
+            # same broker: the centralized plan has no AdmissionStage
+            # (admission happens at the front end) and ends with a
+            # LoadReportStage feeding the listener.
+            stage_plan = (
+                distributed_stage_plan()
+                if mode == "broker"
+                else centralized_stage_plan()
+            )
             broker = ServiceBroker(
                 sim,
                 web_node,
@@ -314,7 +317,7 @@ def run_qos_experiment(
                 adapters=[
                     HttpAdapter(sim, web_node, backend.address, name=f"backend{index}")
                 ],
-                qos=broker_policy,
+                qos=qos_policy,
                 pool_size=backend_capacity,
                 dispatchers=backend_capacity,
                 # The paper's testbed uses "just a binary mode of forward
@@ -322,6 +325,7 @@ def run_qos_experiment(
                 # bounded queue drains FCFS.
                 priority_queueing=False,
                 name=f"broker{index}",
+                stages=stage_plan,
             )
             brokers.append(broker)
         routes = {f"svc{i}": b.address for i, b in enumerate(brokers, 1)}

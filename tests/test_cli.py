@@ -60,6 +60,40 @@ class TestCommands:
         for table in ("Table II", "Table III", "Table IV"):
             assert table in out
 
+    def test_pipeline_describe(self, capsys):
+        assert main(["pipeline", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed broker pipeline" in out
+        assert "centralized broker pipeline" in out
+        assert "ingress/dispatch boundary" in out
+        # The distributed plan admits at the broker; the centralized
+        # section must not list an admission stage.
+        _, centralized = out.split("centralized broker pipeline")
+        names = [
+            line.split()[1]
+            for line in centralized.splitlines()
+            if line.strip()[:1].isdigit()
+        ]
+        assert "admission" not in names
+        assert "load-report" in names
+
+    def test_pipeline_describe_one_model(self, capsys):
+        assert main(["pipeline", "--describe", "--model", "distributed"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed broker pipeline" in out
+        assert "centralized" not in out
+
+    def test_pipeline_stage_order(self, capsys):
+        assert main(["pipeline", "--model", "distributed"]) == 0
+        lines = [
+            line.strip() for line in capsys.readouterr().out.splitlines()
+        ]
+        names = [line.split()[1] for line in lines if line[:1].isdigit()]
+        assert names == [
+            "validate", "arrival", "cache-lookup", "admission", "fidelity",
+            "enqueue", "cluster", "execute", "cache-fill", "reply",
+        ]
+
     def test_determinism_across_invocations(self, capsys):
         main(["fig7", "--degrees", "2", "--seed", "11"])
         first = capsys.readouterr().out
