@@ -48,18 +48,21 @@ from .core import (
     MgetCombiner,
     Prefetcher,
     PrefetchRule,
+    CircuitBreaker,
     QoSPolicy,
     RepeatWorkloadCombiner,
     ReplyStatus,
     RequestContext,
     ResourceProfileRegistry,
     ResultCache,
+    RetryPolicy,
     RoundRobinBalancer,
     ServiceBroker,
     StagePipeline,
     TransactionTracker,
     centralized_stage_plan,
     distributed_stage_plan,
+    fault_tolerant_stage_plan,
 )
 from .db import Database, DatabaseClient, DatabaseServer
 from .frontend import ApiBackendGateway, FrontendWebServer, WebApplication, qos_of
@@ -68,13 +71,26 @@ from .fileserver import DiskModel, FileClient, FileServer, FileSystem
 from .ldapdir import DirectoryClient, DirectoryServer, DirectoryTree
 from .mail import MailClient, MailServer, MessageStore
 from .metrics import MetricsRegistry, SummaryStats, render_series, render_table
-from .net import Address, Link, Network, Node
+from .net import (
+    Address,
+    BackendCrash,
+    FaultInjector,
+    FaultPlan,
+    Link,
+    LinkDegrade,
+    LinkDown,
+    Network,
+    Node,
+    SlowBackend,
+)
 from .sim import HostCpu, Simulation
 from .workload import (
     BurstClient,
     ClosedLoopClient,
+    FailureRecoveryResult,
     OpenLoopGenerator,
     run_clustering_experiment,
+    run_failure_recovery_experiment,
     run_qos_experiment,
     zipf_sampler,
 )
@@ -90,6 +106,12 @@ __all__ = [
     "Node",
     "Link",
     "Address",
+    "BackendCrash",
+    "LinkDown",
+    "LinkDegrade",
+    "SlowBackend",
+    "FaultPlan",
+    "FaultInjector",
     # backends
     "Database",
     "DatabaseServer",
@@ -120,6 +142,9 @@ __all__ = [
     "RequestContext",
     "distributed_stage_plan",
     "centralized_stage_plan",
+    "fault_tolerant_stage_plan",
+    "CircuitBreaker",
+    "RetryPolicy",
     "BrokerClient",
     "BrokerRequest",
     "BrokerReply",
@@ -160,6 +185,8 @@ __all__ = [
     "zipf_sampler",
     "run_clustering_experiment",
     "run_qos_experiment",
+    "run_failure_recovery_experiment",
+    "FailureRecoveryResult",
     "MetricsRegistry",
     "SummaryStats",
     "render_table",

@@ -7,7 +7,9 @@ Usage::
     python -m repro fig10  [--clients ...] [--duration S] [--seed N]
     python -m repro table1 [--clients ...] [--duration S] [--seed N]
     python -m repro drops  [--clients ...] [--duration S] [--seed N]
-    python -m repro pipeline --describe [--model distributed|centralized|all]
+    python -m repro pipeline --describe [--model distributed|centralized|fault-tolerant|all]
+    python -m repro faults --describe
+    python -m repro faults [--mtbf 40,20,10] [--mttr S] [--replicas N] [--duration S]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -21,7 +23,11 @@ import sys
 from typing import List, Optional, Sequence
 
 from .metrics import render_table
-from .workload import run_clustering_experiment, run_qos_experiment
+from .workload import (
+    run_clustering_experiment,
+    run_failure_recovery_experiment,
+    run_qos_experiment,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -34,6 +40,16 @@ def _int_list(text: str) -> List[int]:
         values = [int(part) for part in text.split(",") if part.strip()]
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"expected comma-separated ints: {text!r}") from exc
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one value")
+    return values
+
+
+def _float_list(text: str) -> List[float]:
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated floats: {text!r}") from exc
     if not values:
         raise argparse.ArgumentTypeError("expected at least one value")
     return values
@@ -83,9 +99,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the stage order of the selected model(s)",
     )
     pipeline.add_argument(
-        "--model", choices=("distributed", "centralized", "all"),
+        "--model", choices=("distributed", "centralized", "fault-tolerant", "all"),
         default="all",
         help="which stage plan to describe (default: all)",
+    )
+
+    faults = sub.add_parser(
+        "faults", parents=[common],
+        help="failure recovery: fault injection, retries, breakers, failover",
+    )
+    faults.add_argument(
+        "--describe", action="store_true",
+        help="print the fault types, the fault-tolerant stage plan, and "
+        "the retry/breaker policies without running anything",
+    )
+    faults.add_argument(
+        "--mtbf", type=_float_list, default=[40.0, 20.0, 10.0],
+        help="mean time between failures, seconds (default 40,20,10)",
+    )
+    faults.add_argument(
+        "--mttr", type=float, default=5.0,
+        help="repair time per crash, seconds (default 5)",
+    )
+    faults.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica backends behind the broker (default 2)",
+    )
+    faults.add_argument(
+        "--duration", type=float, default=120.0,
+        help="virtual seconds per point (default 120)",
     )
     return parser
 
@@ -177,7 +219,9 @@ def run_pipeline(args) -> str:
     from .core.pipeline import stage_plan
 
     models = (
-        ("distributed", "centralized") if args.model == "all" else (args.model,)
+        ("distributed", "centralized", "fault-tolerant")
+        if args.model == "all"
+        else (args.model,)
     )
     sections = []
     for model in models:
@@ -190,6 +234,77 @@ def run_pipeline(args) -> str:
     return "\n\n".join(sections)
 
 
+def _describe_faults() -> str:
+    from .core.faulttolerance import RetryPolicy
+    from .core.pipeline import stage_plan
+    from .net.faults import BackendCrash, LinkDegrade, LinkDown, SlowBackend
+
+    lines = ["Fault types (repro.net.faults — scheduled via FaultPlan):"]
+    for cls in (BackendCrash, LinkDown, LinkDegrade, SlowBackend):
+        summary = (cls.__doc__ or "").strip().splitlines()[0]
+        lines.append(f"  {cls.kind:<14} {summary}")
+    lines.append("")
+    lines.append("Fault-tolerant broker pipeline (stage_plan('fault-tolerant')):")
+    for index, stage in enumerate(stage_plan("fault-tolerant"), 1):
+        marker = "  [ingress/dispatch boundary]" if stage.boundary else ""
+        lines.append(f"  {index:>2}. {stage.name:<12} {stage.summary()}{marker}")
+    policy = RetryPolicy()
+    lines += [
+        "",
+        "Retry policy defaults: "
+        f"max_attempts={policy.max_attempts}, base_delay={policy.base_delay:g}s, "
+        f"multiplier={policy.multiplier:g}, jitter={policy.jitter:g}, "
+        f"max_delay={policy.max_delay:g}s (exponential backoff, seeded jitter)",
+        "",
+        "Circuit breaker (one per backend): closed -> open after "
+        "failure_threshold consecutive failures; open -> half-open after "
+        "reset_timeout; half-open admits probe traffic, closing on success "
+        "and re-opening on failure.",
+        "",
+        "Fault metrics: broker.fault.unreachable, broker.fault.deadline, "
+        "broker.fault.breaker_open, broker.fault.failover, "
+        "broker.fault.failover_recovered, broker.fault.replies, "
+        "broker.retry.attempts, broker.retry.backoff, "
+        "broker.retry.recovered, broker.retry.exhausted, "
+        "broker.breaker.state, broker.degraded_replies.",
+    ]
+    return "\n".join(lines)
+
+
+def run_faults(args) -> str:
+    """Describe the fault-tolerance machinery, or sweep availability vs MTBF."""
+    if args.describe:
+        return _describe_faults()
+    rows = []
+    for mtbf in args.mtbf:
+        result = run_failure_recovery_experiment(
+            mtbf=mtbf,
+            mttr=args.mttr,
+            replicas=args.replicas,
+            duration=args.duration,
+            first_crash_at=min(mtbf, args.duration / 4.0),
+            seed=args.seed,
+        )
+        rows.append(
+            {
+                "mtbf_s": mtbf,
+                "outages": result.outages,
+                "downtime_s": round(result.downtime, 1),
+                "avail_pct": round(100.0 * result.availability, 2),
+                "outage_avail_pct": round(100.0 * result.outage_availability, 2),
+                "degraded": result.degraded,
+                "retries": result.retries,
+                "breaker_opens": result.breaker_opens,
+                "mean_ms": round(result.latency.mean * 1000, 1),
+            }
+        )
+    return render_table(
+        rows,
+        title=f"Failure recovery — availability vs MTBF "
+        f"(mttr={args.mttr:g}s, replicas={args.replicas})",
+    )
+
+
 _COMMANDS = {
     "fig7": run_fig7,
     "fig9": run_fig9,
@@ -197,6 +312,7 @@ _COMMANDS = {
     "table1": run_table1,
     "drops": run_drops,
     "pipeline": run_pipeline,
+    "faults": run_faults,
 }
 
 

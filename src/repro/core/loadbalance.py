@@ -11,11 +11,14 @@ dispatch.
 from __future__ import annotations
 
 from itertools import count
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..errors import BrokerError
 from .adapters import ServiceAdapter
 from .pool import ConnectionPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faulttolerance import CircuitBreaker
 
 __all__ = [
     "BackendState",
@@ -33,6 +36,12 @@ class BackendState:
     that keeps failing is skipped by the balancers (:attr:`healthy`)
     until a success — via the balancers' occasional probe of unhealthy
     replicas when no healthy one exists — resets the streak.
+
+    When a :class:`~repro.core.pipeline.CircuitBreakerStage` is in the
+    pipeline it installs a full
+    :class:`~repro.core.faulttolerance.CircuitBreaker` on
+    :attr:`breaker`, which :meth:`note_completion` then feeds; without
+    one the streak-based :attr:`healthy` flag is the only gate.
     """
 
     #: Consecutive errors after which a replica is considered unhealthy.
@@ -47,6 +56,7 @@ class BackendState:
         self.consecutive_errors = 0
         self.ewma_latency = 0.0
         self._ewma_alpha = 0.2
+        self.breaker: Optional["CircuitBreaker"] = None
 
     @property
     def healthy(self) -> bool:
@@ -62,9 +72,13 @@ class BackendState:
         if error:
             self.errors += 1
             self.consecutive_errors += 1
+            if self.breaker is not None:
+                self.breaker.record_failure()
             return
         self.completed += 1
         self.consecutive_errors = 0
+        if self.breaker is not None:
+            self.breaker.record_success()
         if self.completed == 1:
             self.ewma_latency = latency
         else:

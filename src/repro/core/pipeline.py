@@ -10,14 +10,21 @@ into a :class:`StagePipeline`, and every request carries a
 through the net layer, through every stage, to the backend adapter and
 back.
 
-Two stock configurations express the paper's two models as *stage
-plans* rather than code paths:
+Three stock configurations express the paper's models as *stage plans*
+rather than code paths:
 
 * :func:`distributed_stage_plan` — admission happens at the broker
   (§III, Figure 2);
 * :func:`centralized_stage_plan` — admission happens at the front end
   from streamed load reports, so the broker omits its admission gate
-  and gains a :class:`LoadReportStage` (§IV, Figure 4).
+  and gains a :class:`LoadReportStage` (§IV, Figure 4);
+* :func:`fault_tolerant_stage_plan` — the distributed plan hardened for
+  backend failures: a :class:`TimeoutBudgetStage` stamps each request
+  with its QoS deadline, and dispatch runs through
+  :class:`CircuitBreakerStage` → :class:`RetryStage` →
+  :class:`FailoverStage` before a second :class:`FidelityFallbackStage`
+  converts whatever still failed into the paper's §III degraded reply
+  (stale cache or busy notice) instead of an error.
 
 The context records a per-stage timeline (enter/exit timestamps and the
 stage's decision) and the pipeline mirrors it into the broker's
@@ -49,6 +56,12 @@ from ..errors import (
     ServiceError,
 )
 from ..net.address import Address
+from .faulttolerance import (
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+    available_backends,
+)
 from .protocol import BrokerReply, BrokerRequest, ReplyStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,17 +78,23 @@ __all__ = [
     "StagePipeline",
     "ValidateServiceStage",
     "ArrivalStage",
+    "TimeoutBudgetStage",
     "CacheLookupStage",
     "AdmissionStage",
     "FidelityFallbackStage",
     "EnqueueStage",
     "ClusterStage",
+    "CircuitBreakerStage",
+    "RetryStage",
+    "FailoverStage",
     "ExecuteStage",
     "CacheFillStage",
     "ReplyStage",
     "LoadReportStage",
+    "execute_batch_on",
     "distributed_stage_plan",
     "centralized_stage_plan",
+    "fault_tolerant_stage_plan",
     "stage_plan",
 ]
 
@@ -155,6 +174,7 @@ class RequestContext:
         "completed_at",
         "backend",
         "batch_size",
+        "deadline",
         "stages",
         "annotations",
         "_decision",
@@ -181,6 +201,7 @@ class RequestContext:
         self.completed_at: Optional[float] = None
         self.backend = ""
         self.batch_size = 1
+        self.deadline: Optional[float] = None
         self.stages: List[StageRecord] = []
         self.annotations: Dict[str, Any] = {}
         self._decision = ""
@@ -256,6 +277,12 @@ class RequestContext:
         """Total simulated time spent in all records of *stage*."""
         return sum(r.duration for r in self.stages if r.stage == stage)
 
+    def time_left(self, now: float) -> Optional[float]:
+        """Seconds until the deadline, or ``None`` when unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline - now
+
     @property
     def rejected(self) -> bool:
         """True once admission control has rejected the request."""
@@ -281,6 +308,12 @@ class BatchContext:
     stages; clustering may add companions, so dispatch stages operate on
     a *batch* of queued requests (usually of size one) with one combined
     backend call.
+
+    ``fault`` classifies a *retryable* failure (``"unreachable"``,
+    ``"breaker-open"``, ``"deadline"``); it stays ``None`` for service
+    errors, which re-running would not fix. ``candidates`` optionally
+    narrows the replicas :class:`ExecuteStage` balances across (the
+    circuit-breaker stage sets it); ``None`` means all of them.
     """
 
     __slots__ = (
@@ -289,10 +322,12 @@ class BatchContext:
         "operation",
         "payload",
         "backend",
+        "candidates",
         "started",
         "latency",
         "result",
         "failure",
+        "fault",
         "payloads",
     )
 
@@ -302,10 +337,12 @@ class BatchContext:
         self.operation = ""
         self.payload: Any = None
         self.backend: Optional["BackendState"] = None
+        self.candidates: Optional[List["BackendState"]] = None
         self.started = 0.0
         self.latency = 0.0
         self.result: Any = None
         self.failure: Optional[str] = None
+        self.fault: Optional[str] = None
         self.payloads: List[Any] = []
 
     @property
@@ -317,6 +354,14 @@ class BatchContext:
     def contexts(self) -> List[RequestContext]:
         """The request contexts of the batch (skipping bare items)."""
         return [item.context for item in self.items if item.context is not None]
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The tightest request deadline in the batch, if any is set."""
+        deadlines = [
+            ctx.deadline for ctx in self.contexts if ctx.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
 
     def __len__(self) -> int:
         return len(self.items)
@@ -446,6 +491,38 @@ class ArrivalStage(BrokerStage):
         return StageOutcome.CONTINUE
 
 
+class TimeoutBudgetStage(BrokerStage):
+    """Stamps each request with its completion deadline from the QoS spec.
+
+    The paper's fidelity adaptation is time-based — "the longer a
+    request is allowed to be processed, the higher fidelity it will
+    receive" (§III) — so the fault-tolerant plan makes the allowance
+    explicit: the request's QoS class maps to a completion budget
+    (:meth:`QoSPolicy.deadline <repro.core.qos.QoSPolicy.deadline>`,
+    falling back to this stage's ``default_budget``), and retry/failover
+    stop burning time on a dead backend once the budget is spent —
+    the request degrades instead.
+    """
+
+    name = "timeout"
+
+    def __init__(self, default_budget: Optional[float] = None) -> None:
+        super().__init__()
+        self.default_budget = default_budget
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Attach the absolute deadline (creation time + budget)."""
+        budget = self.broker.qos.deadline(ctx.qos_level)
+        if budget is None:
+            budget = self.default_budget
+        if budget is None:
+            ctx.set_decision("unbounded")
+            return StageOutcome.CONTINUE
+        ctx.deadline = ctx.created_at + budget
+        ctx.set_decision(f"budget={budget:g}")
+        return StageOutcome.CONTINUE
+
+
 class CacheLookupStage(BrokerStage):
     """Answers cacheable requests from the result cache immediately."""
 
@@ -514,11 +591,20 @@ class AdmissionStage(BrokerStage):
 
 
 class FidelityFallbackStage(BrokerStage):
-    """Immediate low-fidelity replies for admission-rejected requests.
+    """Immediate low-fidelity replies for rejected or faulted requests.
 
-    Pass-through for admitted requests; for rejected ones it builds the
-    paper's adaptive reply — a stale cached result with decayed fidelity
-    when one exists, else a "system busy" indication.
+    On the ingress path it is a pass-through for admitted requests and
+    builds the paper's adaptive reply for admission-rejected ones — a
+    stale cached result with decayed fidelity when one exists, else a
+    "system busy" indication (§III).
+
+    On the dispatch path (where the fault-tolerant plan installs a
+    second instance) it does the same for *faulted* batches: when
+    retries and failover could not reach a backend — breaker open,
+    deadline exhausted, every replica unreachable — each request in the
+    batch is answered degraded rather than with an error, which is
+    precisely the availability story of §III ("even when the backend
+    servers are not available").
     """
 
     name = "fidelity"
@@ -541,6 +627,38 @@ class FidelityFallbackStage(BrokerStage):
         ctx.set_decision(reply.status.value)
         ctx.reply = reply
         return StageOutcome.REPLY
+
+    def on_batch(self, batch: BatchContext):
+        """Answer faulted batches with degraded replies; else pass."""
+        broker = self.broker
+        if batch.failure is None or batch.fault is None:
+            for ctx in batch.contexts:
+                ctx.set_decision("pass")
+            return StageOutcome.CONTINUE
+        for item in batch.items:
+            reply = broker.fidelity.degrade(
+                item.request,
+                broker.cache,
+                batch.failure,
+                broker_name=broker.name,
+                context=item.context,
+            )
+            if reply.status is ReplyStatus.DEGRADED:
+                broker.metrics.increment("broker.degraded_replies")
+            broker.metrics.increment("broker.fault.replies")
+            broker.metrics.increment(
+                f"broker.fault.replies.{reply.status.value}"
+            )
+            if item.context is not None:
+                item.context.reply = reply
+                item.context.set_decision(reply.status.value)
+            broker.send_reply(item.request, reply)
+            broker.admission.request_finished()
+        broker.sim.trace(
+            "fault", "degrade",
+            broker=broker.name, fault=batch.fault, batch=len(batch.items),
+        )
+        return StageOutcome.DONE
 
 
 class EnqueueStage(BrokerStage):
@@ -611,12 +729,90 @@ class ClusterStage(BrokerStage):
         return StageOutcome.CONTINUE
 
 
+def execute_batch_on(
+    broker: "ServiceBroker", batch: BatchContext, backend: "BackendState"
+):
+    """Run *batch*'s combined call against *backend*; ``yield from`` this.
+
+    The shared execution core of :class:`ExecuteStage` and
+    :class:`FailoverStage`: acquires a persistent connection from the
+    backend's pool, runs the adapter, and retries once on transport
+    failure. Records latency/result/failure on the batch; a transport
+    failure additionally classifies the batch as faulted
+    (``batch.fault = "unreachable"``) so downstream fault-handling
+    stages know a retry elsewhere could still succeed.
+    """
+    batch.backend = backend
+    broker.sim.trace(
+        "broker", "dispatch",
+        broker=broker.name, backend=backend.name, batch=len(batch.items),
+        operation=batch.operation,
+    )
+    backend.note_dispatch()
+    batch.started = broker.sim.now
+    for ctx in batch.contexts:
+        ctx.dispatched_at = batch.started
+        ctx.backend = backend.name
+    attempts = 0
+    result: Any = None
+    failure: Optional[str] = None
+    fault: Optional[str] = None
+    while True:
+        try:
+            connection = yield from backend.pool.acquire()
+        except (ConnectionClosed, NetworkError) as exc:
+            attempts += 1
+            if attempts >= 2:
+                failure = f"backend unreachable: {exc}"
+                fault = "unreachable"
+                break
+            continue
+        try:
+            result = yield from backend.adapter.execute(
+                connection, batch.operation, batch.payload
+            )
+        except (ConnectionClosed, NetworkError) as exc:
+            backend.pool.release(connection, discard=True)
+            attempts += 1
+            if attempts >= 2:
+                failure = f"backend unreachable: {exc}"
+                fault = "unreachable"
+                break
+            continue
+        except ServiceError as exc:
+            backend.pool.release(connection)
+            failure = str(exc)
+            break
+        backend.pool.release(connection)
+        break
+    batch.latency = broker.sim.now - batch.started
+    batch.result = result
+    batch.failure = failure
+    batch.fault = fault
+    if failure is not None:
+        backend.note_completion(batch.latency, error=True)
+        broker.metrics.increment("broker.backend_errors")
+        if fault is not None:
+            broker.metrics.increment("broker.fault.unreachable")
+        broker.sim.trace(
+            "broker", "backend-error",
+            broker=broker.name, backend=backend.name, error=failure,
+        )
+        for ctx in batch.contexts:
+            ctx.set_decision("error")
+    else:
+        backend.note_completion(batch.latency)
+    return StageOutcome.CONTINUE
+
+
 class ExecuteStage(BrokerStage):
     """Pooled execution of the batch against a load-balanced backend.
 
-    Picks a backend replica, acquires a persistent connection from its
-    pool, runs the adapter, and retries once on transport failure.
-    Records the chosen backend and service latency on the batch.
+    Picks a backend replica (honouring ``batch.candidates`` when a
+    fault-handling stage narrowed the field), acquires a persistent
+    connection from its pool, runs the adapter, and retries once on
+    transport failure. Records the chosen backend and service latency
+    on the batch.
     """
 
     name = "execute"
@@ -624,61 +820,232 @@ class ExecuteStage(BrokerStage):
     def on_batch(self, batch: BatchContext):
         """Run the combined call over a pooled connection."""
         broker = self.broker
-        backend = broker.balancer.pick(broker.backends)
-        batch.backend = backend
-        broker.sim.trace(
-            "broker", "dispatch",
-            broker=broker.name, backend=backend.name, batch=len(batch.items),
-            operation=batch.operation,
+        candidates = (
+            batch.candidates if batch.candidates is not None else broker.backends
         )
-        backend.note_dispatch()
-        batch.started = broker.sim.now
-        for ctx in batch.contexts:
-            ctx.dispatched_at = batch.started
-            ctx.backend = backend.name
-        attempts = 0
-        result: Any = None
-        failure: Optional[str] = None
-        while True:
-            try:
-                connection = yield from backend.pool.acquire()
-            except (ConnectionClosed, NetworkError) as exc:
-                attempts += 1
-                if attempts >= 2:
-                    failure = f"backend unreachable: {exc}"
-                    break
-                continue
-            try:
-                result = yield from backend.adapter.execute(
-                    connection, batch.operation, batch.payload
+        backend = broker.balancer.pick(candidates)
+        outcome = yield from execute_batch_on(broker, batch, backend)
+        return outcome
+
+
+class CircuitBreakerStage(BrokerStage):
+    """Per-backend circuit breakers gating dispatch (closed/open/half-open).
+
+    :meth:`bind` installs a
+    :class:`~repro.core.faulttolerance.CircuitBreaker` on every backend
+    replica; dispatch completions feed it through
+    :meth:`BackendState.note_completion
+    <repro.core.loadbalance.BackendState.note_completion>`. Per batch,
+    the stage narrows ``batch.candidates`` to the replicas whose
+    breakers admit traffic. A HALF_OPEN replica is *probed*: the batch
+    is routed to it alone, so recovery is detected by live traffic (the
+    paper's broker "can track the traffic and monitor their workload" —
+    §III — rather than pinging). With every breaker open the batch is
+    marked faulted (``breaker-open``) and falls through to the fidelity
+    fallback without touching a dead backend.
+    """
+
+    name = "breaker"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        half_open_probes: int = 1,
+    ) -> None:
+        super().__init__()
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bind and install a breaker on each backend lacking one."""
+        super().bind(broker)
+        for backend in broker.backends:
+            if backend.breaker is None:
+                backend.breaker = CircuitBreaker(
+                    broker.sim,
+                    name=backend.name,
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout=self.reset_timeout,
+                    half_open_probes=self.half_open_probes,
+                    metrics=broker.metrics,
                 )
-            except (ConnectionClosed, NetworkError) as exc:
-                backend.pool.release(connection, discard=True)
-                attempts += 1
-                if attempts >= 2:
-                    failure = f"backend unreachable: {exc}"
-                    break
+
+    def on_batch(self, batch: BatchContext):
+        """Narrow the candidate replicas to what the breakers admit."""
+        broker = self.broker
+        closed: List["BackendState"] = []
+        probing: List["BackendState"] = []
+        for backend in broker.backends:
+            breaker = backend.breaker
+            if breaker is None:
+                closed.append(backend)
                 continue
-            except ServiceError as exc:
-                backend.pool.release(connection)
-                failure = str(exc)
-                break
-            backend.pool.release(connection)
-            break
-        batch.latency = broker.sim.now - batch.started
-        batch.result = result
-        batch.failure = failure
-        if failure is not None:
-            backend.note_completion(batch.latency, error=True)
-            broker.metrics.increment("broker.backend_errors")
-            broker.sim.trace(
-                "broker", "backend-error",
-                broker=broker.name, backend=backend.name, error=failure,
-            )
-            for ctx in batch.contexts:
-                ctx.set_decision("error")
+            state = breaker.current_state()
+            if state is BreakerState.CLOSED:
+                closed.append(backend)
+            elif state is BreakerState.HALF_OPEN and breaker.try_probe():
+                probing.append(backend)
+        if probing:
+            # Route this batch at the recovering replica: a live probe.
+            batch.candidates = probing[:1]
+            decision = "probe"
+        elif closed:
+            batch.candidates = closed
+            decision = f"closed={len(closed)}"
         else:
-            backend.note_completion(batch.latency)
+            batch.failure = "all backends circuit-open"
+            batch.fault = "breaker-open"
+            batch.candidates = None
+            broker.metrics.increment("broker.fault.breaker_open")
+            decision = "open"
+        for ctx in batch.contexts:
+            ctx.set_decision(decision)
+        return StageOutcome.CONTINUE
+
+
+class RetryStage(BrokerStage):
+    """Re-attempts faulted executions with exponential backoff + jitter.
+
+    Wraps an inner :class:`ExecuteStage`: while the batch keeps coming
+    back with a *retryable* fault (``batch.fault`` set — transport
+    failures, not service errors) and the deadline allows, it waits the
+    :class:`~repro.core.faulttolerance.RetryPolicy` backoff and runs the
+    execution again against whatever replicas the breakers currently
+    admit. Backoff draws come from the broker-scoped ``<name>.retry``
+    RNG substream, so retry schedules are reproducible and independent
+    of the workload's randomness. Exhausted deadlines and exhausted
+    attempts leave the batch faulted for the failover/fidelity stages.
+    """
+
+    name = "retry"
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        execute: Optional[ExecuteStage] = None,
+    ) -> None:
+        super().__init__()
+        self.policy = policy or RetryPolicy()
+        self.execute = execute or ExecuteStage()
+        self._rng: Optional[Any] = None
+
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bind self plus the inner execution stage; set up the RNG."""
+        super().bind(broker)
+        self.execute.bind(broker)
+        self._rng = broker.sim.rng(f"{broker.name}.retry")
+
+    def on_batch(self, batch: BatchContext):
+        """Execute, then retry transport faults until deadline/attempts."""
+        broker = self.broker
+        sim = broker.sim
+        deadline = batch.deadline
+        if batch.fault == "breaker-open":
+            # Nothing admits traffic; skip straight to the fallback.
+            for ctx in batch.contexts:
+                ctx.set_decision("open")
+            return StageOutcome.CONTINUE
+        attempt = 0
+        while True:
+            if deadline is not None and sim.now >= deadline:
+                batch.failure = "deadline exceeded"
+                batch.fault = "deadline"
+                broker.metrics.increment("broker.fault.deadline")
+                decision = "deadline"
+                break
+            batch.result = None
+            batch.failure = None
+            batch.fault = None
+            yield from self.execute.on_batch(batch)
+            attempt += 1
+            if batch.failure is None:
+                decision = "ok" if attempt == 1 else "recovered"
+                if attempt > 1:
+                    broker.metrics.increment("broker.retry.recovered")
+                break
+            if batch.fault is None:
+                # A ServiceError: the backend answered; retrying is futile.
+                decision = "service-error"
+                break
+            if attempt >= self.policy.max_attempts:
+                broker.metrics.increment("broker.retry.exhausted")
+                decision = "exhausted"
+                break
+            delay = self.policy.backoff(attempt, self._rng)
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - sim.now))
+            broker.metrics.increment("broker.retry.attempts")
+            broker.metrics.observe("broker.retry.backoff", delay)
+            if delay > 0:
+                yield sim.timeout(delay)
+            candidates = available_backends(broker.backends)
+            if not candidates:
+                batch.failure = "all backends circuit-open"
+                batch.fault = "breaker-open"
+                broker.metrics.increment("broker.fault.breaker_open")
+                decision = "open"
+                break
+            batch.candidates = candidates
+        for ctx in batch.contexts:
+            ctx.set_decision(decision)
+        return StageOutcome.CONTINUE
+
+
+class FailoverStage(BrokerStage):
+    """Last-chance re-route of a still-faulted batch to another replica.
+
+    The retry stage may spend all its attempts against replicas that
+    keep failing; before the batch degrades, this stage re-routes it
+    once to a breaker-admitted replica *other than* the one that just
+    failed — the paper's replicated-backend story ("switch to other
+    servers when some servers are not reachable", §II) distilled into a
+    stage. Pass-through when the batch is healthy, the deadline is
+    spent, or no alternate replica exists.
+    """
+
+    name = "failover"
+
+    def on_batch(self, batch: BatchContext):
+        """Re-run a faulted batch on an alternate admitted replica."""
+        broker = self.broker
+        sim = broker.sim
+        if batch.failure is None or batch.fault is None:
+            for ctx in batch.contexts:
+                ctx.set_decision("pass")
+            return StageOutcome.CONTINUE
+        if batch.fault == "deadline":
+            for ctx in batch.contexts:
+                ctx.set_decision("deadline")
+            return StageOutcome.CONTINUE
+        deadline = batch.deadline
+        if deadline is not None and sim.now >= deadline:
+            batch.failure = "deadline exceeded"
+            batch.fault = "deadline"
+            broker.metrics.increment("broker.fault.deadline")
+            for ctx in batch.contexts:
+                ctx.set_decision("deadline")
+            return StageOutcome.CONTINUE
+        exclude = (batch.backend,) if batch.backend is not None else ()
+        candidates = available_backends(broker.backends, exclude=exclude)
+        if not candidates:
+            for ctx in batch.contexts:
+                ctx.set_decision("no-replica")
+            return StageOutcome.CONTINUE
+        broker.metrics.increment("broker.fault.failover")
+        backend = broker.balancer.pick(candidates)
+        batch.result = None
+        batch.failure = None
+        batch.fault = None
+        yield from execute_batch_on(broker, batch, backend)
+        if batch.failure is None:
+            broker.metrics.increment("broker.fault.failover_recovered")
+            decision = "recovered"
+        else:
+            decision = "failed"
+        for ctx in batch.contexts:
+            ctx.set_decision(decision)
         return StageOutcome.CONTINUE
 
 
@@ -1023,15 +1390,56 @@ def centralized_stage_plan() -> List[BrokerStage]:
     ]
 
 
+def fault_tolerant_stage_plan(
+    default_budget: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    failure_threshold: int = 3,
+    reset_timeout: float = 1.0,
+    half_open_probes: int = 1,
+) -> List[BrokerStage]:
+    """The distributed plan hardened against backend faults.
+
+    Ingress gains a :class:`TimeoutBudgetStage` (per-request deadlines
+    from the QoS spec, *default_budget* for classes without one);
+    dispatch runs breaker → retry → failover around the execution, and
+    a second :class:`FidelityFallbackStage` converts anything still
+    faulted into the §III degraded reply. With healthy backends the
+    added stages are pass-throughs and behavior matches the distributed
+    plan.
+    """
+    return [
+        ValidateServiceStage(),
+        ArrivalStage(),
+        TimeoutBudgetStage(default_budget=default_budget),
+        CacheLookupStage(),
+        AdmissionStage(),
+        FidelityFallbackStage(),
+        EnqueueStage(),
+        ClusterStage(),
+        CircuitBreakerStage(
+            failure_threshold=failure_threshold,
+            reset_timeout=reset_timeout,
+            half_open_probes=half_open_probes,
+        ),
+        RetryStage(policy=retry),
+        FailoverStage(),
+        FidelityFallbackStage(),
+        CacheFillStage(),
+        ReplyStage(),
+    ]
+
+
 #: Factories for the stock stage plans, by model name.
 _STAGE_PLANS: Dict[str, Callable[[], List[BrokerStage]]] = {
     "distributed": distributed_stage_plan,
     "centralized": centralized_stage_plan,
+    "fault-tolerant": fault_tolerant_stage_plan,
 }
 
 
 def stage_plan(model: str) -> List[BrokerStage]:
-    """The stock stage plan for *model* (``"distributed"``/``"centralized"``)."""
+    """The stock stage plan for *model* (e.g. ``"distributed"``,
+    ``"centralized"``, ``"fault-tolerant"``)."""
     try:
         factory = _STAGE_PLANS[model]
     except KeyError:

@@ -40,12 +40,20 @@ class QoSPolicy:
         Optional per-level cap on arrival rate (requests/second). When a
         class exceeds its contracted intensity its requests are dropped
         without affecting other classes.
+    deadlines:
+        Optional per-level completion budget in seconds; the
+        fault-tolerant pipeline's
+        :class:`~repro.core.pipeline.TimeoutBudgetStage` stamps it on
+        each request as an absolute deadline, and retries/failover stop
+        when it is exhausted (the request then degrades instead of
+        waiting forever).
     """
 
     levels: int = 3
     threshold: int = 20
     fractions: Optional[Mapping[int, float]] = None
     rate_limits: Optional[Mapping[int, float]] = None
+    deadlines: Optional[Mapping[int, float]] = None
 
     def __post_init__(self) -> None:
         if self.levels < 1:
@@ -58,6 +66,13 @@ class QoSPolicy:
                 if not 0.0 < fraction <= 1.0:
                     raise BrokerError(
                         f"fraction for level {level} out of (0, 1]: {fraction!r}"
+                    )
+        if self.deadlines is not None:
+            for level, deadline in self.deadlines.items():
+                self._check_level(level)
+                if deadline <= 0:
+                    raise BrokerError(
+                        f"deadline for level {level} must be > 0: {deadline!r}"
                     )
 
     def _check_level(self, level: int) -> None:
@@ -80,6 +95,13 @@ class QoSPolicy:
     def admit_limit(self, level: int) -> float:
         """Outstanding-request bound for *level*."""
         return self.threshold * self.fraction(level)
+
+    def deadline(self, level: int) -> Optional[float]:
+        """Completion budget for *level* in seconds, if one is set."""
+        self._check_level(level)
+        if self.deadlines is None:
+            return None
+        return self.deadlines.get(level)
 
     def rate_limit(self, level: int) -> Optional[float]:
         """Contracted arrival-rate cap for *level*, if any."""

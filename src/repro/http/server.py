@@ -52,13 +52,22 @@ class BackendWebServer:
         self.node = node
         self.name = name or node.name
         self.static_service_time = static_service_time
+        #: Service-time multiplier, 1.0 when healthy; a slow-backend
+        #: fault window (:class:`~repro.net.faults.SlowBackend`) raises
+        #: it. Static serving honours it directly; CGI handlers that
+        #: model processing time should multiply their waits by it.
+        self.service_time_scale = 1.0
         self.metrics = metrics or MetricsRegistry()
         self.workers = Resource(sim, max_clients)
         self.listener = node.listen_stream(port, backlog=backlog)
         self.address = node.address(port)
+        self._port = port
+        self._backlog = backlog
         self._static: Dict[str, str] = {}
         self._cgi: Dict[str, CgiHandler] = {}
-        self._sessions: set = set()
+        # Insertion-ordered (dict, not set) so crash() severs sessions
+        # deterministically.
+        self._sessions: Dict[StreamConnection, None] = {}
         sim.process(self._accept_loop(), name=f"http:{self.name}")
 
     # -- resource registration ------------------------------------------
@@ -95,11 +104,11 @@ class BackendWebServer:
             self.sim.process(self._session(connection))
 
     def _session(self, connection: StreamConnection):
-        self._sessions.add(connection)
+        self._sessions[connection] = None
         try:
             yield from self._serve_session(connection)
         finally:
-            self._sessions.discard(connection)
+            self._sessions.pop(connection, None)
 
     def _serve_session(self, connection: StreamConnection):
         while True:
@@ -159,7 +168,7 @@ class BackendWebServer:
             return HttpResponse.text(str(outcome))
         body = self._static.get(request.path)
         if body is not None:
-            yield self.sim.timeout(self.static_service_time)
+            yield self.sim.timeout(self.static_service_time * self.service_time_scale)
             return HttpResponse.text(body)
         self.metrics.increment("http.errors")
         return HttpResponse.error(404, f"no resource at {request.path!r}")
@@ -171,10 +180,26 @@ class BackendWebServer:
     def crash(self) -> None:
         """Simulate a server crash: stop listening AND sever every live
         session. Peers see :class:`ConnectionClosed`; in-flight requests
-        are lost, as they would be on a real process kill."""
+        are lost, as they would be on a real process kill. Recoverable
+        with :meth:`restart`."""
         self.listener.close()
+        self.metrics.increment("http.crashes")
         for connection in list(self._sessions):
-            connection.close()
+            connection.abort()
+        self._sessions.clear()
+
+    def restart(self) -> None:
+        """Recover from :meth:`crash`: rebind the listener, accept again.
+
+        A no-op while the server is still listening. Resources and
+        handlers survive the restart (the process comes back with the
+        same configuration); connections do not.
+        """
+        if not self.listener.closed:
+            return
+        self.listener = self.node.listen_stream(self._port, backlog=self._backlog)
+        self.metrics.increment("http.restarts")
+        self.sim.process(self._accept_loop(), name=f"http:{self.name}")
 
     def __repr__(self) -> str:
         return (

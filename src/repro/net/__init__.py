@@ -1,6 +1,14 @@
-"""Simulated network substrate: nodes, links, streams, datagrams."""
+"""Simulated network substrate: nodes, links, streams, datagrams, faults."""
 
 from .address import Address
+from .faults import (
+    BackendCrash,
+    FaultInjector,
+    FaultPlan,
+    LinkDegrade,
+    LinkDown,
+    SlowBackend,
+)
 from .link import Link
 from .message import Envelope, estimate_size
 from .network import Network, Node
@@ -16,4 +24,10 @@ __all__ = [
     "DatagramSocket",
     "StreamConnection",
     "StreamListener",
+    "BackendCrash",
+    "LinkDown",
+    "LinkDegrade",
+    "SlowBackend",
+    "FaultPlan",
+    "FaultInjector",
 ]

@@ -62,6 +62,28 @@ class Link:
         """Sample whether a datagram is lost on this link."""
         return self.loss > 0.0 and rng.random() < self.loss
 
+    def degraded(
+        self,
+        extra_latency: float = 0.0,
+        loss: float = 0.0,
+        bandwidth_factor: float = 1.0,
+    ) -> "Link":
+        """This link during a fault window (see :mod:`repro.net.faults`).
+
+        Adds *extra_latency* seconds of one-way delay and *loss*
+        probability of datagram drop, and scales the bandwidth by
+        *bandwidth_factor*. Loss saturates just below 1.
+        """
+        bandwidth = (
+            None if self.bandwidth is None else self.bandwidth * bandwidth_factor
+        )
+        return Link(
+            latency=self.latency + extra_latency,
+            jitter=self.jitter,
+            bandwidth=bandwidth,
+            loss=min(0.999999, self.loss + loss),
+        )
+
     @classmethod
     def lan(cls, latency: float = 0.0002, bandwidth: float = 125e6) -> "Link":
         """A same-machine-room link: 0.2 ms, 1 Gb/s, lossless."""

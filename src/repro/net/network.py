@@ -1,15 +1,27 @@
-"""Network topology: named nodes joined by links.
+"""Network topology: named nodes joined by links — and their failures.
 
 A :class:`Network` registers nodes and the links between them, resolves
 addresses to bound sockets/listeners, and accounts traffic. A
 :class:`Node` is one host: it binds listeners and sockets and opens
-stream connections.
+stream connections. All broker-side behaviour lives above this layer,
+in the :mod:`repro.core` stage pipeline; the network only moves
+messages.
+
+The network is also where link faults land (driven by
+:class:`~repro.net.faults.FaultInjector`): :meth:`Network.sever_link`
+partitions a host pair — established streams crossing it are killed,
+new connects raise :class:`NoRouteError`, datagrams vanish — and
+:meth:`Network.override_link` swaps in a degraded link (extra latency,
+loss, less bandwidth) until cleared. Both are exact inverses of their
+restore operations, so a healed network behaves like one that never
+failed (apart from the connections lost in between).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple, Union
+import weakref
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..errors import (
     AddressInUse,
@@ -93,6 +105,10 @@ class Node:
         round_trip = link.delay(HEADER_BYTES, rng) + link.delay(HEADER_BYTES, rng)
         yield self.sim.timeout(round_trip)
 
+        if self.network.link_severed(self.name, destination.host):
+            raise NoRouteError(
+                f"link {self.name!r}<->{destination.host!r} is down"
+            )
         target = self.network.resolve(destination)
         if not isinstance(target, StreamListener) or target.closed:
             raise ConnectionRefused(f"nothing listening at {destination}")
@@ -107,6 +123,8 @@ class Node:
         server.peer = client
         if not target._offer(server):
             raise ConnectionRefused(f"backlog full at {destination}")
+        self.network._register_stream(client)
+        self.network._register_stream(server)
         self.network.metrics.increment("net.connections")
         return client
 
@@ -135,6 +153,15 @@ class Network:
         self.default_link = default_link
         self.metrics = MetricsRegistry()
         self._loopback = Link.loopback()
+        self._severed: set = set()
+        self._link_overrides: Dict[FrozenSet[str], Link] = {}
+        # Established streams, registered at connect time so sever_link
+        # can kill the ones crossing a partitioned pair. Weak refs in
+        # insertion order (NOT a WeakSet: its iteration order is
+        # id-dependent and would make fault runs nondeterministic),
+        # pruned amortizedly once the dead refs pile up.
+        self._streams: List["weakref.ref"] = []
+        self._stream_prune_at = 4096
 
     def node(self, name: str) -> Node:
         """Create and register a node named *name*."""
@@ -155,9 +182,17 @@ class Network:
         self._links[(name_b, name_a)] = link
 
     def link_between(self, a: str, b: str) -> Link:
-        """The link joining hosts *a* and *b* (loopback when a == b)."""
+        """The link joining hosts *a* and *b* (loopback when a == b).
+
+        A fault-window override installed with :meth:`override_link`
+        takes precedence over the configured link.
+        """
         if a == b:
             return self._loopback
+        if self._link_overrides:
+            override = self._link_overrides.get(frozenset((a, b)))
+            if override is not None:
+                return override
         link = self._links.get((a, b))
         if link is not None:
             return link
@@ -168,6 +203,61 @@ class Network:
     def link_rng(self, a: str, b: str) -> random.Random:
         """The RNG substream used for jitter/loss on the a→b direction."""
         return self.sim.rng(f"net.link.{a}->{b}")
+
+    # -- link faults ---------------------------------------------------
+
+    def link_severed(self, a: str, b: str) -> bool:
+        """True while the *a*/*b* pair is partitioned (loopback never is)."""
+        return bool(self._severed) and frozenset((a, b)) in self._severed
+
+    def sever_link(self, a: str, b: str) -> None:
+        """Partition hosts *a* and *b* (no-op if already severed).
+
+        Established streams crossing the pair are killed on both
+        endpoints — like a TCP reset, not an orderly FIN: pending
+        receives fail with :class:`~repro.errors.ConnectionClosed`
+        immediately, nothing crosses the dead link. New stream connects
+        raise :class:`NoRouteError` and datagrams are silently lost
+        until :meth:`restore_link`.
+        """
+        pair = frozenset((a, b))
+        if pair in self._severed:
+            return
+        self._severed.add(pair)
+        live: List["weakref.ref"] = []
+        for ref in self._streams:
+            stream = ref()
+            if stream is None or stream.closed:
+                continue
+            live.append(ref)
+            endpoints = frozenset(
+                (stream.local_address.host, stream.remote_address.host)
+            )
+            if endpoints == pair:
+                stream.sever()
+        self._streams = live
+        self.metrics.increment("net.links.severed")
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Heal the partition between *a* and *b* (no-op if not severed)."""
+        self._severed.discard(frozenset((a, b)))
+
+    def override_link(self, a: str, b: str, link: Link) -> None:
+        """Replace the *a*/*b* link with *link* until :meth:`clear_override`."""
+        self._link_overrides[frozenset((a, b))] = link
+
+    def clear_override(self, a: str, b: str) -> None:
+        """Remove a fault-window link override (no-op if none installed)."""
+        self._link_overrides.pop(frozenset((a, b)), None)
+
+    def _register_stream(self, connection: StreamConnection) -> None:
+        """Track an established stream for fault-time teardown."""
+        self._streams.append(weakref.ref(connection))
+        if len(self._streams) >= self._stream_prune_at:
+            self._streams = [
+                ref for ref in self._streams if ref() is not None
+            ]
+            self._stream_prune_at = max(4096, 2 * len(self._streams))
 
     def resolve(self, address: Address) -> Optional[Union[StreamListener, DatagramSocket]]:
         """The listener or socket bound at *address*, if any."""

@@ -3,10 +3,17 @@
 * :class:`StreamConnection` — a TCP-like, connection-oriented channel.
   Establishing one costs a full round trip (the paper's argument for
   broker-side persistent connections rests on exactly this cost);
-  messages arrive in order, reliably.
+  messages arrive in order, reliably — *while the link underneath is
+  up*. A partition (:meth:`Network.sever_link`) kills crossing streams
+  unilaterally: :meth:`StreamConnection.sever` fails pending receives
+  without any goodbye crossing the wire, and
+  :meth:`StreamConnection.abort` is the crash-local variant (FIN to the
+  peer, immediate local teardown) used by
+  :meth:`~repro.http.server.BackendWebServer.crash`.
 * :class:`DatagramSocket` — a UDP-like socket: connectionless, cheap, no
-  delivery or ordering guarantee. The paper's distributed broker model
-  exchanges request/response messages with the front end over UDP.
+  delivery or ordering guarantee; datagrams sent across a severed link
+  are counted lost. The paper's distributed broker model exchanges
+  request/response messages with the front end over UDP.
 """
 
 from __future__ import annotations
@@ -128,6 +135,12 @@ class StreamConnection:
     def _transmit(self, payload: Any, size: Optional[int]) -> Event:
         assert self.peer is not None
         size = HEADER_BYTES + (estimate_size(payload) if size is None else size)
+        if self._network.link_severed(
+            self.local_address.host, self.remote_address.host
+        ):
+            # Partitioned mid-conversation: the bytes never arrive.
+            self._network.metrics.increment("net.stream.lost")
+            return Event(self.sim).succeed(None)
         link = self._network.link_between(
             self.local_address.host, self.remote_address.host
         )
@@ -175,6 +188,27 @@ class StreamConnection:
         if self.peer is not None and not self._inbox.closed:
             self._transmit(_CLOSE, 0)
         self.local_closed = True
+
+    def abort(self) -> None:
+        """Crash-local teardown: FIN to the peer, this side dies *now*.
+
+        Unlike :meth:`close`, any receive pending on this endpoint fails
+        immediately with :class:`ConnectionClosed` — the process that
+        owned the connection is gone.
+        """
+        self.close()
+        self._inbox.close()
+
+    def sever(self) -> None:
+        """Kill this endpoint without telling the peer.
+
+        Used when the link underneath is partitioned
+        (:meth:`Network.sever_link`): nothing crosses the dead link, so
+        no FIN is sent; pending receives fail with
+        :class:`ConnectionClosed` and later sends raise it.
+        """
+        self.local_closed = True
+        self._inbox.close()
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else "open"
@@ -244,6 +278,11 @@ class DatagramSocket:
         if self.closed:
             raise NetworkError("sendto() on a closed socket")
         size = HEADER_BYTES + (estimate_size(payload) if size is None else size)
+        if self._network.link_severed(self.address.host, destination.host):
+            self.datagrams_sent += 1
+            self.datagrams_dropped += 1
+            self._network.metrics.increment("net.datagrams.lost")
+            return
         link = self._network.link_between(self.address.host, destination.host)
         rng = self._network.link_rng(self.address.host, destination.host)
         self.datagrams_sent += 1

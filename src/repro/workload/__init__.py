@@ -4,8 +4,10 @@ from .clients import BurstClient, ClosedLoopClient, OpenLoopGenerator, zipf_samp
 from .scenarios import (
     QOS_SERVICE_TIMES,
     ClusteringResult,
+    FailureRecoveryResult,
     QosResult,
     run_clustering_experiment,
+    run_failure_recovery_experiment,
     run_qos_experiment,
 )
 
@@ -16,7 +18,9 @@ __all__ = [
     "zipf_sampler",
     "ClusteringResult",
     "QosResult",
+    "FailureRecoveryResult",
     "run_clustering_experiment",
     "run_qos_experiment",
+    "run_failure_recovery_experiment",
     "QOS_SERVICE_TIMES",
 ]

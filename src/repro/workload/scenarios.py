@@ -9,8 +9,15 @@
   times of 1/2/3 seconds; WebStone-like closed-loop clients in three QoS
   classes drive the system through a front end, in either API-based or
   broker-based mode.
+* :func:`run_failure_recovery_experiment` — the §III availability claim
+  ("even when the backend servers are not available"): one broker runs
+  the fault-tolerant stage plan over *replica* backend web servers while
+  a :class:`~repro.net.faults.FaultInjector` crashes and restarts the
+  first replica on an exponential MTBF schedule; every request is
+  classified as issued during an outage window or during healthy
+  operation.
 
-Both return plain result dataclasses the benchmark harness renders as
+All return plain result dataclasses the benchmark harness renders as
 the paper's tables/series.
 """
 
@@ -21,11 +28,18 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.adapters import HttpAdapter
 from ..core.broker import ServiceBroker
+from ..core.cache import ResultCache
 from ..core.client import BrokerClient
 from ..core.clustering import ClusteringConfig, RepeatWorkloadCombiner
-from ..core.pipeline import centralized_stage_plan, distributed_stage_plan
+from ..core.faulttolerance import RetryPolicy
+from ..core.pipeline import (
+    centralized_stage_plan,
+    distributed_stage_plan,
+    fault_tolerant_stage_plan,
+)
 from ..core.protocol import ReplyStatus
 from ..core.qos import QoSPolicy
+from ..errors import BrokerTimeout
 from ..db.client import DatabaseClient
 from ..db.engine import Database
 from ..db.server import DatabaseServer
@@ -35,6 +49,7 @@ from ..frontend.server import FrontendWebServer
 from ..http.client import HttpClient
 from ..http.messages import HttpRequest, HttpResponse
 from ..metrics import SummaryStats
+from ..net.faults import FaultInjector, FaultPlan
 from ..net.link import Link
 from ..net.network import Network
 from ..sim.core import Simulation
@@ -46,6 +61,8 @@ __all__ = [
     "QosResult",
     "run_qos_experiment",
     "QOS_SERVICE_TIMES",
+    "FailureRecoveryResult",
+    "run_failure_recovery_experiment",
 ]
 
 #: Bounded CGI processing times (seconds) at backends 1, 2, 3 (paper §V.B).
@@ -447,4 +464,261 @@ def run_qos_experiment(
         result.frontend_rejections[level] = int(
             frontend.metrics.counter(f"frontend.rejected.qos{level}")
         )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Experiment C — failure recovery (§III availability claim)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FailureRecoveryResult:
+    """Measurements from one run of the failure-recovery testbed.
+
+    ``availability`` counts a request as *answered* when the client got
+    a full-fidelity (OK) or degraded (stale-cache) reply; DROPPED
+    ("system busy"), broker errors, and client-side timeouts all count
+    against it. The ``outage_*`` fields restrict the same accounting to
+    requests *issued while the crashed replica was down*.
+    """
+
+    mtbf: float
+    mttr: float
+    replicas: int
+    n_clients: int
+    duration: float
+    #: Number of completed crash/restart windows and their total seconds.
+    outages: int = 0
+    downtime: float = 0.0
+    # Whole-run accounting.
+    requests: int = 0
+    ok: int = 0
+    degraded: int = 0
+    dropped: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    # Requests issued while the crashed replica was down.
+    outage_requests: int = 0
+    outage_ok: int = 0
+    outage_degraded: int = 0
+    # Response-time stats, split the same way.
+    latency: SummaryStats = field(default_factory=SummaryStats)
+    outage_latency: SummaryStats = field(default_factory=SummaryStats)
+    # Pipeline fault counters (from the broker's metrics registry).
+    retries: int = 0
+    retry_recovered: int = 0
+    failovers: int = 0
+    failover_recovered: int = 0
+    breaker_opens: int = 0
+    fault_replies: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of all requests answered OK or DEGRADED."""
+        if not self.requests:
+            return 1.0
+        return (self.ok + self.degraded) / self.requests
+
+    @property
+    def outage_availability(self) -> float:
+        """Fraction of outage-window requests answered OK or DEGRADED."""
+        if not self.outage_requests:
+            return 1.0
+        return (self.outage_ok + self.outage_degraded) / self.outage_requests
+
+
+def run_failure_recovery_experiment(
+    mtbf: float = 30.0,
+    mttr: float = 5.0,
+    replicas: int = 2,
+    n_clients: int = 8,
+    duration: float = 120.0,
+    service_time: float = 0.1,
+    think_time: float = 0.1,
+    deadline: float = 2.0,
+    cache_ttl: float = 1.0,
+    key_pool: int = 32,
+    backend_capacity: int = 5,
+    first_crash_at: Optional[float] = None,
+    seed: int = 0,
+) -> FailureRecoveryResult:
+    """Crash a replica on an MTBF schedule; measure what clients see.
+
+    One broker runs :func:`~repro.core.pipeline.fault_tolerant_stage_plan`
+    over *replicas* identical backend web servers (each a bounded CGI of
+    *service_time* seconds that honours ``service_time_scale``). Closed-
+    loop clients in three QoS classes request cacheable items from a
+    pool of *key_pool* keys, so the result cache holds recent — possibly
+    stale — answers for every key. A
+    :class:`~repro.net.faults.FaultInjector` replays
+    :meth:`FaultPlan.crash_restart_cycle
+    <repro.net.faults.FaultPlan.crash_restart_cycle>` against the first
+    replica: time-to-failure is ``Exp(1/mtbf)`` on the dedicated
+    ``faults.schedule`` substream, repair takes the fixed *mttr*.
+
+    While the replica is down the pipeline absorbs the fault in layers:
+    retries with backoff catch transient connection failures, the
+    per-backend circuit breaker trips after repeated ones, failover
+    re-routes the batch to surviving replicas, and — when no replica is
+    left (``replicas=1``) — the fidelity fallback answers from stale
+    cache or with a busy indication (§III). *first_crash_at* pins the
+    first crash instant (benchmarks use it so every point has at least
+    one outage); by default it is drawn from the MTBF distribution.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1: {replicas!r}")
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1: {n_clients!r}")
+    sim = Simulation(seed=seed)
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+
+    # Replica backend web servers, all serving the same item lookup.
+    from ..http.server import BackendWebServer
+
+    backends: List[BackendWebServer] = []
+    for index in range(1, replicas + 1):
+        node = net.node(f"backend{index}")
+        server = BackendWebServer(
+            sim, node, max_clients=backend_capacity, name=f"backend{index}"
+        )
+
+        def item_cgi(server, request):
+            # CGI handlers honour the slow-backend fault hook themselves.
+            yield server.sim.timeout(service_time * server.service_time_scale)
+            return HttpResponse.text(f"item={request.param('id', '?')}")
+
+        server.add_cgi("/item", item_cgi)
+        backends.append(server)
+
+    qos = QoSPolicy(
+        levels=3,
+        threshold=10_000,  # no admission drops — this experiment isolates faults
+        deadlines={1: deadline, 2: deadline * 1.5, 3: deadline * 2.0},
+    )
+    broker = ServiceBroker(
+        sim,
+        web_node,
+        service="items",
+        adapters=[
+            HttpAdapter(sim, web_node, server.address, name=server.name)
+            for server in backends
+        ],
+        qos=qos,
+        cache=ResultCache(capacity=4 * key_pool, ttl=cache_ttl, clock=lambda: sim.now),
+        pool_size=backend_capacity,
+        dispatchers=backend_capacity * replicas,
+        name="ft-broker",
+        stages=fault_tolerant_stage_plan(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.05, jitter=0.5),
+            failure_threshold=3,
+            reset_timeout=0.5,
+        ),
+    )
+    broker_client = BrokerClient(sim, web_node, {"items": broker.address})
+
+    # The fault schedule targets the first replica only, so surviving
+    # replicas (if any) can absorb the failover traffic.
+    plan = FaultPlan.crash_restart_cycle(
+        backends[0].name,
+        mtbf=mtbf,
+        mttr=mttr,
+        until=duration,
+        rng=sim.rng("faults.schedule"),
+        first_at=first_crash_at,
+    )
+    injector = FaultInjector(
+        sim,
+        plan,
+        network=net,
+        targets={server.name: server for server in backends},
+        metrics=broker.metrics,
+    )
+    injector.start()
+
+    # Closed-loop clients over a shared key pool; every sample records
+    # (issue time, reply status, elapsed) for outage classification.
+    samples: List[Tuple[float, str, float]] = []
+    key_rng = sim.rng("faults.keys")
+    stagger_rng = sim.rng("faults.stagger")
+    clients: List[ClosedLoopClient] = []
+    for index in range(n_clients):
+        workstation = net.node(f"client{index}")
+        level = (index % qos.levels) + 1
+
+        def one_request(_client, _iteration, _node=workstation, _level=level):
+            issued = sim.now
+            item = key_rng.randrange(key_pool)
+            try:
+                reply = yield from broker_client.call(
+                    "items",
+                    "get",
+                    ("/item", {"id": item}),
+                    qos_level=_level,
+                    timeout=4.0 * deadline,
+                )
+            except BrokerTimeout:
+                samples.append((issued, "timeout", sim.now - issued))
+                return
+            samples.append((issued, reply.status.value, sim.now - issued))
+
+        client = ClosedLoopClient(
+            sim,
+            name=f"ft{index}",
+            request_factory=one_request,
+            think_time=think_time,
+            start_delay=stagger_rng.uniform(0.0, 1.0),
+        )
+        client.start(until=duration)
+        clients.append(client)
+
+    sim.run(until=duration)
+    # Let in-flight requests, retries, and open fault windows finish.
+    sim.run(until=duration + mttr + 60.0)
+
+    result = FailureRecoveryResult(
+        mtbf=mtbf,
+        mttr=mttr,
+        replicas=replicas,
+        n_clients=n_clients,
+        duration=duration,
+    )
+    windows = injector.windows(backends[0].name)
+    result.outages = len(windows)
+    result.downtime = sum(end - start for start, end in windows)
+
+    def in_outage(at: float) -> bool:
+        return any(start <= at < end for start, end in windows)
+
+    for issued, status, elapsed in samples:
+        result.requests += 1
+        result.latency.add(elapsed)
+        answered = status in (ReplyStatus.OK.value, ReplyStatus.DEGRADED.value)
+        if status == ReplyStatus.OK.value:
+            result.ok += 1
+        elif status == ReplyStatus.DEGRADED.value:
+            result.degraded += 1
+        elif status == ReplyStatus.DROPPED.value:
+            result.dropped += 1
+        elif status == "timeout":
+            result.timeouts += 1
+        else:
+            result.errors += 1
+        if in_outage(issued):
+            result.outage_requests += 1
+            result.outage_latency.add(elapsed)
+            if answered:
+                if status == ReplyStatus.OK.value:
+                    result.outage_ok += 1
+                else:
+                    result.outage_degraded += 1
+
+    counter = broker.metrics.counter
+    result.retries = int(counter("broker.retry.attempts"))
+    result.retry_recovered = int(counter("broker.retry.recovered"))
+    result.failovers = int(counter("broker.fault.failover"))
+    result.failover_recovered = int(counter("broker.fault.failover_recovered"))
+    result.breaker_opens = int(counter("broker.breaker.open"))
+    result.fault_replies = int(counter("broker.fault.replies"))
     return result

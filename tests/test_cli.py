@@ -65,10 +65,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "distributed broker pipeline" in out
         assert "centralized broker pipeline" in out
+        assert "fault-tolerant broker pipeline" in out
         assert "ingress/dispatch boundary" in out
         # The distributed plan admits at the broker; the centralized
         # section must not list an admission stage.
-        _, centralized = out.split("centralized broker pipeline")
+        _, rest = out.split("centralized broker pipeline")
+        centralized = rest.split("fault-tolerant broker pipeline")[0]
         names = [
             line.split()[1]
             for line in centralized.splitlines()
@@ -76,6 +78,33 @@ class TestCommands:
         ]
         assert "admission" not in names
         assert "load-report" in names
+        # The fault-tolerant plan wraps execution in the fault stages.
+        fault_tolerant = rest.split("fault-tolerant broker pipeline")[1]
+        ft_names = [
+            line.split()[1]
+            for line in fault_tolerant.splitlines()
+            if line.strip()[:1].isdigit()
+        ]
+        for stage in ("timeout", "breaker", "retry", "failover"):
+            assert stage in ft_names
+
+    def test_faults_describe(self, capsys):
+        assert main(["faults", "--describe"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("backend-crash", "link-down", "link-degrade", "slow-backend"):
+            assert kind in out
+        assert "fault-tolerant" in out
+        assert "broker.retry.attempts" in out
+        assert "broker.breaker.state" in out
+
+    def test_faults_sweep_prints_availability_table(self, capsys):
+        assert main([
+            "faults", "--mtbf", "20", "--mttr", "4",
+            "--duration", "30", "--replicas", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Failure recovery" in out
+        assert "outage_avail_pct" in out
 
     def test_pipeline_describe_one_model(self, capsys):
         assert main(["pipeline", "--describe", "--model", "distributed"]) == 0

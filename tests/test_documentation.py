@@ -2,7 +2,9 @@
 
 Every public module, class, and function in the library must carry a
 docstring (the README promises "doc comments on every public item"),
-and the package's ``__all__`` lists must be accurate.
+the package's ``__all__`` lists must be accurate, and the prose docs
+(README, DESIGN.md, EXPERIMENTS.md) must only reference CLI commands,
+pipeline stages, and metric names that actually exist in the code.
 """
 
 from __future__ import annotations
@@ -10,12 +12,18 @@ from __future__ import annotations
 import importlib
 import inspect
 import pkgutil
+import re
+from pathlib import Path
 
 import pytest
 
 import repro
 
 IGNORED_MODULES = {"repro.__main__"}
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
 
 
 def _walk_modules():
@@ -83,3 +91,138 @@ class TestExports:
     def test_top_level_all_is_sorted_sections(self):
         # Not alphabetical by design, but must be duplicate-free.
         assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def _read_doc(name: str) -> str:
+    return (REPO_ROOT / name).read_text(encoding="utf-8")
+
+
+def _source_corpus() -> str:
+    return "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in (REPO_ROOT / "src" / "repro").rglob("*.py")
+    )
+
+
+class TestDocsReferenceCode:
+    """Prose docs may only reference things that exist in the code."""
+
+    def test_documented_cli_subcommands_exist(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        action = next(
+            a
+            for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        known = set(action.choices)
+        referenced = set()
+        for doc in DOC_FILES:
+            text = _read_doc(doc)
+            referenced.update(re.findall(r"python -m repro ([a-z0-9]+)", text))
+            # Pipe-separated usage summaries: `fig7|fig9|...|faults`.
+            for summary in re.findall(r"repro ([a-z0-9]+(?:\|[a-z0-9]+)+)", text):
+                referenced.update(summary.split("|"))
+        assert referenced, "docs no longer show any CLI invocations"
+        missing = referenced - known
+        assert not missing, f"docs reference unknown CLI subcommands: {missing}"
+
+    def test_every_pipeline_stage_is_documented(self):
+        from repro.core.pipeline import stage_plan
+
+        design = _read_doc("DESIGN.md")
+        missing = set()
+        for model in ("distributed", "centralized", "fault-tolerant"):
+            for stage in stage_plan(model):
+                if stage.name not in design:
+                    missing.add(stage.name)
+        assert not missing, f"DESIGN.md never mentions stages: {missing}"
+
+    def test_readme_architecture_diagram_uses_real_stage_names(self):
+        from repro.core.pipeline import stage_plan
+
+        known = {
+            stage.name
+            for model in ("distributed", "centralized", "fault-tolerant")
+            for stage in stage_plan(model)
+        }
+        readme = _read_doc("README.md")
+        diagram = readme.split("## Architecture")[1].split("```")[1]
+        # Every arrow-joined token inside the ServiceBroker box must be a
+        # real stage name.
+        mentioned = set(re.findall(r"([a-z][a-z-]*[a-z])\s*(?:→|‖)", diagram))
+        assert mentioned, "README architecture diagram lost its stage chain"
+        unknown = mentioned - known
+        assert not unknown, f"README diagram names unknown stages: {unknown}"
+
+    def test_documented_metric_names_exist(self):
+        corpus = _source_corpus()
+        referenced = set()
+        for doc in DOC_FILES:
+            referenced.update(
+                re.findall(
+                    r"broker\.(?:fault|retry|breaker|degraded_replies)"
+                    r"(?:\.[a-z_]+)*",
+                    _read_doc(doc),
+                )
+            )
+        assert referenced, "docs no longer mention any fault metrics"
+        missing = set()
+        for token in referenced:
+            # Counters like broker.breaker.closed are emitted through an
+            # f-string; accept the token when its dotted parent prefix
+            # appears literally in the source.
+            parent = token.rsplit(".", 1)[0] + "."
+            if token not in corpus and parent not in corpus:
+                missing.add(token)
+        assert not missing, f"docs reference unknown metrics: {missing}"
+
+
+class TestDocLinks:
+    """Relative links and anchors in the prose docs must resolve."""
+
+    LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+    @staticmethod
+    def _anchors(text: str) -> set:
+        anchors = set()
+        for heading in re.findall(r"^#+\s+(.+)$", text, flags=re.MULTILINE):
+            slug = heading.strip().lower()
+            slug = re.sub(r"[^\w\s-]", "", slug)
+            anchors.add(re.sub(r"\s+", "-", slug))
+        return anchors
+
+    @pytest.mark.parametrize("doc", DOC_FILES)
+    def test_relative_links_resolve(self, doc):
+        text = _read_doc(doc)
+        broken = []
+        for target in self.LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            base = (
+                REPO_ROOT / doc if not path_part else REPO_ROOT / path_part
+            )
+            if path_part and not base.exists():
+                broken.append(target)
+                continue
+            if anchor and base.suffix == ".md":
+                if anchor not in self._anchors(
+                    base.read_text(encoding="utf-8")
+                ):
+                    broken.append(target)
+        assert not broken, f"{doc}: broken links {broken}"
+
+    @pytest.mark.parametrize("doc", DOC_FILES)
+    def test_referenced_repo_paths_exist(self, doc):
+        text = _read_doc(doc)
+        missing = []
+        for path in re.findall(
+            r"`((?:src|tests|benchmarks|examples)/[\w./-]+\.(?:py|md))`", text
+        ):
+            if not (REPO_ROOT / path).exists():
+                missing.append(path)
+        assert not missing, f"{doc}: references missing files {missing}"
