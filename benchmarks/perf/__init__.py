@@ -1,0 +1,17 @@
+"""Hot-path performance suite (micro + macro) and its baseline.
+
+The benchmark implementations live in :mod:`repro.bench` so the
+``repro bench`` CLI works from an installed package; this directory
+holds the committed baseline (``baseline.json``) and the pytest
+wrapper that gates regressions in CI.
+
+Run directly::
+
+    python -m repro bench            # full suite (~20 s)
+    python -m repro bench --quick    # CI smoke (~3 s)
+    python -m repro bench --profile  # + cProfile top-25 of the macro run
+
+or through pytest::
+
+    pytest benchmarks/perf -s
+"""

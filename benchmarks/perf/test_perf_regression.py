@@ -1,0 +1,53 @@
+"""Perf-regression gate: quick suite vs the committed baseline.
+
+Throughput numbers are machine-dependent, so the gate is generous (a
+benchmark fails only when it drops more than 30% below baseline) and
+the committed baseline should be refreshed whenever the hot path is
+deliberately changed::
+
+    python -m repro bench --quick --out /dev/null  # sanity-check first
+    python - <<'EOF'
+    import json, pathlib
+    from repro.bench import run_suite
+    baseline = {}
+    for quick in (False, True):
+        results = run_suite(quick=quick)
+        baseline[results["mode"]] = {
+            b: results[b] for b in ("kernel", "pipeline", "macro")
+        }
+    pathlib.Path("benchmarks/perf/baseline.json").write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    )
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench import compare_to_baseline, render_report, run_suite
+
+BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def test_quick_suite_within_regression_budget():
+    """The quick suite must stay within 30% of the committed baseline."""
+    results = run_suite(quick=True)
+    print()
+    print(render_report(results))
+    baseline = json.loads(BASELINE.read_text(encoding="utf-8"))
+    lines = compare_to_baseline(results, baseline, max_regression=0.30)
+    for line in lines:
+        print(line)
+    regressions = [line for line in lines if line.startswith("REGRESSION")]
+    assert not regressions, "\n".join(regressions)
+
+
+def test_macro_reports_wall_percentiles():
+    """The macro result document carries p50/p99 wall statistics."""
+    results = run_suite(quick=True)
+    macro = results["macro"]
+    assert macro["wall_p50_s"] <= macro["wall_p99_s"]
+    assert macro["requests"] > 0
+    assert macro["requests_per_sec"] > 0

@@ -1,0 +1,292 @@
+"""Hot-path performance benchmarks and the regression harness.
+
+Three benchmarks, exposed through ``python -m repro bench``:
+
+* ``kernel`` — a pure event-kernel micro-benchmark: many concurrent
+  processes each yielding a long chain of timeouts, measured in
+  simulator events per wall-clock second. Exercises the heap loop,
+  the :class:`~repro.sim.core.Timeout` pool, and process resumption
+  with no networking or broker code at all.
+* ``pipeline`` — a small broker scenario (10 closed-loop clients
+  against the distributed stage plan) measured in completed requests
+  per wall-clock second. Exercises the full ingress/dispatch pipeline,
+  the net layer, and the metrics registry.
+* ``macro`` — the §V.B QoS testbed at full size
+  (``run_qos_experiment(60, mode="broker", duration=120.0)``),
+  repeated several times; reports requests per wall-clock second plus
+  the p50/p99 of the per-repetition wall times.
+
+Results are written as JSON (default ``BENCH_pipeline.json``) and
+compared against a committed baseline
+(``benchmarks/perf/baseline.json``): a throughput drop beyond the
+allowed regression fraction raises :class:`BenchRegression`, which the
+CLI turns into a non-zero exit code. Throughput numbers are
+machine-dependent — the committed baseline tracks relative regressions
+in CI, not absolute performance.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .sim.core import Simulation
+from .workload.scenarios import run_qos_experiment
+
+__all__ = [
+    "BenchRegression",
+    "bench_kernel",
+    "bench_pipeline",
+    "bench_macro",
+    "run_suite",
+    "compare_to_baseline",
+    "render_report",
+    "DEFAULT_BASELINE",
+]
+
+#: Seed shared by every benchmark run (results are fully deterministic).
+SEED = 2026
+
+#: Default location of the committed baseline, relative to the repo root.
+DEFAULT_BASELINE = Path("benchmarks") / "perf" / "baseline.json"
+
+#: Throughput keys checked against the baseline, per benchmark.
+_COMPARED = (
+    ("kernel", "events_per_sec"),
+    ("pipeline", "requests_per_sec"),
+    ("macro", "requests_per_sec"),
+)
+
+
+class BenchRegression(RuntimeError):
+    """Raised when a benchmark regresses beyond the allowed fraction.
+
+    Carries the rendered report so the CLI can print the full results
+    before exiting non-zero.
+    """
+
+    def __init__(self, message: str, report: str) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a small, non-empty sample."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def bench_kernel(events: int = 500_000, processes: int = 100) -> Dict[str, Any]:
+    """Measure raw kernel throughput in events per wall-clock second."""
+    sim = Simulation(seed=SEED)
+    per_process = events // processes
+
+    def chain(step: float):
+        timeout = sim.timeout
+        for _ in range(per_process):
+            yield timeout(step)
+
+    for index in range(processes):
+        sim.process(chain(0.001 * (index + 1)), name=f"bench{index}")
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    total = per_process * processes
+    return {
+        "events": total,
+        "wall_s": wall,
+        "events_per_sec": total / wall,
+    }
+
+
+def bench_pipeline(
+    duration: float = 120.0, clients: int = 30, repeats: int = 2
+) -> Dict[str, Any]:
+    """Measure full-pipeline throughput on a mid-size broker scenario."""
+    walls: List[float] = []
+    requests = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_qos_experiment(
+            clients, mode="broker", duration=duration, seed=SEED
+        )
+        walls.append(time.perf_counter() - started)
+        requests = sum(result.completions.values())
+    wall = min(walls)
+    return {
+        "clients": clients,
+        "duration_virtual_s": duration,
+        "repeats": repeats,
+        "requests": requests,
+        "wall_s": wall,
+        "requests_per_sec": requests / wall,
+    }
+
+
+def bench_macro(
+    duration: float = 120.0, clients: int = 60, repeats: int = 3
+) -> Dict[str, Any]:
+    """Measure the §V.B macro scenario, repeated for stable wall times."""
+    walls: List[float] = []
+    requests = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_qos_experiment(
+            clients, mode="broker", duration=duration, seed=SEED
+        )
+        walls.append(time.perf_counter() - started)
+        requests = sum(result.completions.values())
+    best = min(walls)
+    return {
+        "clients": clients,
+        "duration_virtual_s": duration,
+        "repeats": repeats,
+        "requests": requests,
+        "walls_s": walls,
+        "wall_best_s": best,
+        "wall_p50_s": _percentile(walls, 0.50),
+        "wall_p99_s": _percentile(walls, 0.99),
+        "requests_per_sec": requests / best,
+    }
+
+
+def run_suite(quick: bool = False) -> Dict[str, Any]:
+    """Run all three benchmarks and return the result document.
+
+    ``quick`` shrinks every benchmark (~3 s total instead of ~20 s);
+    quick and full results are never compared to each other — the
+    baseline file keeps one section per mode.
+    """
+    if quick:
+        # Walls below ~0.2 s are startup-jitter dominated, so even the
+        # quick points stay big enough to give a stable throughput.
+        kernel = bench_kernel(events=100_000, processes=50)
+        pipeline = bench_pipeline(duration=120.0, clients=30, repeats=2)
+        macro = bench_macro(duration=20.0, repeats=2)
+    else:
+        kernel = bench_kernel()
+        pipeline = bench_pipeline()
+        macro = bench_macro()
+    return {
+        "schema": 1,
+        "mode": "quick" if quick else "full",
+        "seed": SEED,
+        "kernel": kernel,
+        "pipeline": pipeline,
+        "macro": macro,
+    }
+
+
+def profile_macro(top: int = 25) -> str:
+    """Run one macro repetition under cProfile; return the top-N table."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_qos_experiment(60, mode="broker", duration=120.0, seed=SEED)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def compare_to_baseline(
+    results: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.30,
+) -> List[str]:
+    """Compare *results* to the matching baseline section.
+
+    Returns one human-readable line per compared metric; raises
+    :class:`ValueError` when the baseline has no section for this mode.
+    Lines for metrics that regressed beyond *max_regression* start with
+    ``REGRESSION``.
+    """
+    section = baseline.get(results["mode"])
+    if section is None:
+        raise ValueError(
+            f"baseline has no {results['mode']!r} section "
+            f"(sections: {sorted(baseline)})"
+        )
+    lines = []
+    for bench, key in _COMPARED:
+        current = results[bench][key]
+        reference = section[bench][key]
+        floor = reference * (1.0 - max_regression)
+        ratio = current / reference if reference else float("inf")
+        status = "ok" if current >= floor else "REGRESSION"
+        lines.append(
+            f"{status:>10}  {bench}.{key}: {current:,.0f} "
+            f"vs baseline {reference:,.0f} ({ratio:.2f}x, "
+            f"floor {floor:,.0f})"
+        )
+    return lines
+
+
+def render_report(results: Dict[str, Any]) -> str:
+    """Render the result document as an aligned text summary."""
+    kernel = results["kernel"]
+    pipeline = results["pipeline"]
+    macro = results["macro"]
+    return "\n".join(
+        [
+            f"bench ({results['mode']} mode, seed {results['seed']})",
+            f"  kernel:   {kernel['events_per_sec']:>12,.0f} events/s "
+            f"({kernel['events']:,} events in {kernel['wall_s']:.3f}s)",
+            f"  pipeline: {pipeline['requests_per_sec']:>12,.0f} requests/s "
+            f"({pipeline['requests']:,} requests in {pipeline['wall_s']:.3f}s)",
+            f"  macro:    {macro['requests_per_sec']:>12,.0f} requests/s "
+            f"({macro['requests']:,} requests, best of {macro['repeats']} "
+            f"wall {macro['wall_best_s']:.3f}s, "
+            f"p50 {macro['wall_p50_s']:.3f}s, p99 {macro['wall_p99_s']:.3f}s)",
+        ]
+    )
+
+
+def run_bench_command(
+    quick: bool = False,
+    profile: bool = False,
+    out: Optional[str] = "BENCH_pipeline.json",
+    baseline_path: Optional[str] = None,
+    max_regression: float = 0.30,
+) -> str:
+    """The ``repro bench`` implementation; returns the printed report.
+
+    Raises :class:`BenchRegression` when a compared throughput falls
+    more than *max_regression* below the baseline.
+    """
+    results = run_suite(quick=quick)
+    parts = [render_report(results)]
+    if out:
+        Path(out).write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        parts.append(f"results written to {out}")
+    path = Path(baseline_path) if baseline_path else DEFAULT_BASELINE
+    if path.exists():
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+        lines = compare_to_baseline(
+            results, baseline, max_regression=max_regression
+        )
+        parts.append(f"baseline {path} (max regression {max_regression:.0%}):")
+        parts.extend(f"  {line}" for line in lines)
+        if any(line.startswith("REGRESSION") for line in lines):
+            report = "\n".join(parts)
+            raise BenchRegression(
+                "benchmark regressed beyond the allowed threshold", report
+            )
+    elif baseline_path:
+        raise FileNotFoundError(f"baseline not found: {baseline_path}")
+    else:
+        parts.append(f"no baseline at {path}; comparison skipped")
+    if profile:
+        parts.append("")
+        parts.append("cProfile (macro scenario, top 25 by cumulative time):")
+        parts.append(profile_macro())
+    return "\n".join(parts)

@@ -10,6 +10,7 @@ Usage::
     python -m repro pipeline --describe [--model distributed|centralized|fault-tolerant|all]
     python -m repro faults --describe
     python -m repro faults [--mtbf 40,20,10] [--mttr S] [--replicas N] [--duration S]
+    python -m repro bench  [--quick] [--profile] [--out PATH] [--baseline PATH]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -128,6 +129,34 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--duration", type=float, default=120.0,
         help="virtual seconds per point (default 120)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path performance benchmarks with baseline regression check",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="shrunken suite (~3s) for CI smoke runs",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="also run the macro scenario under cProfile (top 25)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_pipeline.json",
+        help="write results JSON here (default BENCH_pipeline.json; "
+        "pass an empty string to skip)",
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON to compare against "
+        "(default: benchmarks/perf/baseline.json when present)",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="allowed fractional throughput drop before failing "
+        "(default 0.30)",
     )
     return parser
 
@@ -305,6 +334,19 @@ def run_faults(args) -> str:
     )
 
 
+def run_bench(args) -> str:
+    """Run the performance suite; see :mod:`repro.bench`."""
+    from .bench import run_bench_command
+
+    return run_bench_command(
+        quick=args.quick,
+        profile=args.profile,
+        out=args.out or None,
+        baseline_path=args.baseline,
+        max_regression=args.max_regression,
+    )
+
+
 _COMMANDS = {
     "fig7": run_fig7,
     "fig9": run_fig9,
@@ -313,13 +355,21 @@ _COMMANDS = {
     "drops": run_drops,
     "pipeline": run_pipeline,
     "faults": run_faults,
+    "bench": run_bench,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    from .bench import BenchRegression
+
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
+    try:
+        print(_COMMANDS[args.command](args))
+    except BenchRegression as regression:
+        print(regression.report)
+        print(f"FAILED: {regression}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -36,6 +36,15 @@ class AdmissionDecision:
     INTENSITY_REASON = "class-intensity"
 
 
+#: Shared immutable decision instances — one admission check runs per
+#: arriving request, so :meth:`AdmissionController.decide` avoids
+#: allocating a fresh (frozen, hence slow-to-construct) dataclass each
+#: time.
+_ACCEPT = AdmissionDecision(True, AdmissionDecision.ACCEPT_REASON)
+_REJECT_THRESHOLD = AdmissionDecision(False, AdmissionDecision.THRESHOLD_REASON)
+_REJECT_INTENSITY = AdmissionDecision(False, AdmissionDecision.INTENSITY_REASON)
+
+
 class AdmissionController:
     """Applies the QoS policy's gates to arriving requests."""
 
@@ -55,6 +64,20 @@ class AdmissionController:
         self.outstanding = 0
         self._arrivals: Dict[int, Deque[float]] = {
             level: deque() for level in range(1, policy.levels + 1)
+        }
+        # The policy is immutable, so the per-level limits and metric
+        # names are fixed: precompute one plan per level instead of
+        # re-deriving them on every arriving request.
+        metrics_ = self.metrics
+        self._plans: Dict[int, Tuple] = {
+            level: (
+                policy.rate_limit(level),
+                policy.admit_limit(level),
+                metrics_.handle(f"admission.accepted.qos{level}"),
+                metrics_.handle(f"admission.rejected.threshold.qos{level}"),
+                metrics_.handle(f"admission.rejected.intensity.qos{level}"),
+            )
+            for level in range(1, policy.levels + 1)
         }
 
     # -- outstanding-count bookkeeping (driven by the broker) -----------
@@ -81,8 +104,10 @@ class AdmissionController:
 
     def record_arrival(self, level: int) -> None:
         """Note one arrival of *level* (call for every request seen)."""
-        level = self.policy.clamp(level)
-        self._arrivals[level].append(self.sim.now)
+        window = self._arrivals.get(level)
+        if window is None:
+            window = self._arrivals[self.policy.clamp(level)]
+        window.append(self.sim._now)
 
     # -- the decision ------------------------------------------------------
 
@@ -93,19 +118,20 @@ class AdmissionController:
         threshold gate as long as the hard threshold itself is not
         exceeded.
         """
-        level = self.policy.clamp(level)
-        limit = self.policy.rate_limit(level)
+        plan = self._plans.get(level)
+        if plan is None:
+            level = self.policy.clamp(level)
+            plan = self._plans[level]
+        limit, admit_limit, accepted, rejected_threshold, rejected_intensity = plan
         if limit is not None and self._rate(level) > limit:
-            self.metrics.increment(f"admission.rejected.intensity.qos{level}")
-            return AdmissionDecision(False, AdmissionDecision.INTENSITY_REASON)
-        bound = (
-            self.policy.threshold if protected else self.policy.admit_limit(level)
-        )
+            rejected_intensity.inc()
+            return _REJECT_INTENSITY
+        bound = self.policy.threshold if protected else admit_limit
         if self.outstanding >= bound:
-            self.metrics.increment(f"admission.rejected.threshold.qos{level}")
-            return AdmissionDecision(False, AdmissionDecision.THRESHOLD_REASON)
-        self.metrics.increment(f"admission.accepted.qos{level}")
-        return AdmissionDecision(True, AdmissionDecision.ACCEPT_REASON)
+            rejected_threshold.inc()
+            return _REJECT_THRESHOLD
+        accepted.inc()
+        return _ACCEPT
 
     def __repr__(self) -> str:
         return (

@@ -195,8 +195,13 @@ class ServiceBroker:
         Only transport-level concerns live here (peer gossip, malformed
         payloads); all request processing is pipeline stages.
         """
+        recv = self.socket.recv
+        sim = self.sim
+        name = self.name
+        adopt = RequestContext.adopt
+        run_ingress = self.pipeline.run_ingress
         while True:
-            envelope = yield self.socket.recv()
+            envelope = yield recv()
             message = envelope.payload
             if isinstance(message, TxnStateUpdate):
                 if self.transactions is not None:
@@ -206,16 +211,17 @@ class ServiceBroker:
             if not isinstance(message, BrokerRequest):
                 self.metrics.increment("broker.malformed")
                 continue
-            ctx = RequestContext.adopt(message, now=self.sim.now, broker=self.name)
-            self.pipeline.run_ingress(ctx)
+            run_ingress(adopt(message, now=sim._now, broker=name))
 
     # -- dispatch path -----------------------------------------------------
 
     def _dispatcher(self):
         """Pull queued requests and run them through the dispatch stages."""
+        queue_get = self.queue.get
+        run_dispatch = self.pipeline.run_dispatch
         while True:
-            item: QueuedRequest = yield self.queue.get()
-            yield from self.pipeline.run_dispatch(item)
+            item: QueuedRequest = yield queue_get()
+            yield from run_dispatch(item)
 
     # -- direct execution (prefetcher, warmup) -----------------------------
 

@@ -17,7 +17,7 @@ from typing import Any, Callable, Optional, Tuple
 __all__ = ["ResultCache", "CacheEntry", "CacheStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     """One cached result."""
 
@@ -31,7 +31,7 @@ class CacheEntry:
         return now < self.expires_at
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss accounting."""
 

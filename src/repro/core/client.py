@@ -19,7 +19,7 @@ from ..errors import BrokerTimeout, UnknownServiceError
 from ..metrics import MetricsRegistry
 from ..net.address import Address
 from ..net.network import Node
-from ..sim.core import Event, Simulation
+from ..sim.core import _PENDING, Event, Simulation
 from .pipeline import RequestContext
 from .protocol import BrokerReply, BrokerRequest
 
@@ -51,6 +51,10 @@ class BrokerClient:
         self.socket = node.datagram_socket()
         self._ids = count(1)
         self._pending: Dict[int, Event] = {}
+        # Hot-path metric handles (per-status ones resolved lazily).
+        self._calls = self.metrics.handle("client.calls")
+        self._call_time = self.metrics.sample_handle("client.call_time")
+        self._replies_by_status: Dict[str, Any] = {}
         sim.process(self._pump(), name=f"broker-client:{node.name}")
 
     def add_route(self, service: str, address: Address) -> None:
@@ -58,14 +62,16 @@ class BrokerClient:
         self.routes[service] = address
 
     def _pump(self):
+        recv = self.socket.recv
+        pending_pop = self._pending.pop
         while True:
-            envelope = yield self.socket.recv()
+            envelope = yield recv()
             reply = envelope.payload
             if not isinstance(reply, BrokerReply):
                 self.metrics.increment("client.malformed")
                 continue
-            waiter = self._pending.pop(reply.request_id, None)
-            if waiter is not None and not waiter.triggered:
+            waiter = pending_pop(reply.request_id, None)
+            if waiter is not None and waiter._value is _PENDING:
                 waiter.succeed(reply)
             else:
                 self.metrics.increment("client.orphan_replies")
@@ -104,8 +110,9 @@ class BrokerClient:
         attempts = self.retries + 1
         for attempt in range(attempts):
             request_id = next(self._ids)
+            started = self.sim._now
             context = RequestContext.originate(
-                now=self.sim.now, origin=self.node.name
+                now=started, origin=self.node.name
             )
             request = BrokerRequest(
                 request_id=request_id,
@@ -118,14 +125,13 @@ class BrokerClient:
                 txn_step=txn_step,
                 cacheable=cacheable,
                 cache_key=cache_key,
-                sent_at=self.sim.now,
+                sent_at=started,
                 context=context,
             )
             context.request = request
             waiter = Event(self.sim)
             self._pending[request_id] = waiter
-            self.metrics.increment("client.calls")
-            started = self.sim.now
+            self._calls.inc()
             self.socket.sendto(request, address)
             if deadline is None:
                 reply = yield waiter
@@ -137,12 +143,17 @@ class BrokerClient:
                     self.metrics.increment("client.timeouts")
                     continue
                 reply = outcome[waiter]
-            self.metrics.observe("client.call_time", self.sim.now - started)
-            self.metrics.increment(f"client.replies.{reply.status.value}")
-            if reply.context is not None:
-                reply.context.record_stage(
-                    "client", started, self.sim.now, reply.status.value
+            now = self.sim._now
+            status = reply.status._value_
+            self._call_time.add(now - started)
+            counter = self._replies_by_status.get(status)
+            if counter is None:
+                counter = self._replies_by_status[status] = self.metrics.handle(
+                    f"client.replies.{status}"
                 )
+            counter.inc()
+            if reply.context is not None:
+                reply.context.record_stage("client", started, now, status)
             return reply
         raise BrokerTimeout(
             f"no reply from {service!r} broker after {attempts} attempt(s)"

@@ -37,6 +37,7 @@ uniform instrumentation for free.
 from __future__ import annotations
 
 from enum import Enum
+from inspect import isgeneratorfunction
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -464,24 +465,37 @@ class ArrivalStage(BrokerStage):
 
     name = "arrival"
 
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bind and pre-resolve the arrival counters."""
+        super().bind(broker)
+        self._arrivals = broker.metrics.handle("broker.arrivals")
+        self._arrivals_by_level: Dict[int, Any] = {}
+
     def on_request(self, ctx: RequestContext) -> StageOutcome:
         """Record the arrival and stamp QoS/transaction state on *ctx*."""
         broker = self.broker
         request = ctx.request
         level = broker.qos.clamp(request.qos_level)
         ctx.qos_level = level
-        broker.metrics.increment("broker.arrivals")
-        broker.metrics.increment(f"broker.arrivals.qos{level}")
+        self._arrivals.inc()
+        by_level = self._arrivals_by_level
+        counter = by_level.get(level)
+        if counter is None:
+            counter = by_level[level] = broker.metrics.handle(
+                f"broker.arrivals.qos{level}"
+            )
+        counter.inc()
         broker.admission.record_arrival(level)
         if broker.transactions is not None:
             advanced_to = broker.transactions.observe(request)
             if advanced_to is not None and broker.peer_group is not None:
                 broker.peer_group.publish(broker, request.txn_id, advanced_to)
-        broker.sim.trace(
-            "broker", "arrival",
-            broker=broker.name, request_id=request.request_id, qos=level,
-            operation=request.operation,
-        )
+        if broker.sim.tracer is not None:
+            broker.sim.trace(
+                "broker", "arrival",
+                broker=broker.name, request_id=request.request_id, qos=level,
+                operation=request.operation,
+            )
         ctx.effective_level = broker.priority_of(request)
         ctx.protected = (
             broker.transactions.protected(request)
@@ -509,6 +523,9 @@ class TimeoutBudgetStage(BrokerStage):
     def __init__(self, default_budget: Optional[float] = None) -> None:
         super().__init__()
         self.default_budget = default_budget
+        #: Budget → preformatted decision label (budgets are per-QoS
+        #: constants, so this stays tiny).
+        self._budget_labels: Dict[float, str] = {}
 
     def on_request(self, ctx: RequestContext) -> StageOutcome:
         """Attach the absolute deadline (creation time + budget)."""
@@ -519,7 +536,11 @@ class TimeoutBudgetStage(BrokerStage):
             ctx.set_decision("unbounded")
             return StageOutcome.CONTINUE
         ctx.deadline = ctx.created_at + budget
-        ctx.set_decision(f"budget={budget:g}")
+        labels = self._budget_labels
+        label = labels.get(budget)
+        if label is None:
+            label = labels[budget] = f"budget={budget:g}"
+        ctx.set_decision(label)
         return StageOutcome.CONTINUE
 
 
@@ -540,10 +561,11 @@ class CacheLookupStage(BrokerStage):
             ctx.set_decision("miss")
             return StageOutcome.CONTINUE
         broker.metrics.increment("broker.cache_replies")
-        broker.sim.trace(
-            "broker", "cache-hit",
-            broker=broker.name, request_id=request.request_id,
-        )
+        if broker.sim.tracer is not None:
+            broker.sim.trace(
+                "broker", "cache-hit",
+                broker=broker.name, request_id=request.request_id,
+            )
         ctx.set_decision("hit")
         ctx.reply = BrokerReply(
             request_id=request.request_id,
@@ -581,11 +603,12 @@ class AdmissionStage(BrokerStage):
         level = ctx.qos_level
         broker.metrics.increment("broker.drops")
         broker.metrics.increment(f"broker.drops.qos{level}")
-        broker.sim.trace(
-            "broker", "drop",
-            broker=broker.name, request_id=ctx.request.request_id, qos=level,
-            reason=decision.reason, outstanding=broker.outstanding,
-        )
+        if broker.sim.tracer is not None:
+            broker.sim.trace(
+                "broker", "drop",
+                broker=broker.name, request_id=ctx.request.request_id, qos=level,
+                reason=decision.reason, outstanding=broker.outstanding,
+            )
         ctx.set_decision(decision.reason)
         return StageOutcome.CONTINUE
 
@@ -671,16 +694,37 @@ class EnqueueStage(BrokerStage):
     name = "enqueue"
     boundary = True
 
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bind and pre-resolve the admission counters."""
+        super().bind(broker)
+        self._admitted = broker.metrics.handle("broker.admitted")
+        self._admitted_by_level: Dict[int, Any] = {}
+        #: Queue depth → preformatted decision label (bounded cache).
+        self._depth_labels: Dict[int, str] = {}
+
     def on_request(self, ctx: RequestContext) -> StageOutcome:
         """Count the admitted request and enqueue it (with its context)."""
         broker = self.broker
         broker.admission.request_started()
         level = ctx.qos_level
-        broker.metrics.increment("broker.admitted")
-        broker.metrics.increment(f"broker.admitted.qos{level}")
+        self._admitted.inc()
+        by_level = self._admitted_by_level
+        counter = by_level.get(level)
+        if counter is None:
+            counter = by_level[level] = broker.metrics.handle(
+                f"broker.admitted.qos{level}"
+            )
+        counter.inc()
         item = broker.queue.put(ctx.request, context=ctx)
         ctx.enqueued_at = item.enqueued_at
-        ctx.set_decision(f"depth={len(broker.queue)}")
+        depth = len(broker.queue)
+        labels = self._depth_labels
+        label = labels.get(depth)
+        if label is None:
+            label = f"depth={depth}"
+            if len(labels) < 1024:
+                labels[depth] = label
+        ctx.set_decision(label)
         return StageOutcome.QUEUED
 
 
@@ -743,11 +787,12 @@ def execute_batch_on(
     stages know a retry elsewhere could still succeed.
     """
     batch.backend = backend
-    broker.sim.trace(
-        "broker", "dispatch",
-        broker=broker.name, backend=backend.name, batch=len(batch.items),
-        operation=batch.operation,
-    )
+    if broker.sim.tracer is not None:
+        broker.sim.trace(
+            "broker", "dispatch",
+            broker=broker.name, backend=backend.name, batch=len(batch.items),
+            operation=batch.operation,
+        )
     backend.note_dispatch()
     batch.started = broker.sim.now
     for ctx in batch.contexts:
@@ -794,10 +839,11 @@ def execute_batch_on(
         broker.metrics.increment("broker.backend_errors")
         if fault is not None:
             broker.metrics.increment("broker.fault.unreachable")
-        broker.sim.trace(
-            "broker", "backend-error",
-            broker=broker.name, backend=backend.name, error=failure,
-        )
+        if broker.sim.tracer is not None:
+            broker.sim.trace(
+                "broker", "backend-error",
+                broker=broker.name, backend=backend.name, error=failure,
+            )
         for ctx in batch.contexts:
             ctx.set_decision("error")
     else:
@@ -1082,6 +1128,16 @@ class ReplyStage(BrokerStage):
 
     name = "reply"
 
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bind and pre-resolve the serving metrics."""
+        super().bind(broker)
+        metrics = broker.metrics
+        self._served = metrics.handle("broker.served")
+        self._queue_time = metrics.sample_handle("broker.queue_time")
+        self._service_time = metrics.sample_handle("broker.service_time")
+        self._served_by_level: Dict[int, Any] = {}
+        self._queue_time_by_level: Dict[int, Any] = {}
+
     def on_batch(self, batch: BatchContext):
         """Answer every request of the batch and release admission slots."""
         broker = self.broker
@@ -1103,11 +1159,21 @@ class ReplyStage(BrokerStage):
             request = item.request
             level = broker.qos.clamp(request.qos_level)
             queue_time = started - item.enqueued_at
-            broker.metrics.increment("broker.served")
-            broker.metrics.increment(f"broker.served.qos{level}")
-            broker.metrics.observe("broker.queue_time", queue_time)
-            broker.metrics.observe(f"broker.queue_time.qos{level}", queue_time)
-            broker.metrics.observe("broker.service_time", latency)
+            self._served.inc()
+            served = self._served_by_level.get(level)
+            if served is None:
+                served = self._served_by_level[level] = broker.metrics.handle(
+                    f"broker.served.qos{level}"
+                )
+            served.inc()
+            self._queue_time.add(queue_time)
+            qt_level = self._queue_time_by_level.get(level)
+            if qt_level is None:
+                qt_level = self._queue_time_by_level[level] = (
+                    broker.metrics.sample_handle(f"broker.queue_time.qos{level}")
+                )
+            qt_level.add(queue_time)
+            self._service_time.add(latency)
             reply = BrokerReply(
                 request_id=request.request_id,
                 status=ReplyStatus.OK,
@@ -1206,6 +1272,59 @@ class StagePipeline:
         )
         self._ingress = self.stages[: boundary + 1]
         self._dispatch = self.stages[boundary + 1 :]
+        self._compile()
+
+    def _compile(self) -> None:
+        """Precompile the per-request execution plan.
+
+        Run once at construction and after every composition change.
+        For each stage the plan pre-binds the ``on_request``/``on_batch``
+        method, interns the stage's metric names into registry handles
+        (``broker.stage.<name>.time`` sample, plus a per-decision
+        counter cache filled lazily as decisions occur), and records
+        whether ``on_batch`` is a generator function — so the
+        per-request path does no f-string formatting, no dict hashing
+        on metric names, and no ``hasattr`` probing for the stock
+        stages.
+        """
+        metrics = self.broker.metrics
+        self._pipeline_time = metrics.sample_handle("broker.pipeline.time")
+        self._ingress_plan = [
+            (
+                stage.on_request,
+                stage.name,
+                metrics.sample_handle(f"broker.stage.{stage.name}.time"),
+                {},
+            )
+            for stage in self._ingress
+        ]
+        self._dispatch_plan = [
+            (
+                stage.on_batch,
+                stage.name,
+                isgeneratorfunction(stage.on_batch),
+                metrics.sample_handle(f"broker.stage.{stage.name}.time"),
+                {},
+            )
+            for stage in self._dispatch
+        ]
+
+    def _decision_counter(
+        self, cache: Dict[str, Any], stage_name: str, decision: str
+    ):
+        """The counter for one stage decision, memoized on the plan.
+
+        Decisions are cached by their full label (``"depth=3"``), so a
+        repeat decision costs one dict hit; the counter name keeps only
+        the key before ``=``. The cache is bounded — pathological label
+        variety falls back to an uncached handle lookup.
+        """
+        counter = self.broker.metrics.handle(
+            f"broker.stage.{stage_name}.{decision.split('=')[0]}"
+        )
+        if len(cache) < 512:
+            cache[decision] = counter
+        return counter
 
     # -- composition -----------------------------------------------------
 
@@ -1263,16 +1382,32 @@ class StagePipeline:
     # -- execution -------------------------------------------------------
 
     def run_ingress(self, ctx: RequestContext) -> StageOutcome:
-        """Run the ingress section for one arriving request."""
-        sim = self.broker.sim
-        outcome = StageOutcome.CONTINUE
-        for stage in self._ingress:
-            entered = sim.now
-            outcome = stage.on_request(ctx) or StageOutcome.CONTINUE
-            self._record(stage, ctx, entered, sim.now, outcome)
-            if outcome is StageOutcome.CONTINUE:
+        """Run the ingress section for one arriving request.
+
+        Ingress stages are synchronous — the simulated clock cannot
+        advance inside ``on_request`` — so the timestamp is read once
+        for the whole section and every stage record spans zero time,
+        exactly as the generic entered/exited bookkeeping would have
+        produced.
+        """
+        now = self.broker.sim._now
+        continue_ = StageOutcome.CONTINUE
+        reply_ = StageOutcome.REPLY
+        records = ctx.stages
+        outcome = continue_
+        for on_request, name, time_stats, decisions in self._ingress_plan:
+            outcome = on_request(ctx) or continue_
+            time_stats.add(0.0)
+            # ``_value_`` skips the enum's DynamicClassAttribute descriptor.
+            decision = ctx.take_decision(outcome._value_)
+            records.append(StageRecord(name, now, now, decision))
+            counter = decisions.get(decision)
+            if counter is None:
+                counter = self._decision_counter(decisions, name, decision)
+            counter.value += 1.0
+            if outcome is continue_:
                 continue
-            if outcome is StageOutcome.REPLY:
+            if outcome is reply_:
                 self._complete(ctx)
             return outcome
         return outcome
@@ -1286,21 +1421,28 @@ class StagePipeline:
         broker = self.broker
         sim = broker.sim
         batch = BatchContext(broker, [leader])
-        for stage in self._dispatch:
-            entered = sim.now
-            outcome = stage.on_batch(batch)
-            if outcome is not None and hasattr(outcome, "send"):
+        done_ = StageOutcome.DONE
+        for on_batch, name, is_generator, time_stats, decisions in self._dispatch_plan:
+            entered = sim._now
+            outcome = on_batch(batch)
+            if is_generator:
+                outcome = yield from outcome
+            elif outcome is not None and hasattr(outcome, "send"):
+                # A custom stage returned a generator from a plain
+                # function; drive it the slow way.
                 outcome = yield from outcome
             outcome = outcome or StageOutcome.CONTINUE
-            exited = sim.now
-            broker.metrics.observe(f"broker.stage.{stage.name}.time", exited - entered)
+            exited = sim._now
+            time_stats.add(exited - entered)
+            value = outcome._value_
             for ctx in batch.contexts:
-                decision = ctx.take_decision(outcome.value)
-                ctx.record_stage(stage.name, entered, exited, decision)
-                broker.metrics.increment(
-                    f"broker.stage.{stage.name}.{decision.split('=')[0]}"
-                )
-            if outcome is StageOutcome.DONE:
+                decision = ctx.take_decision(value)
+                ctx.stages.append(StageRecord(name, entered, exited, decision))
+                counter = decisions.get(decision)
+                if counter is None:
+                    counter = self._decision_counter(decisions, name, decision)
+                counter.value += 1.0
+            if outcome is done_:
                 break
         for ctx in batch.contexts:
             if ctx.reply is None:
@@ -1309,25 +1451,10 @@ class StagePipeline:
                 continue
             self._complete(ctx, send=False)
 
-    def _record(
-        self,
-        stage: BrokerStage,
-        ctx: RequestContext,
-        entered: float,
-        exited: float,
-        outcome: StageOutcome,
-    ) -> None:
-        decision = ctx.take_decision(outcome.value)
-        ctx.record_stage(stage.name, entered, exited, decision)
-        metrics = self.broker.metrics
-        metrics.observe(f"broker.stage.{stage.name}.time", exited - entered)
-        metrics.increment(
-            f"broker.stage.{stage.name}.{decision.split('=')[0]}"
-        )
-
     def _complete(self, ctx: RequestContext, send: bool = True) -> None:
         broker = self.broker
-        ctx.completed_at = broker.sim.now
+        sim = broker.sim
+        ctx.completed_at = sim._now
         if send and ctx.reply is not None and ctx.request is not None:
             if ctx.reply.context is None:
                 # Replies built by stock stages carry the context; patch
@@ -1335,14 +1462,15 @@ class StagePipeline:
                 ctx.reply = ctx.reply.with_context(ctx)
             broker.send_reply(ctx.request, ctx.reply)
         anchor = ctx.received_at if ctx.received_at is not None else ctx.created_at
-        broker.metrics.observe("broker.pipeline.time", ctx.completed_at - anchor)
-        broker.sim.trace(
-            "pipeline", "complete",
-            broker=broker.name,
-            request_id=ctx.request.request_id if ctx.request else None,
-            status=ctx.reply.status.value if ctx.reply is not None else None,
-            stages=ctx.stage_names(),
-        )
+        self._pipeline_time.add(ctx.completed_at - anchor)
+        if sim.tracer is not None:
+            sim.trace(
+                "pipeline", "complete",
+                broker=broker.name,
+                request_id=ctx.request.request_id if ctx.request else None,
+                status=ctx.reply.status.value if ctx.reply is not None else None,
+                stages=ctx.stage_names(),
+            )
 
     def __repr__(self) -> str:
         return f"<StagePipeline {' -> '.join(self.describe())}>"

@@ -37,7 +37,7 @@ class ReplyStatus(str, Enum):
     """The backend (or the broker) failed the request."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BrokerRequest:
     """One message from a web application to a service broker.
 
@@ -72,7 +72,7 @@ class BrokerRequest:
         return f"{self.service}:{self.operation}:{self.payload!r}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BrokerReply:
     """One reply from a service broker to a web application.
 

@@ -85,9 +85,12 @@ class BrokerQueue:
         self._heap: List[Tuple[int, int, QueuedRequest]] = []
         self._seq = count()
         self._getters: Deque[_QueueGet] = deque()
+        # Live count of unclaimed entries; claimed items stay on the
+        # heap as tombstones, so len() must not scan it.
+        self._waiting = 0
 
     def __len__(self) -> int:
-        return sum(1 for _, _, item in self._heap if not item.claimed)
+        return self._waiting
 
     @property
     def depth(self) -> int:
@@ -106,6 +109,7 @@ class BrokerQueue:
             context=context,
         )
         heapq.heappush(self._heap, (*item.sort_key(), item))
+        self._waiting += 1
         self._dispatch()
         return item
 
@@ -138,6 +142,7 @@ class BrokerQueue:
                 continue
             if predicate(item):
                 item.claimed = True
+                self._waiting -= 1
                 taken.append(item)
                 if len(taken) >= limit:
                     break
@@ -171,6 +176,7 @@ class BrokerQueue:
                 continue
             _, _, item = heapq.heappop(self._heap)
             item.claimed = True
+            self._waiting -= 1
             getter.succeed(item)
 
     def __repr__(self) -> str:

@@ -13,7 +13,6 @@ it with 503 (see :class:`repro.core.centralized.CentralizedController`).
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Dict, Optional
 
 from ..core.pipeline import RequestContext
@@ -54,6 +53,14 @@ class FrontendWebServer:
         self.listener = node.listen_stream(port)
         self.address = node.address(port)
         self._apps: Dict[str, WebApplication] = {}
+        # Hot-path metric handles (per-QoS ones resolved lazily).
+        metrics_ = self.metrics
+        self._requests = metrics_.handle("frontend.requests")
+        self._completed = metrics_.handle("frontend.completed")
+        self._response_time = metrics_.sample_handle("frontend.response_time")
+        self._requests_by_qos: Dict[int, object] = {}
+        self._completed_by_qos: Dict[int, object] = {}
+        self._response_time_by_qos: Dict[int, object] = {}
         sim.process(self._accept_loop(), name=f"frontend:{self.name}")
 
     def register_app(self, app: WebApplication) -> None:
@@ -87,14 +94,30 @@ class FrontendWebServer:
                 connection.send(HttpResponse.error(400, "not an HttpRequest"))
                 continue
             qos = qos_of(request)
-            self.metrics.increment("frontend.requests")
-            self.metrics.increment(f"frontend.requests.qos{qos}")
+            self._requests.inc()
+            by_qos = self._requests_by_qos
+            counter = by_qos.get(qos)
+            if counter is None:
+                counter = by_qos[qos] = self.metrics.handle(
+                    f"frontend.requests.qos{qos}"
+                )
+            counter.inc()
             # The end-to-end request context is born here, at the front
             # end; applications read `request.context` and their broker
             # calls extend the same per-request timeline.
-            ctx = RequestContext.originate(now=self.sim.now, origin=self.name)
+            ctx = RequestContext.originate(now=self.sim._now, origin=self.name)
             ctx.qos_level = qos
-            request = replace(request, context=ctx)
+            # Rebuild instead of dataclasses.replace(): replace() pays
+            # per-call field introspection on this per-request path.
+            request = HttpRequest(
+                method=request.method,
+                path=request.path,
+                params=request.params,
+                headers=request.headers,
+                body=request.body,
+                paths=request.paths,
+                context=ctx,
+            )
 
             if self.admission is not None:
                 admitted_at = self.sim.now
@@ -125,13 +148,24 @@ class FrontendWebServer:
                 response = yield from self._run_app(request)
             finally:
                 self.processes.release(process_slot)
-            ctx.record_stage("frontend-app", app_started, self.sim.now)
-            ctx.completed_at = self.sim.now
-            elapsed = self.sim.now - started
-            self.metrics.observe("frontend.response_time", elapsed)
-            self.metrics.observe(f"frontend.response_time.qos{qos}", elapsed)
-            self.metrics.increment("frontend.completed")
-            self.metrics.increment(f"frontend.completed.qos{qos}")
+            now = self.sim._now
+            ctx.record_stage("frontend-app", app_started, now)
+            ctx.completed_at = now
+            elapsed = now - started
+            self._response_time.add(elapsed)
+            rt_qos = self._response_time_by_qos.get(qos)
+            if rt_qos is None:
+                rt_qos = self._response_time_by_qos[qos] = (
+                    self.metrics.sample_handle(f"frontend.response_time.qos{qos}")
+                )
+            rt_qos.add(elapsed)
+            self._completed.inc()
+            done_qos = self._completed_by_qos.get(qos)
+            if done_qos is None:
+                done_qos = self._completed_by_qos[qos] = self.metrics.handle(
+                    f"frontend.completed.qos{qos}"
+                )
+            done_qos.inc()
             if connection.closed:
                 return
             connection.send(response)

@@ -23,7 +23,7 @@ STATUS_REASONS: Dict[int, str] = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HttpRequest:
     """One HTTP request.
 
@@ -59,7 +59,7 @@ class HttpRequest:
         return self.params.get(name, default)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HttpResponse:
     """One HTTP response.
 

@@ -1,11 +1,12 @@
 """Metrics: online statistics, counters, and report rendering."""
 
-from .collector import MetricsRegistry
+from .collector import Counter, MetricsRegistry
 from .report import format_cell, render_series, render_table
 from .stats import SummaryStats
 
 __all__ = [
     "MetricsRegistry",
+    "Counter",
     "SummaryStats",
     "render_table",
     "render_series",

@@ -4,16 +4,58 @@ Components record into a shared :class:`MetricsRegistry` using dotted
 names (``"broker.db.dropped.qos3"``). The registry is deliberately
 simulation-agnostic — callers pass the timestamp where one is relevant —
 so the same registry serves unit tests and full experiments.
+
+Two access styles coexist:
+
+* **By name** — ``increment(name)`` / ``observe(name, value)``: one dict
+  lookup per call. Fine for cold paths and tests.
+* **By handle** — ``handle(name)`` returns the underlying
+  :class:`Counter` once; hot paths keep it and call ``.inc()``, which is
+  a plain attribute add with no string hashing. ``sample_handle(name)``
+  does the same for :class:`~repro.metrics.stats.SummaryStats` (call
+  ``.add(value)`` directly). The stage pipeline and the network layer
+  pre-resolve their handles at construction time (see
+  ``DESIGN.md`` §Performance).
+
+``counters(prefix)`` / ``samples(prefix)`` use a lazily maintained
+sorted-name index, so reporting loops that repeatedly filter by prefix
+cost ``O(log n + matches)`` instead of a scan over every metric ever
+recorded.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterator, List, Tuple
+from bisect import bisect_left
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from .stats import SummaryStats
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["MetricsRegistry", "Counter", "DEFAULT_EVENT_CAPACITY"]
+
+#: Default ring-buffer length for :meth:`MetricsRegistry.record_event`.
+DEFAULT_EVENT_CAPACITY = 4096
+
+
+class Counter:
+    """A single named counter, usable as a zero-hash hot-path handle.
+
+    Obtained from :meth:`MetricsRegistry.handle`; ``inc`` adds to the
+    value without touching the registry's name table.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, by: float = 1.0) -> None:
+        """Add *by* to the counter."""
+        self.value += by
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value:g}>"
 
 
 class MetricsRegistry:
@@ -21,34 +63,99 @@ class MetricsRegistry:
 
     * ``increment(name, by)`` — monotonically counts events.
     * ``observe(name, value)`` — accumulates a :class:`SummaryStats` sample.
-    * ``record_event(name, time)`` — keeps a raw time-stamped event list
-      (for time-series inspection in tests and reports).
+    * ``handle(name)`` / ``sample_handle(name)`` — pre-resolved hot-path
+      handles (no per-call string hashing).
+    * ``record_event(name, time)`` — keeps a bounded ring buffer of raw
+      time-stamped events (for time-series inspection); call
+      :meth:`retain_events` to opt a name into unbounded retention.
     """
 
-    def __init__(self) -> None:
-        self._counters: Dict[str, float] = defaultdict(float)
+    __slots__ = (
+        "_counters",
+        "_samples",
+        "_events",
+        "_event_capacity",
+        "_retained",
+        "_counter_index",
+        "_sample_index",
+    )
+
+    def __init__(self, event_capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+        if event_capacity < 1:
+            raise ValueError(f"event_capacity must be >= 1: {event_capacity!r}")
+        self._counters: Dict[str, Counter] = {}
         self._samples: Dict[str, SummaryStats] = {}
-        self._events: Dict[str, List[float]] = defaultdict(list)
+        self._events: Dict[str, Union[Deque[float], List[float]]] = {}
+        self._event_capacity = event_capacity
+        self._retained: Set[str] = set()
+        # Sorted-name indexes for prefix queries; None marks them stale
+        # (rebuilt lazily on the next prefix lookup).
+        self._counter_index: Optional[List[str]] = None
+        self._sample_index: Optional[List[str]] = None
 
     # -- counters ------------------------------------------------------
 
+    def handle(self, name: str) -> Counter:
+        """The :class:`Counter` for *name*, created on first use.
+
+        Hot paths resolve the handle once and call ``.inc()`` on it;
+        the registry sees the updated value through the shared object.
+        """
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+            self._counter_index = None
+        return counter
+
     def increment(self, name: str, by: float = 1.0) -> None:
         """Add *by* to the counter *name*."""
-        self._counters[name] += by
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+            self._counter_index = None
+        counter.value += by
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 if never incremented)."""
-        return self._counters.get(name, 0.0)
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0.0
 
     def counters(self, prefix: str = "") -> Dict[str, float]:
-        """All counters whose name starts with *prefix*."""
-        return {
-            name: value
-            for name, value in self._counters.items()
-            if name.startswith(prefix)
-        }
+        """All counters whose name starts with *prefix*.
+
+        Uses the sorted-name index: cost is ``O(log n + matches)``, not
+        a scan over every counter in the registry.
+        """
+        counters = self._counters
+        if not prefix:
+            return {name: counter.value for name, counter in counters.items()}
+        index = self._counter_index
+        if index is None:
+            index = self._counter_index = sorted(counters)
+        result: Dict[str, float] = {}
+        for i in range(bisect_left(index, prefix), len(index)):
+            name = index[i]
+            if not name.startswith(prefix):
+                break
+            result[name] = counters[name].value
+        return result
 
     # -- samples -------------------------------------------------------
+
+    def sample_handle(self, name: str) -> SummaryStats:
+        """The :class:`SummaryStats` for *name*, created on first use.
+
+        The stats object doubles as the hot-path handle: keep it and
+        call ``.add(value)`` directly.
+        """
+        stats = self._samples.get(name)
+        if stats is None:
+            stats = SummaryStats()
+            self._samples[name] = stats
+            self._sample_index = None
+        return stats
 
     def observe(self, name: str, value: float) -> None:
         """Add one observation to the sample *name*."""
@@ -56,6 +163,7 @@ class MetricsRegistry:
         if stats is None:
             stats = SummaryStats()
             self._samples[name] = stats
+            self._sample_index = None
         stats.add(value)
 
     def sample(self, name: str) -> SummaryStats:
@@ -63,22 +171,53 @@ class MetricsRegistry:
         return self._samples.get(name, SummaryStats())
 
     def samples(self, prefix: str = "") -> Dict[str, SummaryStats]:
-        """All samples whose name starts with *prefix*."""
-        return {
-            name: stats
-            for name, stats in self._samples.items()
-            if name.startswith(prefix)
-        }
+        """All samples whose name starts with *prefix* (indexed lookup)."""
+        samples = self._samples
+        if not prefix:
+            return dict(samples)
+        index = self._sample_index
+        if index is None:
+            index = self._sample_index = sorted(samples)
+        result: Dict[str, SummaryStats] = {}
+        for i in range(bisect_left(index, prefix), len(index)):
+            name = index[i]
+            if not name.startswith(prefix):
+                break
+            result[name] = samples[name]
+        return result
 
     # -- raw events ----------------------------------------------------
 
+    def retain_events(self, *names: str) -> None:
+        """Opt *names* into unbounded event retention.
+
+        By default :meth:`record_event` keeps only the most recent
+        ``event_capacity`` timestamps per name (a ring buffer), so
+        long experiments cannot grow without bound. Reports and tests
+        that need the full time series opt in per name — existing ring
+        contents are preserved on conversion.
+        """
+        for name in names:
+            self._retained.add(name)
+            existing = self._events.get(name)
+            if isinstance(existing, deque):
+                self._events[name] = list(existing)
+
     def record_event(self, name: str, time: float) -> None:
-        """Append a raw timestamped event under *name*."""
-        self._events[name].append(time)
+        """Append a raw timestamped event under *name* (ring-buffered)."""
+        series = self._events.get(name)
+        if series is None:
+            if name in self._retained:
+                series = []
+            else:
+                series = deque(maxlen=self._event_capacity)
+            self._events[name] = series
+        series.append(time)
 
     def events(self, name: str) -> List[float]:
-        """The timestamps recorded under *name*."""
-        return list(self._events.get(name, []))
+        """The timestamps recorded under *name* (oldest retained first)."""
+        series = self._events.get(name)
+        return list(series) if series is not None else []
 
     # -- misc ----------------------------------------------------------
 
@@ -88,7 +227,9 @@ class MetricsRegistry:
         return self.counter(numerator) / denom if denom else 0.0
 
     def __iter__(self) -> Iterator[Tuple[str, float]]:
-        return iter(sorted(self._counters.items()))
+        return iter(
+            sorted((name, c.value) for name, c in self._counters.items())
+        )
 
     def __repr__(self) -> str:
         return (

@@ -4,6 +4,13 @@
 count/mean/variance (Welford's algorithm) plus exact percentiles (the
 sample is retained; experiment sample sizes here are small enough that
 exactness beats a sketch).
+
+``add`` sits on the simulator's hot path (every response time and stage
+latency lands here), so it only appends to the sample; the Welford
+moments and min/max are folded in lazily, on first read, by replaying
+the exact same recurrence over the retained values. Replaying the
+identical sequence of float operations makes the lazy results
+bit-for-bit equal to eager accumulation.
 """
 
 from __future__ import annotations
@@ -24,26 +31,50 @@ class SummaryStats:
     2.0
     """
 
+    __slots__ = ("_values", "_mean", "_m2", "_min", "_max", "_reduced")
+
     def __init__(self, values: Optional[Iterable[float]] = None) -> None:
         self._values: List[float] = []
         self._mean = 0.0
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
+        #: How many leading values are folded into the moments already.
+        self._reduced = 0
         if values is not None:
             for value in values:
-                self.add(value)
+                self._values.append(float(value))
 
     def add(self, value: float) -> None:
-        """Record one observation."""
-        value = float(value)
-        self._values.append(value)
-        n = len(self._values)
-        delta = value - self._mean
-        self._mean += delta / n
-        self._m2 += delta * (value - self._mean)
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
+        """Record one observation (hot path: just an append)."""
+        self._values.append(float(value))
+
+    def _reduce(self) -> None:
+        """Fold not-yet-seen observations into the running moments."""
+        values = self._values
+        n = len(values)
+        index = self._reduced
+        if index == n:
+            return
+        mean = self._mean
+        m2 = self._m2
+        minimum = self._min
+        maximum = self._max
+        while index < n:
+            value = values[index]
+            index += 1
+            delta = value - mean
+            mean += delta / index
+            m2 += delta * (value - mean)
+            if value < minimum:
+                minimum = value
+            if value > maximum:
+                maximum = value
+        self._mean = mean
+        self._m2 = m2
+        self._min = minimum
+        self._max = maximum
+        self._reduced = n
 
     def merge(self, other: "SummaryStats") -> "SummaryStats":
         """Return a new :class:`SummaryStats` over both samples."""
@@ -60,13 +91,19 @@ class SummaryStats:
     @property
     def mean(self) -> float:
         """Sample mean; ``nan`` when empty."""
-        return self._mean if self._values else math.nan
+        if not self._values:
+            return math.nan
+        self._reduce()
+        return self._mean
 
     @property
     def variance(self) -> float:
         """Unbiased sample variance; ``nan`` with fewer than 2 samples."""
         n = len(self._values)
-        return self._m2 / (n - 1) if n > 1 else math.nan
+        if n <= 1:
+            return math.nan
+        self._reduce()
+        return self._m2 / (n - 1)
 
     @property
     def stdev(self) -> float:
@@ -75,11 +112,17 @@ class SummaryStats:
 
     @property
     def minimum(self) -> float:
-        return self._min if self._values else math.nan
+        if not self._values:
+            return math.nan
+        self._reduce()
+        return self._min
 
     @property
     def maximum(self) -> float:
-        return self._max if self._values else math.nan
+        if not self._values:
+            return math.nan
+        self._reduce()
+        return self._max
 
     def percentile(self, q: float) -> float:
         """Exact percentile with linear interpolation; *q* in [0, 100]."""
@@ -96,7 +139,19 @@ class SummaryStats:
         if lower == upper:
             return ordered[lower]
         frac = rank - lower
-        return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+        lo = ordered[lower]
+        hi = ordered[upper]
+        if lo == hi:
+            return lo
+        result = lo * (1.0 - frac) + hi * frac
+        # Interpolating subnormal values can underflow below the
+        # bracketing order statistics; clamp so the percentile always
+        # lies within [lo, hi] (and hence within [minimum, maximum]).
+        if result < lo:
+            return lo
+        if result > hi:
+            return hi
+        return result
 
     @property
     def median(self) -> float:

@@ -16,7 +16,7 @@ from typing import Optional
 __all__ = ["Link"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Link:
     """Transmission characteristics of a (bidirectional) link.
 

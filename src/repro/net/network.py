@@ -100,32 +100,33 @@ class Node:
         API-based baseline pays on every backend access). Raises
         :class:`ConnectionRefused` if nothing listens there.
         """
-        link = self.network.link_between(self.name, destination.host)
-        rng = self.network.link_rng(self.name, destination.host)
+        network = self.network
+        name = self.name
+        host = destination.host
+        link = network.link_between(name, host)
+        rng = network.link_rng(name, host)
         round_trip = link.delay(HEADER_BYTES, rng) + link.delay(HEADER_BYTES, rng)
         yield self.sim.timeout(round_trip)
 
-        if self.network.link_severed(self.name, destination.host):
-            raise NoRouteError(
-                f"link {self.name!r}<->{destination.host!r} is down"
-            )
-        target = self.network.resolve(destination)
+        if network.link_severed(name, host):
+            raise NoRouteError(f"link {name!r}<->{host!r} is down")
+        target = network.resolve(destination)
         if not isinstance(target, StreamListener) or target.closed:
             raise ConnectionRefused(f"nothing listening at {destination}")
 
         local_port = self.ephemeral_port()
-        client = StreamConnection(self.network, self, local_port, destination)
-        server_node = self.network.nodes[destination.host]
+        client = StreamConnection(network, self, local_port, destination)
+        server_node = network.nodes[host]
         server = StreamConnection(
-            self.network, server_node, destination.port, Address(self.name, local_port)
+            network, server_node, destination.port, Address(name, local_port)
         )
         client.peer = server
         server.peer = client
         if not target._offer(server):
             raise ConnectionRefused(f"backlog full at {destination}")
-        self.network._register_stream(client)
-        self.network._register_stream(server)
-        self.network.metrics.increment("net.connections")
+        network._register_stream(client)
+        network._register_stream(server)
+        network._connections.inc()
         return client
 
     def __repr__(self) -> str:
@@ -162,6 +163,13 @@ class Network:
         # pruned amortizedly once the dead refs pile up.
         self._streams: List["weakref.ref"] = []
         self._stream_prune_at = 4096
+        # Hot-path handles and caches: traffic counters and per-direction
+        # link RNGs (one f-string + registry lookup per pair, not per
+        # message).
+        self._messages = self.metrics.handle("net.messages")
+        self._bytes = self.metrics.handle("net.bytes")
+        self._connections = self.metrics.handle("net.connections")
+        self._link_rngs: Dict[Tuple[str, str], random.Random] = {}
 
     def node(self, name: str) -> Node:
         """Create and register a node named *name*."""
@@ -201,8 +209,16 @@ class Network:
         raise NoRouteError(f"no link between {a!r} and {b!r}")
 
     def link_rng(self, a: str, b: str) -> random.Random:
-        """The RNG substream used for jitter/loss on the a→b direction."""
-        return self.sim.rng(f"net.link.{a}->{b}")
+        """The RNG substream used for jitter/loss on the a→b direction.
+
+        The registry returns the same stream object for a name's
+        lifetime, so the pair→stream cache is purely a lookup shortcut.
+        """
+        rng = self._link_rngs.get((a, b))
+        if rng is None:
+            rng = self.sim.rng(f"net.link.{a}->{b}")
+            self._link_rngs[(a, b)] = rng
+        return rng
 
     # -- link faults ---------------------------------------------------
 
@@ -268,8 +284,8 @@ class Network:
 
     def account(self, size: int) -> None:
         """Record one message of *size* bytes in the traffic counters."""
-        self.metrics.increment("net.messages")
-        self.metrics.increment("net.bytes", size)
+        self._messages.value += 1.0
+        self._bytes.value += size
 
     def _deliver_datagram(self, event: Event) -> None:
         envelope: Envelope = event.value

@@ -22,7 +22,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Optional
 
 from ..errors import ConnectionClosed, NetworkError
-from ..sim.core import Event, Simulation
+from ..sim.core import _PENDING, Event, Simulation
 from .address import Address
 from .message import HEADER_BYTES, Envelope, estimate_size
 
@@ -47,12 +47,20 @@ class _InboxGet(Event):
     __slots__ = ("cancelled",)
 
     def __init__(self, sim: Simulation) -> None:
-        super().__init__(sim)
+        # ``Event.__init__`` inlined: one of these is allocated per
+        # stream/datagram receive, making this a hot constructor.
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self.defused = False
         self.cancelled = False
 
 
 class _Inbox:
     """Receive buffer delivering items to waiting events in FIFO order."""
+
+    __slots__ = ("sim", "items", "_getters", "closed")
 
     def __init__(self, sim: Simulation) -> None:
         self.sim = sim
@@ -101,6 +109,12 @@ class StreamConnection:
     :class:`ConnectionClosed`.
     """
 
+    __slots__ = (
+        "_network", "sim", "local_address", "remote_address", "peer",
+        "_inbox", "_next_arrival", "local_closed", "bytes_sent",
+        "messages_sent", "__weakref__",
+    )
+
     def __init__(
         self,
         network: "Network",
@@ -134,34 +148,43 @@ class StreamConnection:
 
     def _transmit(self, payload: Any, size: Optional[int]) -> Event:
         assert self.peer is not None
+        network = self._network
+        local_host = self.local_address.host
+        remote_host = self.remote_address.host
         size = HEADER_BYTES + (estimate_size(payload) if size is None else size)
-        if self._network.link_severed(
-            self.local_address.host, self.remote_address.host
-        ):
+        if network.link_severed(local_host, remote_host):
             # Partitioned mid-conversation: the bytes never arrive.
-            self._network.metrics.increment("net.stream.lost")
+            network.metrics.increment("net.stream.lost")
             return Event(self.sim).succeed(None)
-        link = self._network.link_between(
-            self.local_address.host, self.remote_address.host
-        )
-        rng = self._network.link_rng(self.local_address.host, self.remote_address.host)
-        delay = link.delay(size, rng)
+        link = network.link_between(local_host, remote_host)
+        rng = network.link_rng(local_host, remote_host)
+        # `Link.delay` inlined (this is the busiest call site); the RNG
+        # must be consumed exactly as there: one uniform iff jitter.
+        delay = link.latency
+        if link.jitter:
+            delay += rng.uniform(0.0, link.jitter)
+        bandwidth = link.bandwidth
+        if bandwidth is not None:
+            delay += size / bandwidth
+        now = self.sim._now
         # FIFO: a message never arrives before its predecessor.
-        arrival = max(self.sim.now + delay, self._next_arrival)
+        arrival = now + delay
+        if arrival < self._next_arrival:
+            arrival = self._next_arrival
         self._next_arrival = arrival
         self.bytes_sent += size
         self.messages_sent += 1
-        self._network.account(size)
+        network.account(size)
         envelope = Envelope(
             payload=payload,
             source=self.local_address,
             destination=self.remote_address,
             size=size,
-            sent_at=self.sim.now,
+            sent_at=now,
         )
         delivery = Event(self.sim)
         delivery.callbacks.append(self.peer._deliver)
-        delivery.succeed(envelope, delay=arrival - self.sim.now)
+        delivery.succeed(envelope, delay=arrival - now)
         return delivery
 
     def _deliver(self, event: Event) -> None:
@@ -218,6 +241,11 @@ class StreamConnection:
 class StreamListener:
     """A bound, listening stream endpoint; ``accept`` yields connections."""
 
+    __slots__ = (
+        "node", "sim", "address", "backlog", "_pending", "_pending_count",
+        "closed",
+    )
+
     def __init__(self, node: "Node", port: int, backlog: Optional[int] = None) -> None:
         self.node = node
         self.sim = node.sim
@@ -263,6 +291,11 @@ class StreamListener:
 class DatagramSocket:
     """A UDP-like socket: unordered, unreliable, connectionless."""
 
+    __slots__ = (
+        "node", "sim", "_network", "address", "_inbox", "closed",
+        "datagrams_sent", "datagrams_dropped",
+    )
+
     def __init__(self, node: "Node", port: int) -> None:
         self.node = node
         self.sim = node.sim
@@ -277,30 +310,41 @@ class DatagramSocket:
         """Send one datagram; silently dropped on loss or missing receiver."""
         if self.closed:
             raise NetworkError("sendto() on a closed socket")
+        network = self._network
+        local_host = self.address.host
         size = HEADER_BYTES + (estimate_size(payload) if size is None else size)
-        if self._network.link_severed(self.address.host, destination.host):
+        if network.link_severed(local_host, destination.host):
             self.datagrams_sent += 1
             self.datagrams_dropped += 1
-            self._network.metrics.increment("net.datagrams.lost")
+            network.metrics.increment("net.datagrams.lost")
             return
-        link = self._network.link_between(self.address.host, destination.host)
-        rng = self._network.link_rng(self.address.host, destination.host)
+        link = network.link_between(local_host, destination.host)
+        rng = network.link_rng(local_host, destination.host)
         self.datagrams_sent += 1
-        self._network.account(size)
-        if link.drops(rng):
+        network.account(size)
+        # `Link.drops` inlined: sample the RNG only when lossy, exactly
+        # as the method does.
+        loss = link.loss
+        if loss > 0.0 and rng.random() < loss:
             self.datagrams_dropped += 1
-            self._network.metrics.increment("net.datagrams.lost")
+            network.metrics.increment("net.datagrams.lost")
             return
         envelope = Envelope(
             payload=payload,
             source=self.address,
             destination=destination,
             size=size,
-            sent_at=self.sim.now,
+            sent_at=self.sim._now,
         )
-        delay = link.delay(size, rng)
+        # `Link.delay` inlined, consuming the RNG identically.
+        delay = link.latency
+        if link.jitter:
+            delay += rng.uniform(0.0, link.jitter)
+        bandwidth = link.bandwidth
+        if bandwidth is not None:
+            delay += size / bandwidth
         delivery = Event(self.sim)
-        delivery.callbacks.append(self._network._deliver_datagram)
+        delivery.callbacks.append(network._deliver_datagram)
         delivery.succeed(envelope, delay=delay)
 
     def _deliver(self, envelope: Envelope) -> None:

@@ -28,6 +28,7 @@ Example::
 from __future__ import annotations
 
 import heapq
+import sys
 from itertools import count
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
@@ -66,6 +67,12 @@ _PENDING = object()
 
 #: Type alias for process generator functions' return value.
 ProcessGenerator = Generator["Event", Any, Any]
+
+#: Maximum number of retired :class:`Timeout` objects kept for reuse.
+_TIMEOUT_POOL_CAP = 1024
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Event:
@@ -119,7 +126,12 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay)
+        if delay == 0.0:
+            # Inlined immediate schedule — the overwhelmingly common case.
+            sim = self.sim
+            _heappush(sim._heap, (sim._now, NORMAL, next(sim._counter), self))
+        else:
+            self.sim._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -136,7 +148,11 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay)
+        if delay == 0.0:
+            sim = self.sim
+            _heappush(sim._heap, (sim._now, NORMAL, next(sim._counter), self))
+        else:
+            self.sim._schedule(self, delay)
         return self
 
     def __repr__(self) -> str:
@@ -185,7 +201,7 @@ class Process(Event):
     with any exception the generator raises.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
 
     def __init__(
         self, sim: "Simulation", generator: ProcessGenerator, name: str = ""
@@ -194,6 +210,8 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(sim)
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event the generator currently waits on.
         self._target: Optional[Event] = None
@@ -227,48 +245,51 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of *event*."""
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
+        send = self._send
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 else:
                     # The failure is being delivered, hence handled.
                     event.defused = True
-                    target = self._generator.throw(event._value)
+                    target = self._throw(event._value)
             except StopIteration as exc:
-                self.sim._active_process = None
+                sim._active_process = None
                 self._ok = True
                 self._value = exc.value
-                self.sim._schedule(self, 0.0)
+                _heappush(sim._heap, (sim._now, NORMAL, next(sim._counter), self))
                 return
             except BaseException as exc:  # noqa: BLE001 - propagate via event
-                self.sim._active_process = None
+                sim._active_process = None
                 self._ok = False
                 self._value = exc
-                self.sim._schedule(self, 0.0)
+                _heappush(sim._heap, (sim._now, NORMAL, next(sim._counter), self))
                 return
 
             if not isinstance(target, Event):
-                self.sim._active_process = None
+                sim._active_process = None
                 exc = SimError(
                     f"process {self.name!r} yielded {target!r}, expected an Event"
                 )
                 self._generator.close()
                 self._ok = False
                 self._value = exc
-                self.sim._schedule(self, 0.0)
+                sim._schedule(self, 0.0)
                 return
-            if target.sim is not self.sim:
+            if target.sim is not sim:
                 raise SimError("event belongs to a different Simulation")
 
-            if target.callbacks is None:
+            callbacks = target.callbacks
+            if callbacks is None:
                 # Already processed: consume its outcome immediately.
                 event = target
                 continue
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = target
-            self.sim._active_process = None
+            sim._active_process = None
             return
 
     def __repr__(self) -> str:
@@ -331,13 +352,23 @@ class Condition(Event):
         }
 
 
+def _evaluate_any(events: List[Event], count: int) -> bool:
+    """Condition evaluator: satisfied once a single sub-event triggered."""
+    return count >= 1
+
+
+def _evaluate_all(events: List[Event], count: int) -> bool:
+    """Condition evaluator: satisfied once every sub-event triggered."""
+    return count == len(events)
+
+
 class AnyOf(Condition):
     """Triggers as soon as one of *events* triggers."""
 
     __slots__ = ()
 
     def __init__(self, sim: "Simulation", events: Iterable[Event]) -> None:
-        super().__init__(sim, events, lambda events, count: count >= 1)
+        super().__init__(sim, events, _evaluate_any)
 
 
 class AllOf(Condition):
@@ -346,7 +377,7 @@ class AllOf(Condition):
     __slots__ = ()
 
     def __init__(self, sim: "Simulation", events: Iterable[Event]) -> None:
-        super().__init__(sim, events, lambda events, count: count == len(events))
+        super().__init__(sim, events, _evaluate_all)
 
 
 class Simulation:
@@ -367,6 +398,8 @@ class Simulation:
         self._rngs = RngRegistry(seed)
         self.seed = seed
         self._active_process: Optional[Process] = None
+        #: Retired Timeout objects available for reuse (see :meth:`timeout`).
+        self._timeout_pool: List[Timeout] = []
         #: Optional :class:`repro.sim.trace.Tracer`; see :meth:`trace`.
         self.tracer = tracer
 
@@ -394,8 +427,28 @@ class Simulation:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that succeeds with *value* after *delay* seconds."""
-        return Timeout(self, delay, value)
+        """An event that succeeds with *value* after *delay* seconds.
+
+        Retired timeouts are pooled: the run loop recycles a processed
+        :class:`Timeout` when nothing else references it (verified via
+        the interpreter refcount), so steady-state runs allocate almost
+        no timeout objects.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        timeout = pool.pop()
+        timeout.delay = delay
+        timeout._ok = True
+        timeout._value = value
+        timeout.defused = False
+        timeout.callbacks = []
+        _heappush(
+            self._heap, (self._now + delay, NORMAL, next(self._counter), timeout)
+        )
+        return timeout
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start *generator* as a concurrent process."""
@@ -420,12 +473,14 @@ class Simulation:
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        heapq.heappush(
+        _heappush(
             self._heap, (self._now + delay, priority, next(self._counter), event)
         )
 
     def _step(self) -> None:
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        """Pop and process one event; used by tests and the run loop's
+        slow path (the main loop inlines this body for speed)."""
+        when, _prio, _seq, event = _heappop(self._heap)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -463,11 +518,50 @@ class Simulation:
         else:
             raise TypeError(f"until must be None, a number, or an Event: {until!r}")
 
+        # The loop below is `_step` inlined, with heapq and the heap
+        # bound to locals and retired Timeout objects recycled into the
+        # pool when the refcount proves nothing else can observe them
+        # (the two references are the `event` local and getrefcount's
+        # argument; a Condition, a waiting process `_target`, or model
+        # code holding the timeout keeps the count higher).
+        heap = self._heap
+        pop = _heappop
+        getrefcount = sys.getrefcount
+        pool = self._timeout_pool
+        pool_cap = _TIMEOUT_POOL_CAP
         try:
-            while self._heap:
-                if stop_at is not None and self._heap[0][0] > stop_at:
-                    break
-                self._step()
+            if stop_at is None:
+                while heap:
+                    when, _prio, _seq, event = pop(heap)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event.defused:
+                        raise event._value
+                    if (
+                        type(event) is Timeout
+                        and len(pool) < pool_cap
+                        and getrefcount(event) == 2
+                    ):
+                        pool.append(event)
+            else:
+                while heap and heap[0][0] <= stop_at:
+                    when, _prio, _seq, event = pop(heap)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event.defused:
+                        raise event._value
+                    if (
+                        type(event) is Timeout
+                        and len(pool) < pool_cap
+                        and getrefcount(event) == 2
+                    ):
+                        pool.append(event)
         except StopSimulation as stop:
             stopper: Event = stop.value
             return stopper.value if stopper.ok else self._raise(stopper)

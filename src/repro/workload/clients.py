@@ -55,6 +55,12 @@ class ClosedLoopClient:
         self.completed = 0
         self.errors = 0
         self._process: Optional[Process] = None
+        # Hot-path metric handles: per-client names are fixed, so the
+        # f-string + registry lookup happens once, not per request.
+        self._errors_counter = self.metrics.handle(f"client.{name}.errors")
+        self._response_time = self.metrics.sample_handle(
+            f"client.{name}.response_time"
+        )
 
     def start(self, until: Optional[float] = None) -> Process:
         """Begin the loop; stops issuing once *until* (sim time) passes."""
@@ -65,21 +71,22 @@ class ClosedLoopClient:
         if self.start_delay:
             yield self.sim.timeout(self.start_delay)
         iteration = 0
-        while until is None or self.sim.now < until:
-            started = self.sim.now
+        sim = self.sim
+        while until is None or sim._now < until:
+            started = sim._now
             try:
                 yield from self.request_factory(self, iteration)
             except Exception:  # noqa: BLE001 - workload keeps going
                 self.errors += 1
-                self.metrics.increment(f"client.{self.name}.errors")
+                self._errors_counter.inc()
             else:
-                elapsed = self.sim.now - started
+                elapsed = sim._now - started
                 self.completed += 1
                 self.response_times.add(elapsed)
-                self.metrics.observe(f"client.{self.name}.response_time", elapsed)
+                self._response_time.add(elapsed)
             iteration += 1
             if self.think_time:
-                yield self.sim.timeout(self.think_time)
+                yield sim.timeout(self.think_time)
 
     def __repr__(self) -> str:
         return f"<ClosedLoopClient {self.name} completed={self.completed}>"

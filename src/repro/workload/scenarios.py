@@ -365,6 +365,17 @@ def run_qos_experiment(
             controller = CentralizedController(listener, profiles, qos_policy)
             frontend.admission = controller.admit
 
+        # Per-request constants, hoisted: the payload tuple is never
+        # mutated downstream (adapters copy the params dict) and the
+        # responses are frozen, so sharing them across requests is safe.
+        service_names = [f"svc{stage}" for stage in range(stages + 1)]
+        page_payload = ("/service", {})
+        full_fidelity = HttpResponse.text("full-fidelity")
+        low_fidelity = [
+            HttpResponse.text(f"low-fidelity (stage {stage})")
+            for stage in range(stages + 1)
+        ]
+
         def page_app(frontend_server, request):
             """3-stage request: one access per backend, in order.
 
@@ -375,17 +386,17 @@ def run_qos_experiment(
             level = qos_of(request)
             for stage in range(1, stages + 1):
                 reply = yield from broker_client.call(
-                    f"svc{stage}",
+                    service_names[stage],
                     "get",
-                    ("/service", {}),
+                    page_payload,
                     qos_level=level,
                     cacheable=False,
                 )
                 if reply.status is not ReplyStatus.OK:
                     frontend_server.metrics.increment(f"app.lowfid.qos{level}")
-                    return HttpResponse.text(f"low-fidelity (stage {stage})")
+                    return low_fidelity[stage]
             frontend_server.metrics.increment(f"app.fullfid.qos{level}")
-            return HttpResponse.text("full-fidelity")
+            return full_fidelity
 
     else:
         gateway = ApiBackendGateway(sim, web_node)
@@ -409,18 +420,24 @@ def run_qos_experiment(
         workstation = net.node(f"workstation{level}")
         count_for_class = per_class + (1 if level <= extra else 0)
         class_clients: List[ClosedLoopClient] = []
+        # One immutable request per class, shared by every iteration of
+        # every client in the class (the front end attaches its context
+        # to a fresh copy instead of mutating the original).
+        page_request = HttpRequest(
+            method="GET",
+            path="/page",
+            headers={QOS_HEADER: str(level)},
+        )
         for index in range(count_for_class):
 
-            def one_request(_client, _iteration, _level=level):
+            def one_request(
+                _client, _iteration, _level=level, _request=page_request
+            ):
                 response = yield from HttpClient.fetch(
                     sim,
                     workstation,
                     frontend.address,
-                    HttpRequest(
-                        method="GET",
-                        path="/page",
-                        headers={QOS_HEADER: str(_level)},
-                    ),
+                    _request,
                 )
                 # A 503 is the centralized model's immediate low-fidelity
                 # answer ("an error message is sent to the end user") and

@@ -1,0 +1,116 @@
+"""Seeded end-to-end determinism against a committed golden snapshot.
+
+The performance work on the kernel, pipeline, net and metrics layers is
+only acceptable if it changes *nothing* observable: same seeds must
+produce byte-identical experiment outputs. This test replays one point
+of each experiment family (clustering, QoS, failure recovery) and
+compares the result — floats via ``repr``, so even a single ulp of
+drift fails — against ``golden_determinism.json``.
+
+The golden file was captured from the pre-optimization tree; it must
+only ever be regenerated for a *deliberate* behavioural change (new
+RNG draws, different scheduling order), never to paper over an
+accidental one::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from tests.integration.test_determinism import snapshot
+    print(json.dumps(snapshot(), indent=2, sort_keys=True))
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workload.scenarios import (
+    run_clustering_experiment,
+    run_failure_recovery_experiment,
+    run_qos_experiment,
+)
+
+GOLDEN = Path(__file__).resolve().parent / "golden_determinism.json"
+
+
+def snapshot():
+    """One deterministic point per experiment family, floats as repr."""
+    snap = {}
+
+    fig7 = {}
+    for degree in (1, 4, 8):
+        r = run_clustering_experiment(degree, seed=2026)
+        fig7[str(degree)] = {
+            "requests": r.requests,
+            "mean_response_time": repr(r.mean_response_time),
+            "max_response_time": repr(r.max_response_time),
+            "backend_calls": r.backend_calls,
+            "errors": r.errors,
+        }
+    snap["fig7"] = fig7
+
+    qos = run_qos_experiment(12, mode="broker", duration=30.0, seed=2026)
+    snap["table1"] = {
+        "completions": {str(k): v for k, v in sorted(qos.completions.items())},
+        "full_fidelity": {
+            str(k): v for k, v in sorted(qos.full_fidelity.items())
+        },
+        "drop_ratios": {
+            broker: {str(k): repr(v) for k, v in sorted(ratios.items())}
+            for broker, ratios in sorted(qos.drop_ratios.items())
+        },
+        "mean_response": {
+            str(k): repr(v.mean) for k, v in sorted(qos.response_times.items())
+        },
+        "p99_response": {
+            str(k): repr(v.p99) for k, v in sorted(qos.response_times.items())
+        },
+    }
+
+    fr = run_failure_recovery_experiment(
+        mtbf=20.0, mttr=5.0, replicas=2, duration=60.0,
+        first_crash_at=10.0, seed=2026,
+    )
+    snap["failure_recovery"] = {
+        "outages": fr.outages,
+        "downtime": repr(fr.downtime),
+        "requests": fr.requests,
+        "ok": fr.ok,
+        "degraded": fr.degraded,
+        "dropped": fr.dropped,
+        "errors": fr.errors,
+        "timeouts": fr.timeouts,
+        "outage_requests": fr.outage_requests,
+        "outage_ok": fr.outage_ok,
+        "outage_degraded": fr.outage_degraded,
+        "latency_mean": repr(fr.latency.mean),
+        "latency_p99": repr(fr.latency.p99),
+        "retries": fr.retries,
+        "retry_recovered": fr.retry_recovered,
+        "failovers": fr.failovers,
+        "failover_recovered": fr.failover_recovered,
+        "breaker_opens": fr.breaker_opens,
+        "fault_replies": fr.fault_replies,
+    }
+    return snap
+
+
+def test_experiments_match_golden_snapshot():
+    """Same seed, same outputs — bit-for-bit, including float reprs."""
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    current = snapshot()
+    assert current == golden, (
+        "seeded experiment outputs drifted from the golden snapshot; "
+        "see the module docstring before even thinking about "
+        "regenerating it"
+    )
+
+
+def test_snapshot_is_itself_deterministic():
+    """Two in-process runs of the QoS point agree exactly."""
+    first = run_qos_experiment(12, mode="broker", duration=30.0, seed=2026)
+    second = run_qos_experiment(12, mode="broker", duration=30.0, seed=2026)
+    assert first.completions == second.completions
+    assert {
+        k: repr(v.mean) for k, v in first.response_times.items()
+    } == {k: repr(v.mean) for k, v in second.response_times.items()}

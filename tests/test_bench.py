@@ -1,0 +1,178 @@
+"""Unit tests for the ``repro bench`` harness (no real benchmark runs).
+
+The throughput-measuring functions themselves are exercised by
+``benchmarks/perf/test_perf_regression.py``; here we pin the harness
+logic — baseline comparison, regression detection, report rendering,
+and the JSON artifact — with fabricated results so the tier-1 suite
+stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.bench import (
+    BenchRegression,
+    compare_to_baseline,
+    render_report,
+    run_bench_command,
+)
+
+
+def _fake_results(macro_rps: float = 8000.0) -> dict:
+    return {
+        "schema": 1,
+        "mode": "quick",
+        "seed": 2026,
+        "kernel": {
+            "events": 1000,
+            "wall_s": 0.001,
+            "events_per_sec": 1_000_000.0,
+        },
+        "pipeline": {
+            "clients": 30,
+            "duration_virtual_s": 120.0,
+            "repeats": 2,
+            "requests": 377,
+            "wall_s": 0.15,
+            "requests_per_sec": 2500.0,
+        },
+        "macro": {
+            "clients": 60,
+            "duration_virtual_s": 20.0,
+            "repeats": 2,
+            "requests": 2332,
+            "walls_s": [0.3, 0.31],
+            "wall_best_s": 0.3,
+            "wall_p50_s": 0.3,
+            "wall_p99_s": 0.31,
+            "requests_per_sec": macro_rps,
+        },
+    }
+
+
+def _baseline_for(results: dict) -> dict:
+    return {
+        results["mode"]: {
+            name: dict(results[name])
+            for name in ("kernel", "pipeline", "macro")
+        }
+    }
+
+
+class TestCompare:
+    def test_within_budget_is_ok(self):
+        results = _fake_results()
+        lines = compare_to_baseline(results, _baseline_for(results))
+        assert len(lines) == 3
+        assert all(line.startswith("        ok") for line in lines)
+
+    def test_regression_is_flagged(self):
+        baseline = _baseline_for(_fake_results(macro_rps=8000.0))
+        lines = compare_to_baseline(
+            _fake_results(macro_rps=4000.0), baseline, max_regression=0.30
+        )
+        flagged = [line for line in lines if line.startswith("REGRESSION")]
+        assert len(flagged) == 1 and "macro" in flagged[0]
+
+    def test_shallow_drop_passes_30_percent_gate(self):
+        baseline = _baseline_for(_fake_results(macro_rps=8000.0))
+        lines = compare_to_baseline(
+            _fake_results(macro_rps=6000.0), baseline, max_regression=0.30
+        )
+        assert not any(line.startswith("REGRESSION") for line in lines)
+
+    def test_missing_mode_section_is_an_error(self):
+        with pytest.raises(ValueError, match="no 'quick' section"):
+            compare_to_baseline(_fake_results(), {"full": {}})
+
+
+class TestRunBenchCommand:
+    @pytest.fixture
+    def fake_suite(self, monkeypatch):
+        results = _fake_results()
+        monkeypatch.setattr(bench, "run_suite", lambda quick=False: results)
+        return results
+
+    def test_writes_json_artifact(self, fake_suite, tmp_path, monkeypatch):
+        out = tmp_path / "BENCH_pipeline.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_baseline_for(fake_suite)))
+        report = run_bench_command(
+            quick=True, out=str(out), baseline_path=str(baseline)
+        )
+        written = json.loads(out.read_text())
+        assert written["macro"]["requests_per_sec"] == 8000.0
+        assert "macro" in report and "ok" in report
+
+    def test_raises_bench_regression_with_report(
+        self, fake_suite, tmp_path
+    ):
+        inflated = _baseline_for(_fake_results(macro_rps=80_000.0))
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(inflated))
+        with pytest.raises(BenchRegression) as excinfo:
+            run_bench_command(
+                quick=True, out=None, baseline_path=str(baseline)
+            )
+        assert "REGRESSION" in excinfo.value.report
+
+    def test_missing_explicit_baseline_is_an_error(self, fake_suite, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_bench_command(
+                quick=True,
+                out=None,
+                baseline_path=str(tmp_path / "nope.json"),
+            )
+
+    def test_no_baseline_skips_comparison(
+        self, fake_suite, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        report = run_bench_command(quick=True, out=None, baseline_path=None)
+        assert "comparison skipped" in report
+
+
+class TestCliIntegration:
+    def test_main_exits_nonzero_on_regression(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            bench, "run_suite", lambda quick=False: _fake_results()
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_baseline_for(_fake_results(macro_rps=80_000.0)))
+        )
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--out", str(tmp_path / "out.json"),
+                "--baseline", str(baseline),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "FAILED" in captured.err
+
+
+class TestReport:
+    def test_render_report_mentions_all_three_benchmarks(self):
+        report = render_report(_fake_results())
+        assert "kernel" in report
+        assert "pipeline" in report
+        assert "macro" in report
+        assert "p99" in report
+
+    def test_percentile_nearest_rank(self):
+        walls = [3.0, 1.0, 2.0]
+        assert bench._percentile(walls, 0.50) == 2.0
+        assert bench._percentile(walls, 0.99) == 3.0
+        assert bench._percentile([5.0], 0.99) == 5.0

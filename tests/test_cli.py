@@ -30,6 +30,25 @@ class TestParser:
         args = build_parser().parse_args(["fig7", "--seed", "9"])
         assert args.seed == 9
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert not args.quick
+        assert not args.profile
+        assert args.out == "BENCH_pipeline.json"
+        assert args.baseline is None
+        assert args.max_regression == 0.30
+
+    def test_bench_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--profile", "--out", "x.json",
+             "--baseline", "b.json", "--max-regression", "0.5"]
+        )
+        assert args.quick and args.profile
+        assert args.out == "x.json"
+        assert args.baseline == "b.json"
+        assert args.max_regression == 0.5
+
 
 class TestCommands:
     def test_fig7_output(self, capsys):
