@@ -25,6 +25,9 @@ from repro import (
     ServiceBroker,
     Simulation,
     SummaryStats,
+    TraceCollector,
+    render_attribution,
+    render_waterfall,
 )
 
 
@@ -59,6 +62,9 @@ def main() -> None:
         pool_size=2,
     )
     client = BrokerClient(sim, web_node, {"db": broker.address})
+
+    # Trace every broker request so we can show one waterfall at the end.
+    collector = TraceCollector(sample=1).attach(sim)
 
     broker_times = SummaryStats()
 
@@ -117,6 +123,13 @@ def main() -> None:
     hits = int(broker.metrics.counter("broker.stage.cache-lookup.hit"))
     misses = int(broker.metrics.counter("broker.stage.cache-lookup.miss"))
     print(f"    cache-lookup decisions: {hits} hit / {misses} miss")
+
+    # The obs layer turned every request into a trace of nested spans;
+    # show the slowest one as a waterfall with per-hop attribution.
+    slowest = collector.slowest(1)[0]
+    print("\n  Slowest broker request:")
+    print(render_waterfall(slowest))
+    print(f"  {render_attribution(slowest)}")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,8 @@ The package layers, bottom to top:
   framework (QoS admission, clustering, caching, prefetching, pooling,
   load balancing, transactions, centralized/distributed models);
 * :mod:`repro.workload` — clients and the paper's two testbeds;
-* :mod:`repro.metrics` — statistics and report rendering.
+* :mod:`repro.metrics` — statistics and report rendering;
+* :mod:`repro.obs` — request tracing, latency histograms, exporters.
 """
 
 from .analysis import mm1_metrics, mmc_metrics, mva_single_station
@@ -70,7 +71,24 @@ from .http import BackendWebServer, HttpClient, HttpRequest, HttpResponse
 from .fileserver import DiskModel, FileClient, FileServer, FileSystem
 from .ldapdir import DirectoryClient, DirectoryServer, DirectoryTree
 from .mail import MailClient, MailServer, MessageStore
-from .metrics import MetricsRegistry, SummaryStats, render_series, render_table
+from .metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    SummaryStats,
+    render_series,
+    render_table,
+)
+from .obs import (
+    Span,
+    Trace,
+    TraceCollector,
+    critical_path,
+    render_attribution,
+    render_waterfall,
+    trace_from_context,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .net import (
     Address,
     BackendCrash,
@@ -189,9 +207,20 @@ __all__ = [
     "FailureRecoveryResult",
     "MetricsRegistry",
     "SummaryStats",
+    "LatencyHistogram",
     "render_table",
     "render_series",
     "mm1_metrics",
     "mmc_metrics",
     "mva_single_station",
+    # observability
+    "TraceCollector",
+    "Trace",
+    "Span",
+    "trace_from_context",
+    "render_waterfall",
+    "render_attribution",
+    "critical_path",
+    "write_chrome_trace",
+    "validate_chrome_trace",
 ]

@@ -11,6 +11,9 @@ Usage::
     python -m repro faults --describe
     python -m repro faults [--mtbf 40,20,10] [--mttr S] [--replicas N] [--duration S]
     python -m repro bench  [--quick] [--profile] [--out PATH] [--baseline PATH]
+    python -m repro obs    --describe
+    python -m repro obs    [--scenario qos|fig7|faults] [--trace-sample N]
+                           [--slowest K] [--export FILE] [--jsonl FILE] [--quick]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -157,6 +160,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-regression", type=float, default=0.30,
         help="allowed fractional throughput drop before failing "
         "(default 0.30)",
+    )
+
+    obs = sub.add_parser(
+        "obs", parents=[common],
+        help="end-to-end request tracing: waterfalls, histograms, exports",
+    )
+    obs.add_argument(
+        "--describe", action="store_true",
+        help="print the span model, overhead contract, and exporter "
+        "formats without running anything",
+    )
+    obs.add_argument(
+        "--scenario", choices=("qos", "fig7", "faults"), default="qos",
+        help="which testbed to trace (default: qos, the §V.B macro)",
+    )
+    obs.add_argument(
+        "--clients", type=int, default=60,
+        help="client count for the qos scenario (default 60)",
+    )
+    obs.add_argument(
+        "--duration", type=float, default=120.0,
+        help="virtual seconds for qos/faults scenarios (default 120)",
+    )
+    obs.add_argument(
+        "--degree", type=int, default=8,
+        help="degree of clustering for the fig7 scenario (default 8)",
+    )
+    obs.add_argument(
+        "--trace-sample", dest="trace_sample", type=int, default=1,
+        help="keep every Nth root request's trace (default 1 = all)",
+    )
+    obs.add_argument(
+        "--slowest", type=int, default=5,
+        help="how many slowest-request waterfalls to print (default 5)",
+    )
+    obs.add_argument(
+        "--export", default=None,
+        help="write a Chrome trace_event JSON file (chrome://tracing)",
+    )
+    obs.add_argument(
+        "--jsonl", default=None,
+        help="write one JSON object per span to this file",
+    )
+    obs.add_argument(
+        "--quick", action="store_true",
+        help="shrunken run (~seconds) for CI smoke tests",
     )
     return parser
 
@@ -347,6 +396,26 @@ def run_bench(args) -> str:
     )
 
 
+def run_obs(args) -> str:
+    """Run the tracing toolkit; see :mod:`repro.obs.inspect`."""
+    from .obs import describe_obs, run_obs_command
+
+    if args.describe:
+        return describe_obs()
+    return run_obs_command(
+        scenario=args.scenario,
+        clients=args.clients,
+        duration=args.duration,
+        degree=args.degree,
+        trace_sample=args.trace_sample,
+        slowest=args.slowest,
+        export=args.export,
+        jsonl=args.jsonl,
+        quick=args.quick,
+        seed=args.seed,
+    )
+
+
 _COMMANDS = {
     "fig7": run_fig7,
     "fig9": run_fig9,
@@ -356,6 +425,7 @@ _COMMANDS = {
     "pipeline": run_pipeline,
     "faults": run_faults,
     "bench": run_bench,
+    "obs": run_obs,
 }
 
 

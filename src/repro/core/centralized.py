@@ -90,6 +90,13 @@ class LoadListener:
             self.metrics.observe(
                 "listener.update_lag", self.sim.now - report.sent_at
             )
+            self.metrics.observe(
+                f"broker.load.{report.broker}", float(report.outstanding)
+            )
+            self.metrics.observe(
+                f"broker.load.{report.broker}.queue_depth",
+                float(report.queue_depth),
+            )
 
     def load_of(self, service: str) -> Optional[LoadReport]:
         """The most recently applied report for *service*, if any."""

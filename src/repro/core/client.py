@@ -87,6 +87,7 @@ class BrokerClient:
         cacheable: bool = True,
         cache_key: Optional[str] = None,
         timeout: Optional[float] = None,
+        parent: Optional[RequestContext] = None,
     ):
         """Send one request and await its reply; ``yield from`` this.
 
@@ -99,7 +100,10 @@ class BrokerClient:
         :class:`~repro.core.pipeline.RequestContext` here, at the
         front-end side; it rides the request through the net layer and
         the broker's stage pipeline, and comes back on
-        ``reply.context`` with the complete per-stage timeline.
+        ``reply.context`` with the complete per-stage timeline. Pass
+        the enclosing request's context as *parent* so the obs layer
+        (when attached — see :class:`repro.obs.spans.TraceCollector`)
+        nests this call's trace under the parent request's trace.
         """
         address = self.routes.get(service)
         if address is None:
@@ -114,6 +118,8 @@ class BrokerClient:
             context = RequestContext.originate(
                 now=started, origin=self.node.name
             )
+            if parent is not None:
+                context.parent = parent
             request = BrokerRequest(
                 request_id=request_id,
                 service=service,
@@ -154,6 +160,9 @@ class BrokerClient:
             counter.inc()
             if reply.context is not None:
                 reply.context.record_stage("client", started, now, status)
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.finish(reply.context)
             return reply
         raise BrokerTimeout(
             f"no reply from {service!r} broker after {attempts} attempt(s)"

@@ -178,6 +178,7 @@ class RequestContext:
         "deadline",
         "stages",
         "annotations",
+        "parent",
         "_decision",
     )
 
@@ -205,6 +206,11 @@ class RequestContext:
         self.deadline: Optional[float] = None
         self.stages: List[StageRecord] = []
         self.annotations: Dict[str, Any] = {}
+        #: The enclosing request's context, when this request is a
+        #: nested broker call made on behalf of a front-end request
+        #: (set via ``BrokerClient.call(..., parent=...)``). The obs
+        #: layer uses it to nest child traces under the parent's trace.
+        self.parent: Optional["RequestContext"] = None
         self._decision = ""
 
     # -- lifecycle -------------------------------------------------------
@@ -792,6 +798,7 @@ def execute_batch_on(
             "broker", "dispatch",
             broker=broker.name, backend=backend.name, batch=len(batch.items),
             operation=batch.operation,
+            request_id=batch.items[0].request.request_id,
         )
     backend.note_dispatch()
     batch.started = broker.sim.now
@@ -843,6 +850,7 @@ def execute_batch_on(
             broker.sim.trace(
                 "broker", "backend-error",
                 broker=broker.name, backend=backend.name, error=failure,
+                request_id=batch.items[0].request.request_id,
             )
         for ctx in batch.contexts:
             ctx.set_decision("error")
@@ -1034,6 +1042,11 @@ class RetryStage(BrokerStage):
                 decision = "open"
                 break
             batch.candidates = candidates
+        if broker.sim.obs is not None:
+            # Tracing attribution only — never touches sim state.
+            retries = attempt - 1 if attempt > 0 else 0
+            for ctx in batch.contexts:
+                ctx.annotations["obs.retries"] = retries
         for ctx in batch.contexts:
             ctx.set_decision(decision)
         return StageOutcome.CONTINUE
@@ -1090,6 +1103,9 @@ class FailoverStage(BrokerStage):
             decision = "recovered"
         else:
             decision = "failed"
+        if broker.sim.obs is not None:
+            for ctx in batch.contexts:
+                ctx.annotations["obs.failover"] = decision
         for ctx in batch.contexts:
             ctx.set_decision(decision)
         return StageOutcome.CONTINUE

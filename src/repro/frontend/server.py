@@ -136,6 +136,9 @@ class FrontendWebServer:
                         path=request.path, qos=qos, reason=reason,
                     )
                     ctx.completed_at = self.sim.now
+                    obs = self.sim.obs
+                    if obs is not None:
+                        obs.finish(ctx, status="503")
                     connection.send(HttpResponse.error(503, reason))
                     continue
 
@@ -166,6 +169,9 @@ class FrontendWebServer:
                     f"frontend.completed.qos{qos}"
                 )
             done_qos.inc()
+            obs = self.sim.obs
+            if obs is not None:
+                obs.finish(ctx, status=str(response.status))
             if connection.closed:
                 return
             connection.send(response)

@@ -1,14 +1,25 @@
-"""Metrics: online statistics, counters, and report rendering."""
+"""Metrics: online statistics, counters, histograms, report rendering."""
 
 from .collector import Counter, MetricsRegistry
-from .report import format_cell, render_series, render_table
+from .histogram import DEFAULT_LATENCY_EDGES, LatencyHistogram
+from .report import (
+    format_cell,
+    render_histogram,
+    render_histograms,
+    render_series,
+    render_table,
+)
 from .stats import SummaryStats
 
 __all__ = [
     "MetricsRegistry",
     "Counter",
     "SummaryStats",
+    "LatencyHistogram",
+    "DEFAULT_LATENCY_EDGES",
     "render_table",
     "render_series",
+    "render_histograms",
+    "render_histogram",
     "format_cell",
 ]

@@ -29,6 +29,7 @@ from bisect import bisect_left
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Set, Tuple, Union
 
+from .histogram import LatencyHistogram
 from .stats import SummaryStats
 
 __all__ = ["MetricsRegistry", "Counter", "DEFAULT_EVENT_CAPACITY"]
@@ -73,6 +74,7 @@ class MetricsRegistry:
     __slots__ = (
         "_counters",
         "_samples",
+        "_histograms",
         "_events",
         "_event_capacity",
         "_retained",
@@ -85,6 +87,7 @@ class MetricsRegistry:
             raise ValueError(f"event_capacity must be >= 1: {event_capacity!r}")
         self._counters: Dict[str, Counter] = {}
         self._samples: Dict[str, SummaryStats] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
         self._events: Dict[str, Union[Deque[float], List[float]]] = {}
         self._event_capacity = event_capacity
         self._retained: Set[str] = set()
@@ -185,6 +188,42 @@ class MetricsRegistry:
                 break
             result[name] = samples[name]
         return result
+
+    # -- histograms ----------------------------------------------------
+
+    def histogram_handle(
+        self, name: str, edges: Optional[List[float]] = None
+    ) -> LatencyHistogram:
+        """The :class:`~repro.metrics.histogram.LatencyHistogram` for
+        *name*, created on first use.
+
+        Like :meth:`sample_handle`, the histogram object doubles as the
+        hot-path handle: keep it and call ``.add(value)`` directly.
+        *edges* only applies on creation; later callers share whatever
+        bucket layout the first caller chose.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = LatencyHistogram(edges)
+            self._histograms[name] = histogram
+        return histogram
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The histogram for *name* (an empty one if never recorded)."""
+        histogram = self._histograms.get(name)
+        return histogram if histogram is not None else LatencyHistogram()
+
+    def histograms(self, prefix: str = "") -> Dict[str, LatencyHistogram]:
+        """All histograms whose name starts with *prefix*, sorted by name.
+
+        Histograms are few (one per instrumented stage/class/backend),
+        so this is a plain scan — no index like the counter/sample maps.
+        """
+        return {
+            name: self._histograms[name]
+            for name in sorted(self._histograms)
+            if name.startswith(prefix)
+        }
 
     # -- raw events ----------------------------------------------------
 

@@ -2,14 +2,26 @@
 
 The paper's evaluation consists of small tables and x/y series; these
 helpers render them with aligned columns so benchmark output can be
-compared side by side with the paper's tables.
+compared side by side with the paper's tables. The observability layer
+adds latency-distribution views: :func:`render_histograms` summarizes a
+set of :class:`~repro.metrics.histogram.LatencyHistogram` objects as a
+p50/p90/p99/p99.9 table and :func:`render_histogram` shows one
+histogram's bucket shape as ASCII bars.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["render_table", "render_series", "format_cell"]
+from .histogram import LatencyHistogram
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_histograms",
+    "render_histogram",
+    "format_cell",
+]
 
 
 def format_cell(value: Any) -> str:
@@ -52,6 +64,52 @@ def render_table(
     lines.append("  ".join("-" * w for w in widths))
     for row in body:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_histograms(
+    histograms: Mapping[str, LatencyHistogram],
+    title: str = "",
+    scale: float = 1000.0,
+    unit: str = "ms",
+) -> str:
+    """Render named histograms as one quantile table.
+
+    Values are multiplied by *scale* (default: seconds → milliseconds);
+    empty histograms render their quantile cells as ``-``.
+    """
+    rows = [
+        {
+            "name": name,
+            "count": hist.count,
+            f"p50_{unit}": hist.p50 * scale,
+            f"p90_{unit}": hist.p90 * scale,
+            f"p99_{unit}": hist.p99 * scale,
+            f"p99.9_{unit}": hist.p999 * scale,
+            f"max_{unit}": hist.maximum * scale,
+        }
+        for name, hist in histograms.items()
+    ]
+    return render_table(rows, title=title)
+
+
+def render_histogram(
+    hist: LatencyHistogram,
+    width: int = 40,
+    scale: float = 1000.0,
+    unit: str = "ms",
+) -> str:
+    """Render one histogram's non-empty buckets as ASCII bars."""
+    if hist.count == 0:
+        return "(empty histogram)"
+    peak = max(count for _, count in hist.buckets())
+    lines = []
+    for edge, count in hist.buckets():
+        if not count:
+            continue
+        label = "overflow" if edge == float("inf") else f"<= {edge * scale:g} {unit}"
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"{label:>16}  {bar} {count}")
     return "\n".join(lines)
 
 

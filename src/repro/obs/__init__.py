@@ -1,0 +1,49 @@
+"""Observability: request tracing, latency histograms, exporters.
+
+The obs package rides the existing per-request timeline
+(:class:`~repro.core.pipeline.RequestContext`) to give every request a
+trace of nested spans, feeds fixed-bucket latency histograms per stage
+/ QoS class / backend, and exports Chrome ``trace_event`` JSON, JSONL
+span dumps, and terminal waterfalls. ``python -m repro obs`` is the
+CLI; DESIGN.md §10 documents the span model and the
+one-attribute-check overhead contract.
+"""
+
+from .export import (
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .histogram import DEFAULT_LATENCY_EDGES, LatencyHistogram
+from .inspect import describe_obs, run_obs_command
+from .spans import Hop, Span, SpanEvent, Trace, TraceCollector, trace_from_context
+from .timeline import (
+    critical_path,
+    render_attribution,
+    render_trace,
+    render_waterfall,
+)
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Hop",
+    "Trace",
+    "TraceCollector",
+    "trace_from_context",
+    "LatencyHistogram",
+    "DEFAULT_LATENCY_EDGES",
+    "render_waterfall",
+    "render_attribution",
+    "render_trace",
+    "critical_path",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "validate_chrome_trace",
+    "describe_obs",
+    "run_obs_command",
+]

@@ -1,0 +1,214 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSONL span dumps.
+
+Two machine-readable views of collected traces:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  Trace Event Format ("JSON Object Format": a ``traceEvents`` list of
+  complete ``"X"`` events with microsecond ``ts``/``dur``, plus
+  instant ``"i"`` events for folded span events and ``"M"`` metadata
+  naming each request's lane). The file loads directly in
+  ``chrome://tracing`` and in Perfetto.
+* :func:`to_jsonl` / :func:`write_jsonl` — one JSON object per span,
+  flat, for ad-hoc analysis with line-oriented tools.
+
+:func:`validate_chrome_trace` is the schema check CI runs against the
+exported file; :func:`write_chrome_trace` applies it before writing so
+a malformed export fails loudly at the source.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .spans import Trace
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "validate_chrome_trace",
+]
+
+#: Simulated seconds → Chrome trace microseconds.
+_US = 1_000_000.0
+
+#: Event phases the exporter emits (and the validator accepts).
+_PHASES = ("X", "i", "M")
+
+
+def _jsonable(value: Any) -> Any:
+    """A JSON-safe rendering of one attribute value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+def to_chrome_trace(traces: Iterable[Trace]) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from *traces*.
+
+    Each trace gets its own thread lane (``tid``) named after the
+    request; spans become complete ``"X"`` events and folded span
+    events become instant ``"i"`` events.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro service-broker simulation"},
+        }
+    ]
+    for tid, trace in enumerate(traces, 1):
+        identity = (
+            f"req {trace.request_id}"
+            if trace.request_id is not None
+            else f"trace {trace.trace_id}"
+        )
+        label = f"{identity} {trace.origin or '?'} qos{trace.qos_level}"
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+        for span in trace.root.walk():
+            event: Dict[str, Any] = {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "pid": 1,
+                "tid": tid,
+            }
+            if span.attrs:
+                event["args"] = {
+                    key: _jsonable(value) for key, value in span.attrs.items()
+                }
+            events.append(event)
+            for span_event in span.events:
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": span_event.name,
+                        "cat": span.category,
+                        "ts": span_event.time * _US,
+                        "pid": 1,
+                        "tid": tid,
+                        "s": "t",
+                        "args": {
+                            key: _jsonable(value)
+                            for key, value in span_event.fields.items()
+                        },
+                    }
+                )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro obs"},
+    }
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema-check a Chrome trace document; returns problems (empty = ok).
+
+    Checks the shape CI relies on: a dict with a non-empty
+    ``traceEvents`` list whose entries carry a string ``name``, a known
+    phase, integer ``pid``/``tid``, non-negative numeric ``ts`` (for
+    non-metadata events), and — for ``"X"`` events — a non-negative
+    numeric ``dur``.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: name missing or not a string")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} missing or not an int")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts missing or negative")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur missing or negative")
+    return problems
+
+
+def write_chrome_trace(
+    traces: Iterable[Trace], path: Union[str, Path]
+) -> Dict[str, Any]:
+    """Validate and write the Chrome trace for *traces*; returns the doc.
+
+    Raises :class:`ValueError` when the built document fails
+    :func:`validate_chrome_trace` — the exporter never writes a file
+    the schema check would reject.
+    """
+    doc = to_chrome_trace(traces)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ValueError(
+            f"refusing to write invalid chrome trace: {problems[:5]}"
+        )
+    Path(path).write_text(
+        json.dumps(doc, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return doc
+
+
+def to_jsonl(traces: Iterable[Trace]) -> List[str]:
+    """One JSON line per span, flat (trace id, parent name, timings)."""
+    lines: List[str] = []
+    for trace in traces:
+        for span in trace.root.walk():
+            record = {
+                "trace": trace.trace_id,
+                "request": trace.request_id,
+                "span": span.name,
+                "category": span.category,
+                "start": span.start,
+                "end": span.end,
+                "duration": span.duration,
+                "parent": span.parent.name if span.parent is not None else None,
+                "attrs": {
+                    key: _jsonable(value) for key, value in span.attrs.items()
+                },
+                "events": len(span.events),
+            }
+            lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def write_jsonl(traces: Iterable[Trace], path: Union[str, Path]) -> int:
+    """Write the JSONL span dump; returns the number of lines written."""
+    lines = to_jsonl(traces)
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines)

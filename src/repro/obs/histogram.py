@@ -1,0 +1,25 @@
+"""Latency histograms for the observability layer.
+
+The histogram primitive itself lives in
+:mod:`repro.metrics.histogram` so the
+:class:`~repro.metrics.MetricsRegistry` can store histograms without
+importing the (higher-level) obs package; this module re-exports it as
+the obs-facing name and is where the
+:class:`~repro.obs.spans.TraceCollector`'s histogram conventions are
+documented:
+
+* ``obs.stage.<name>`` — per-stage-record durations (every pipeline
+  and front-end stage a request traversed);
+* ``obs.latency.all`` / ``obs.latency.qos<level>`` — end-to-end
+  request latency, overall and per QoS class;
+* ``obs.backend.<name>`` — dispatch-to-completion service time per
+  backend replica.
+
+All use :data:`~repro.metrics.histogram.DEFAULT_LATENCY_EDGES`
+(100 µs – 100 s, 1-2-5 per decade) and report p50/p90/p99/p999 via
+:meth:`~repro.metrics.histogram.LatencyHistogram.percentile`.
+"""
+
+from ..metrics.histogram import DEFAULT_LATENCY_EDGES, LatencyHistogram
+
+__all__ = ["LatencyHistogram", "DEFAULT_LATENCY_EDGES"]

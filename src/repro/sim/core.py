@@ -402,6 +402,12 @@ class Simulation:
         self._timeout_pool: List[Timeout] = []
         #: Optional :class:`repro.sim.trace.Tracer`; see :meth:`trace`.
         self.tracer = tracer
+        #: Optional :class:`repro.obs.spans.TraceCollector`; instrumented
+        #: completion points (broker client, front end) call
+        #: ``obs.finish(ctx)`` when this is set. ``None`` (the default)
+        #: keeps tracing disabled at the cost of one attribute check —
+        #: the obs layer's overhead contract (DESIGN.md §10).
+        self.obs: Optional[Any] = None
 
     def trace(self, category: str, message: str, **fields: Any) -> None:
         """Emit a trace record if a tracer is attached (else a no-op)."""

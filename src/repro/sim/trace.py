@@ -29,8 +29,14 @@ class TraceRecord:
     fields: Dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
-        """One human-readable log line."""
-        extra = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        """One human-readable log line.
+
+        Fields render in sorted key order so records with equal content
+        produce identical lines regardless of the keyword order at the
+        ``sim.trace(...)`` call site (dicts preserve insertion order, so
+        iterating unsorted would leak that order into the log).
+        """
+        extra = " ".join(f"{k}={self.fields[k]!r}" for k in sorted(self.fields))
         text = f"[{self.time:12.6f}] {self.category:<12} {self.message}"
         return f"{text} {extra}" if extra else text
 

@@ -95,6 +95,7 @@ def run_clustering_experiment(
     cgi_overhead: float = 0.030,
     window: float = 0.02,
     seed: int = 0,
+    obs=None,
 ) -> ClusteringResult:
     """Run the Figure-7 testbed at one *degree* of clustering.
 
@@ -106,6 +107,8 @@ def run_clustering_experiment(
     if degree < 1:
         raise ValueError(f"degree must be >= 1: {degree!r}")
     sim = Simulation(seed=seed)
+    if obs is not None:
+        obs.attach(sim)
     net = Network(sim, default_link=Link.lan())
     client_node = net.node("client")
     frontend_node = net.node("frontend")
@@ -174,7 +177,11 @@ def run_clustering_experiment(
     def relay_app(frontend, request):
         grp = request.param("grp", 0)
         reply = yield from broker_client.call(
-            "backend", "get", ("/lookup", {"grp": grp}), cacheable=False
+            "backend",
+            "get",
+            ("/lookup", {"grp": grp}),
+            cacheable=False,
+            parent=request.context,
         )
         if reply.status is not ReplyStatus.OK:
             return HttpResponse.error(503, reply.error)
@@ -259,6 +266,7 @@ def run_qos_experiment(
     think_time: float = 0.1,
     fractions: Optional[Dict[int, float]] = None,
     seed: int = 0,
+    obs=None,
 ) -> QosResult:
     """Run the §V.B testbed with *n_clients* split evenly over QoS classes.
 
@@ -284,6 +292,8 @@ def run_qos_experiment(
     if n_clients < levels:
         raise ValueError(f"need at least {levels} clients, got {n_clients}")
     sim = Simulation(seed=seed)
+    if obs is not None:
+        obs.attach(sim)
     net = Network(sim, default_link=Link.lan())
     web_node = net.node("web")
     stages = len(service_times)
@@ -391,6 +401,7 @@ def run_qos_experiment(
                     page_payload,
                     qos_level=level,
                     cacheable=False,
+                    parent=request.context,
                 )
                 if reply.status is not ReplyStatus.OK:
                     frontend_server.metrics.increment(f"app.lowfid.qos{level}")
@@ -559,6 +570,7 @@ def run_failure_recovery_experiment(
     backend_capacity: int = 5,
     first_crash_at: Optional[float] = None,
     seed: int = 0,
+    obs=None,
 ) -> FailureRecoveryResult:
     """Crash a replica on an MTBF schedule; measure what clients see.
 
@@ -588,6 +600,8 @@ def run_failure_recovery_experiment(
     if n_clients < 1:
         raise ValueError(f"n_clients must be >= 1: {n_clients!r}")
     sim = Simulation(seed=seed)
+    if obs is not None:
+        obs.attach(sim)
     net = Network(sim, default_link=Link.lan())
     web_node = net.node("web")
 

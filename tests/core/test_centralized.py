@@ -47,6 +47,22 @@ class TestLoadListener:
         assert listener.load_of("db").outstanding == 9
         assert listener.metrics.sample("listener.update_lag").maximum > 0.8
 
+    def test_reports_feed_broker_load_samples(self, sim, net):
+        node = net.node("web")
+        listener = LoadListener(sim, node)
+        sender = net.node("brokerhost").datagram_socket()
+        for outstanding in (3, 9):
+            sender.sendto(
+                LoadReport("b1", "db", outstanding, 4, 20, sent_at=sim.now),
+                listener.address,
+            )
+        sim.run()
+        load = listener.metrics.sample("broker.load.b1")
+        assert load.count == 2
+        assert load.maximum == 9.0
+        depth = listener.metrics.sample("broker.load.b1.queue_depth")
+        assert depth.mean == pytest.approx(4.0)
+
     def test_malformed_updates_ignored(self, sim, net):
         node = net.node("web")
         listener = LoadListener(sim, node)

@@ -1,0 +1,131 @@
+"""Tests for the trace exporters and the terminal waterfall renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceCollector,
+    critical_path,
+    render_attribution,
+    render_trace,
+    render_waterfall,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+from .test_spans import run_broker_scenario
+
+
+@pytest.fixture
+def collector(sim, net):
+    collector = TraceCollector()
+    run_broker_scenario(sim, net, collector)
+    collector.fold_events()
+    return collector
+
+
+class TestChromeTrace:
+    def test_document_is_valid(self, collector):
+        doc = to_chrome_trace(collector.traces)
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_complete_events_use_microseconds(self, collector):
+        trace = collector.traces[0]
+        doc = to_chrome_trace([trace])
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        root = next(e for e in events if e["name"] == "request")
+        assert root["ts"] == pytest.approx(trace.start * 1e6)
+        assert root["dur"] == pytest.approx(trace.duration * 1e6)
+
+    def test_one_thread_lane_per_trace(self, collector):
+        doc = to_chrome_trace(collector.traces)
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(tids) == len(collector.traces)
+        names = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert len(names) == len(collector.traces)
+
+    def test_folded_events_become_instants(self, collector):
+        doc = to_chrome_trace(collector.traces)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_write_round_trips_through_json(self, collector, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(collector.traces, str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+
+    def test_validator_catches_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        bad = {"traceEvents": [{"ph": "Z", "name": 3, "pid": "x", "tid": 0}]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) >= 2
+
+    def test_write_refuses_invalid_document(self, tmp_path, monkeypatch):
+        # Build a trace, then corrupt the exporter's view of it.
+        import repro.obs.export as export
+
+        def broken(_traces):
+            return {"traceEvents": [{"ph": "Z"}]}
+
+        monkeypatch.setattr(export, "to_chrome_trace", broken)
+        with pytest.raises(ValueError):
+            export.write_chrome_trace([], str(tmp_path / "bad.json"))
+
+
+class TestJsonl:
+    def test_one_object_per_span(self, collector, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        written = write_jsonl(collector.traces, str(path))
+        lines = path.read_text().splitlines()
+        assert written == len(lines) == collector.span_count()
+        record = json.loads(lines[0])
+        for key in ("trace", "span", "start", "end", "category", "parent"):
+            assert key in record
+
+    def test_to_jsonl_parses(self, collector):
+        for line in to_jsonl(collector.traces):
+            json.loads(line)
+
+
+class TestTimeline:
+    def test_waterfall_shows_hops_and_sum(self, collector):
+        trace = collector.traces[0]
+        text = render_waterfall(trace)
+        for hop in trace.hops:
+            assert hop.name in text
+        assert "sum" in text
+        assert "end-to-end" in text
+
+    def test_attribution_mentions_broker_and_fidelity(self, collector):
+        text = render_attribution(collector.traces[0])
+        assert "at broker broker:web" in text
+        assert "full-fidelity" in text
+
+    def test_critical_path_descends_along_longest_children(self, collector):
+        path = critical_path(collector.traces[0])
+        assert path[0].name == "request"
+        for parent, child in zip(path, path[1:]):
+            assert child in parent.children
+        # Stops at a leaf or where only zero-width children remain.
+        tail = path[-1]
+        assert not tail.children or all(
+            child.duration <= 0 for child in tail.children
+        )
+
+    def test_render_trace_combines_sections(self, collector):
+        text = render_trace(collector.traces[0], events=True)
+        assert "critical path:" in text
+        assert "sum" in text

@@ -1,0 +1,191 @@
+"""Tests for span-based request tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BrokerClient,
+    HttpAdapter,
+    QoSPolicy,
+    ReplyStatus,
+    ServiceBroker,
+)
+from repro.http import BackendWebServer
+from repro.obs import Span, TraceCollector
+from repro.workload import run_clustering_experiment, run_qos_experiment
+
+
+def run_broker_scenario(sim, net, collector, n_requests=8, service_time=0.05):
+    """One broker over one backend; *n_requests* staggered calls."""
+    collector.attach(sim)
+    node = net.node("web")
+    server = BackendWebServer(sim, net.node("origin"), max_clients=2)
+
+    def cgi(server, request):
+        yield server.sim.timeout(service_time)
+        return "ok"
+
+    server.add_cgi("/s", cgi)
+    broker = ServiceBroker(
+        sim,
+        node,
+        service="web",
+        adapters=[HttpAdapter(sim, node, server.address)],
+        qos=QoSPolicy(levels=3, threshold=100),
+        pool_size=2,
+    )
+    client = BrokerClient(sim, node, {"web": broker.address})
+    statuses = []
+
+    def one(i):
+        yield sim.timeout(0.01 * i)
+        reply = yield from client.call(
+            "web", "get", ("/s", {"i": i}), qos_level=(i % 3) + 1, cacheable=False
+        )
+        statuses.append(reply.status)
+
+    for i in range(n_requests):
+        sim.process(one(i))
+    sim.run()
+    assert all(status is ReplyStatus.OK for status in statuses)
+    return broker
+
+
+class TestSpanTree:
+    def test_all_spans_closed_and_nested(self, sim, net):
+        collector = TraceCollector()
+        run_broker_scenario(sim, net, collector)
+        assert len(collector) == 8
+        for trace in collector.traces:
+            assert trace.validate() == []
+            for span in trace.spans():
+                assert span.end is not None
+                assert span.end >= span.start
+                # No span closes before its children (the invariant
+                # validate() checks, asserted directly here).
+                for child in span.children:
+                    assert child.end <= span.end + 1e-9
+
+    def test_expected_spans_present(self, sim, net):
+        collector = TraceCollector()
+        run_broker_scenario(sim, net, collector)
+        trace = collector.traces[0]
+        for name in ("net.request", "queue", "net.reply", "stage.execute"):
+            assert trace.find(name) is not None, name
+        broker_span = trace.find("broker:web")
+        assert broker_span is not None
+        assert any(c.name.startswith("stage.") for c in broker_span.walk())
+
+    def test_hops_sum_to_end_to_end_latency(self, sim, net):
+        collector = TraceCollector()
+        run_broker_scenario(sim, net, collector)
+        for trace in collector.traces:
+            total = sum(hop.duration for hop in trace.hops)
+            assert total == pytest.approx(trace.duration, abs=1e-9)
+            # Hops telescope: consecutive hops share a boundary.
+            for first, second in zip(trace.hops, trace.hops[1:]):
+                assert first.end == pytest.approx(second.start, abs=1e-12)
+
+    def test_trace_metadata(self, sim, net):
+        collector = TraceCollector()
+        run_broker_scenario(sim, net, collector)
+        trace = collector.traces[0]
+        assert trace.origin == "web"
+        assert trace.broker == "broker:web"
+        assert trace.status == "ok"
+        assert trace.request_id is not None
+        assert trace.qos_level in (1, 2, 3)
+
+
+class TestCollector:
+    def test_sampling_keeps_every_nth_root(self, sim, net):
+        collector = TraceCollector(sample=3)
+        run_broker_scenario(sim, net, collector, n_requests=9)
+        assert collector.roots_seen == 9
+        assert len(collector) == 3
+
+    def test_limit_bounds_retention(self, sim, net):
+        collector = TraceCollector(limit=2)
+        run_broker_scenario(sim, net, collector, n_requests=5)
+        assert len(collector) == 2
+        assert collector.dropped == 3
+
+    def test_histograms_fed_for_every_request(self, sim, net):
+        collector = TraceCollector(sample=100)  # retain almost nothing
+        run_broker_scenario(sim, net, collector, n_requests=6)
+        assert len(collector) == 1
+        assert collector.metrics.histogram("obs.latency.all").count == 6
+        assert collector.metrics.histogram("obs.stage.execute").count == 6
+        by_backend = collector.metrics.histograms("obs.backend.")
+        assert sum(h.count for h in by_backend.values()) == 6
+
+    def test_slowest_ranked_descending(self, sim, net):
+        collector = TraceCollector()
+        run_broker_scenario(sim, net, collector)
+        ranked = collector.slowest(3)
+        assert len(ranked) == 3
+        durations = [trace.duration for trace in ranked]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_fold_events_attaches_tracer_records(self, sim, net):
+        collector = TraceCollector()
+        run_broker_scenario(sim, net, collector)
+        folded = collector.fold_events()
+        assert folded > 0
+        names = {
+            event.name
+            for trace in collector.traces
+            for span in trace.spans()
+            for event in span.events
+        }
+        assert "broker.arrival" in names
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceCollector(sample=0)
+        with pytest.raises(ValueError):
+            TraceCollector(limit=0)
+
+
+class TestParentChildTraces:
+    def test_frontend_trace_nests_broker_calls(self):
+        collector = TraceCollector()
+        run_clustering_experiment(2, n_requests=6, seed=7, obs=collector)
+        assert collector.roots_seen == 6
+        with_children = [t for t in collector.traces if t.children]
+        assert with_children, "front-end traces should nest broker calls"
+        for trace in with_children:
+            assert trace.validate() == []
+            child = trace.children[0]
+            assert child.broker == "clustering-broker"
+            # The child's root span is part of the parent's span tree.
+            assert child.root in trace.spans()
+            total = sum(hop.duration for hop in trace.hops)
+            assert total == pytest.approx(trace.duration, abs=1e-9)
+
+
+class TestDeterminism:
+    def test_tracing_does_not_perturb_seeded_results(self):
+        baseline = run_qos_experiment(6, mode="broker", duration=8.0, seed=5)
+        traced = run_qos_experiment(
+            6, mode="broker", duration=8.0, seed=5, obs=TraceCollector()
+        )
+        assert traced.completions == baseline.completions
+        assert traced.full_fidelity == baseline.full_fidelity
+        for level in baseline.response_times:
+            assert traced.response_times[level].mean == pytest.approx(
+                baseline.response_times[level].mean, abs=0.0
+            )
+
+
+class TestSpanPrimitives:
+    def test_contains_and_walk(self):
+        outer = Span("outer", "x", 0.0, 10.0)
+        inner = Span("inner", "x", 2.0, 4.0)
+        outer.add_child(inner)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert [s.name for s in outer.walk()] == ["outer", "inner"]
+        assert inner.parent is outer
+        assert inner.duration == pytest.approx(2.0)

@@ -49,6 +49,15 @@ class TestTracer:
         tracer.log(1.5, "broker", "drop", qos=3)
         assert tracer.to_text() == text
 
+    def test_render_fields_in_sorted_key_order(self):
+        # Regression: fields used to render in dict insertion order, so
+        # records with equal content produced different log lines
+        # depending on the keyword order at the trace call site.
+        first = TraceRecord(1.0, "c", "m", {"b": 2, "a": 1})
+        second = TraceRecord(1.0, "c", "m", {"a": 1, "b": 2})
+        assert first.render() == second.render()
+        assert "a=1 b=2" in first.render()
+
     def test_clear(self):
         tracer = Tracer(limit=1)
         tracer.log(0.0, "a", "m")

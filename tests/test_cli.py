@@ -49,6 +49,32 @@ class TestParser:
         assert args.baseline == "b.json"
         assert args.max_regression == 0.5
 
+    def test_obs_defaults(self):
+        args = build_parser().parse_args(["obs"])
+        assert args.command == "obs"
+        assert args.scenario == "qos"
+        assert args.trace_sample == 1
+        assert args.slowest == 5
+        assert args.export is None and args.jsonl is None
+        assert not args.quick and not args.describe
+
+    def test_obs_flags(self):
+        args = build_parser().parse_args(
+            ["obs", "--scenario", "fig7", "--trace-sample", "4",
+             "--slowest", "2", "--export", "t.json", "--jsonl", "s.jsonl",
+             "--quick"]
+        )
+        assert args.scenario == "fig7"
+        assert args.trace_sample == 4
+        assert args.slowest == 2
+        assert args.export == "t.json"
+        assert args.jsonl == "s.jsonl"
+        assert args.quick
+
+    def test_obs_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--scenario", "nope"])
+
 
 class TestCommands:
     def test_fig7_output(self, capsys):
@@ -141,6 +167,33 @@ class TestCommands:
             "validate", "arrival", "cache-lookup", "admission", "fidelity",
             "enqueue", "cluster", "execute", "cache-fill", "reply",
         ]
+
+    def test_obs_describe(self, capsys):
+        assert main(["obs", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "Span model" in out
+        assert "Overhead contract" in out
+        assert "chrome://tracing" in out
+
+    def test_obs_quick_run_with_export(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        export = tmp_path / "trace.json"
+        jsonl = tmp_path / "spans.jsonl"
+        assert main([
+            "obs", "--quick", "--scenario", "fig7", "--trace-sample", "1",
+            "--slowest", "2", "--export", str(export), "--jsonl", str(jsonl),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "obs report" in out
+        assert "slowest 2 request(s):" in out
+        assert "end-to-end" in out
+        assert "schema ok" in out
+        doc = json.loads(export.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert jsonl.read_text().strip()
 
     def test_determinism_across_invocations(self, capsys):
         main(["fig7", "--degrees", "2", "--seed", "11"])
