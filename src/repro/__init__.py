@@ -23,11 +23,13 @@ The package layers, bottom to top:
 from .analysis import mm1_metrics, mmc_metrics, mva_single_station
 from .core import (
     AdmissionController,
+    BackpressureStage,
     BrokerClient,
     BrokerPeerGroup,
     BrokerReply,
     BrokerRequest,
     BrokerStage,
+    BrokerSupervisor,
     CentralizedController,
     ClusteringConfig,
     ConnectionPool,
@@ -54,6 +56,7 @@ from .core import (
     RepeatWorkloadCombiner,
     ReplyStatus,
     RequestContext,
+    RecoveryJournal,
     ResourceProfileRegistry,
     ResultCache,
     RetryPolicy,
@@ -64,6 +67,7 @@ from .core import (
     centralized_stage_plan,
     distributed_stage_plan,
     fault_tolerant_stage_plan,
+    overload_protected_stage_plan,
 )
 from .db import Database, DatabaseClient, DatabaseServer
 from .frontend import ApiBackendGateway, FrontendWebServer, WebApplication, qos_of
@@ -92,6 +96,7 @@ from .obs import (
 from .net import (
     Address,
     BackendCrash,
+    BrokerCrash,
     FaultInjector,
     FaultPlan,
     Link,
@@ -104,11 +109,15 @@ from .net import (
 from .sim import HostCpu, Simulation
 from .workload import (
     BurstClient,
+    ChaosResult,
     ClosedLoopClient,
     FailureRecoveryResult,
     OpenLoopGenerator,
+    OverloadResult,
+    run_chaos_experiment,
     run_clustering_experiment,
     run_failure_recovery_experiment,
+    run_overload_experiment,
     run_qos_experiment,
     zipf_sampler,
 )
@@ -125,6 +134,7 @@ __all__ = [
     "Link",
     "Address",
     "BackendCrash",
+    "BrokerCrash",
     "LinkDown",
     "LinkDegrade",
     "SlowBackend",
@@ -161,6 +171,10 @@ __all__ = [
     "distributed_stage_plan",
     "centralized_stage_plan",
     "fault_tolerant_stage_plan",
+    "overload_protected_stage_plan",
+    "BackpressureStage",
+    "BrokerSupervisor",
+    "RecoveryJournal",
     "CircuitBreaker",
     "RetryPolicy",
     "BrokerClient",
@@ -204,7 +218,11 @@ __all__ = [
     "run_clustering_experiment",
     "run_qos_experiment",
     "run_failure_recovery_experiment",
+    "run_overload_experiment",
+    "run_chaos_experiment",
     "FailureRecoveryResult",
+    "OverloadResult",
+    "ChaosResult",
     "MetricsRegistry",
     "SummaryStats",
     "LatencyHistogram",

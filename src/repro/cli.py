@@ -14,6 +14,11 @@ Usage::
     python -m repro obs    --describe
     python -m repro obs    [--scenario qos|fig7|faults] [--trace-sample N]
                            [--slowest K] [--export FILE] [--jsonl FILE] [--quick]
+    python -m repro chaos  --describe
+    python -m repro chaos  [--quick] [--duration S] [--capacity N]
+                           [--policy reject-new|drop-oldest|drop-lowest]
+                           [--mtbf S] [--mttr S] [--recovery replay|shed]
+                           [--availability-floor F] [--summary-out FILE]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -23,17 +28,29 @@ shape assertions, use ``pytest benchmarks/ --benchmark-only -s``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from .metrics import render_table
 from .workload import (
+    run_chaos_experiment,
     run_clustering_experiment,
     run_failure_recovery_experiment,
     run_qos_experiment,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "ChaosInvariantFailure"]
+
+
+class ChaosInvariantFailure(Exception):
+    """A chaos soak finished but at least one invariant check failed."""
+
+    def __init__(self, report: str, failed: List[str]) -> None:
+        super().__init__(f"chaos invariants violated: {', '.join(failed)}")
+        self.report = report
+        self.failed = failed
+
 
 DEFAULT_DEGREES = "1,2,4,5,8,10,16,20,30,40"
 DEFAULT_CLIENTS = "10,20,30,40,50,60"
@@ -206,6 +223,57 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--quick", action="store_true",
         help="shrunken run (~seconds) for CI smoke tests",
+    )
+
+    chaos = sub.add_parser(
+        "chaos", parents=[common],
+        help="chaos soak: broker crashes, link flaps, load spikes, "
+        "invariant checks",
+    )
+    chaos.add_argument(
+        "--describe", action="store_true",
+        help="print the chaos schedule, topology, and invariants "
+        "without running anything",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="90-second soak (~1s wall) for CI smoke runs",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=300.0,
+        help="virtual seconds of chaos (default 300)",
+    )
+    chaos.add_argument(
+        "--capacity", type=int, default=48,
+        help="bounded broker queue capacity (default 48)",
+    )
+    chaos.add_argument(
+        "--policy", choices=("reject-new", "drop-oldest", "drop-lowest"),
+        default="drop-lowest",
+        help="queue shedding policy (default drop-lowest)",
+    )
+    chaos.add_argument(
+        "--mtbf", type=float, default=25.0,
+        help="broker A mean time between failures, seconds (default 25; "
+        "broker B fails at 1.8x this)",
+    )
+    chaos.add_argument(
+        "--mttr", type=float, default=2.0,
+        help="broker repair time per crash, seconds (default 2)",
+    )
+    chaos.add_argument(
+        "--recovery", choices=("replay", "shed"), default="replay",
+        help="journal recovery policy on restart (default replay)",
+    )
+    chaos.add_argument(
+        "--availability-floor", dest="availability_floor",
+        type=float, default=0.99,
+        help="minimum answered fraction of the steady workload "
+        "(default 0.99)",
+    )
+    chaos.add_argument(
+        "--summary-out", dest="summary_out", default=None,
+        help="write the run summary and invariant verdicts as JSON here",
     )
     return parser
 
@@ -383,6 +451,107 @@ def run_faults(args) -> str:
     )
 
 
+def _describe_chaos() -> str:
+    from .core.lifecycle import DEFAULT_SUPERVISOR_PORT
+    from .core.queueing import SHED_POLICIES
+
+    lines = [
+        "Chaos soak (repro.workload.chaos.run_chaos_experiment):",
+        "",
+        "Topology: 1 web node (front end + supervisor, port "
+        f"{DEFAULT_SUPERVISOR_PORT}), 2 brokers (chaos-a, chaos-b) each",
+        "fronting 2 replicated backends; closed-loop clients fail over to",
+        "the sibling broker on timeout or non-OK reply.",
+        "",
+        "Fault schedule (all seeded, virtual time):",
+        "  broker-crash   chaos-a on an exponential MTBF cycle; chaos-b at",
+        "                 1.8x that MTBF, plus two sub-detection 'blip'",
+        "                 crashes that exercise journal replay on restart",
+        "  link-down      web <-> backend2 flaps (0.5 s each)",
+        "  load spike     open-loop class-3 burst every spike interval",
+        "",
+        "Protection under test: bounded BrokerQueue with QoS-aware",
+        f"shedding ({', '.join(SHED_POLICIES)}), backpressure watermarks,",
+        "heartbeat supervision with fail-fast, and a recovery journal",
+        "(replay | shed) consumed on broker restart.",
+        "",
+        "Invariants checked after the drain:",
+        "  no-lost-request         every issued request got exactly one",
+        "                          terminal reply; no queued/journaled residue",
+        "  post-crash-consistency  restarts == crashes; all brokers alive",
+        "                          and seen by the supervisor",
+        "  queue-bound             per-broker peak depth <= capacity",
+        "  availability-floor      (ok + degraded) / requests >= floor",
+        "",
+        "Exit status is 1 if any invariant fails. --summary-out writes the",
+        "full counters and verdicts as JSON for CI artifacts.",
+    ]
+    return "\n".join(lines)
+
+
+def run_chaos(args) -> str:
+    """Run the seeded chaos soak and check its invariants."""
+    if args.describe:
+        return _describe_chaos()
+    duration = 90.0 if args.quick else args.duration
+    result = run_chaos_experiment(
+        duration=duration,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        capacity=args.capacity,
+        shed_policy=args.policy,
+        recovery_policy=args.recovery,
+        availability_floor=args.availability_floor,
+        seed=args.seed,
+    )
+    lines = [
+        f"Chaos soak — {duration:g}s virtual, seed={args.seed}, "
+        f"capacity={args.capacity}, policy={args.policy}, "
+        f"mtbf={args.mtbf:g}s, mttr={args.mttr:g}s, "
+        f"recovery={args.recovery}",
+        "",
+        f"steady workload : {result.requests} requests  "
+        f"ok={result.ok} degraded={result.degraded} "
+        f"dropped={result.dropped} timeouts={result.timeouts} "
+        f"errors={result.errors} failovers={result.failovers}",
+        f"latency         : p50={result.latency.percentile(50) * 1000:.1f}ms  "
+        f"p99={result.latency.percentile(99) * 1000:.1f}ms",
+        f"availability    : {100.0 * result.availability:.3f}% "
+        f"(floor {100.0 * args.availability_floor:g}%)",
+        f"spike traffic   : {result.spike_requests} requests  "
+        f"ok={result.spike_ok} degraded={result.spike_degraded} "
+        f"dropped={result.spike_dropped} timeouts={result.spike_timeouts}",
+        f"lifecycle       : crashes={result.crashes} "
+        f"restarts={result.restarts} detected={result.detected} "
+        f"recoveries={result.recoveries}",
+        f"journal         : failed_fast={result.failed_fast} "
+        f"replayed={result.replayed} restart_shed={result.restart_shed}",
+        f"shedding        : shed_total={result.shed_total}  peak depths "
+        + " ".join(
+            f"{name}={depth}" for name, depth in sorted(result.peak_depths.items())
+        ),
+        f"link faults     : {result.link_faults}",
+        "",
+    ]
+    failed = []
+    for check in result.invariants:
+        verdict = "PASS" if check.passed else "FAIL"
+        lines.append(f"INVARIANT {check.name:<24} {verdict} — {check.detail}")
+        if not check.passed:
+            failed.append(check.name)
+    report = "\n".join(lines)
+    if args.summary_out:
+        payload = result.to_summary()
+        payload["invariants_hold"] = result.all_invariants_hold
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        report += f"\n\nsummary written to {args.summary_out}"
+    if failed:
+        raise ChaosInvariantFailure(report, failed)
+    return report
+
+
 def run_bench(args) -> str:
     """Run the performance suite; see :mod:`repro.bench`."""
     from .bench import run_bench_command
@@ -426,6 +595,7 @@ _COMMANDS = {
     "faults": run_faults,
     "bench": run_bench,
     "obs": run_obs,
+    "chaos": run_chaos,
 }
 
 
@@ -439,6 +609,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BenchRegression as regression:
         print(regression.report)
         print(f"FAILED: {regression}", file=sys.stderr)
+        return 1
+    except ChaosInvariantFailure as failure:
+        print(failure.report)
+        print(f"FAILED: {failure}", file=sys.stderr)
         return 1
     return 0
 

@@ -147,10 +147,18 @@ class ServiceBroker:
         self.priority_queueing = priority_queueing
         queue_priority = self.priority_of if priority_queueing else (lambda _r: 0)
         self.queue = BrokerQueue(sim, priority_of=queue_priority)
+        self._port = port
+        self._pool_size = pool_size
         self.socket = node.datagram_socket(port)
         self.address = self.socket.address
         #: Set by :meth:`BrokerPeerGroup.join`; enables txn-state gossip.
         self.peer_group: Optional["BrokerPeerGroup"] = None
+        #: False while crashed (see :meth:`crash` / :meth:`restart`).
+        self.alive = True
+        #: Optional :class:`~repro.core.lifecycle.RecoveryJournal`;
+        #: installed by :meth:`BrokerSupervisor.watch` (or directly).
+        self.journal = None
+        self._heartbeat: Optional[tuple] = None
         #: The request path as an ordered, composable stage list.
         self.pipeline = StagePipeline(
             self, stages if stages is not None else distributed_stage_plan()
@@ -160,9 +168,20 @@ class ServiceBroker:
         )
         if worker_count < 1:
             raise BrokerError(f"dispatchers must be >= 1: {worker_count!r}")
-        sim.process(self._receive_loop(), name=f"{self.name}:rx")
-        for index in range(worker_count):
-            sim.process(self._dispatcher(), name=f"{self.name}:dispatch{index}")
+        self._worker_count = worker_count
+        self._processes: List[Any] = []
+        self._spawn_processes()
+
+    def _spawn_processes(self) -> None:
+        """Start (or re-start, after a crash) the broker's processes."""
+        sim = self.sim
+        self._processes = [
+            sim.process(self._receive_loop(), name=f"{self.name}:rx")
+        ]
+        for index in range(self._worker_count):
+            self._processes.append(
+                sim.process(self._dispatcher(), name=f"{self.name}:dispatch{index}")
+            )
 
     # -- derived state ---------------------------------------------------
 
@@ -172,10 +191,33 @@ class ServiceBroker:
         return self.admission.outstanding
 
     def drop_ratio(self, level: int) -> float:
-        """Fraction of level-*level* arrivals rejected by admission."""
+        """Fraction of level-*level* arrivals rejected by QoS admission.
+
+        Counts only ``broker.drops.*`` (admission-gate rejections);
+        backpressure sheds are accounted separately under
+        ``broker.shed.*`` — see :meth:`shed_ratio`.
+        """
         arrivals = self.metrics.counter(f"broker.arrivals.qos{level}")
         drops = self.metrics.counter(f"broker.drops.qos{level}")
         return drops / arrivals if arrivals else 0.0
+
+    def shed_ratio(self, level: int) -> float:
+        """Fraction of level-*level* arrivals shed by backpressure.
+
+        The complement of :meth:`drop_ratio`: sheds happen after
+        admission, when a bounded queue overflows (or on a shedding
+        restart), and are tagged ``broker.shed.<reason>``.
+        """
+        arrivals = self.metrics.counter(f"broker.arrivals.qos{level}")
+        sheds = self.metrics.counter(f"broker.shed.qos{level}")
+        return sheds / arrivals if arrivals else 0.0
+
+    def record_shed(self, level: int, reason: str) -> None:
+        """Count one backpressure shed, kept apart from admission drops."""
+        metrics = self.metrics
+        metrics.increment("broker.shed")
+        metrics.increment(f"broker.shed.{reason}")
+        metrics.increment(f"broker.shed.qos{level}")
 
     def priority_of(self, request: BrokerRequest) -> int:
         """A request's effective QoS level (transaction escalation aware)."""
@@ -255,10 +297,118 @@ class ServiceBroker:
         backend.note_completion(self.sim.now - started)
         return result
 
+    # -- lifecycle (crash / restart / heartbeats) --------------------------
+
+    def crash(self) -> None:
+        """Kill the broker process mid-flight (a ``BrokerCrash`` fault).
+
+        Models a real process death: the receive/dispatcher processes
+        are interrupted, the UDP socket is unbound (datagrams sent while
+        down vanish, exactly like datagrams to a dead host), the backlog
+        is discarded, and the admission ledger is cleared. An installed
+        :class:`~repro.core.lifecycle.RecoveryJournal` keeps the set of
+        admitted-but-unanswered requests so a supervisor can fail them
+        fast and :meth:`restart` can replay or shed them.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.metrics.increment("broker.crashes")
+        self.sim.trace(
+            "lifecycle", "crash",
+            broker=self.name, queued=len(self.queue),
+            outstanding=self.outstanding,
+        )
+        for process in self._processes:
+            if process.is_alive:
+                # The event the process was blocked on survives the kill
+                # (a pooled connection's recv, a queue get, ...). Nobody
+                # listens to it any more: mark it cancelled for the
+                # owning inbox/queue and defused so a later failure
+                # (e.g. a link fault severing the idle connection) does
+                # not abort the whole simulation.
+                target = process._target
+                if target is not None:
+                    target.defused = True
+                    if hasattr(target, "cancelled"):
+                        target.cancelled = True
+                process.defused = True
+                process.interrupt("broker-crash")
+        self._processes = []
+        self.queue.reset()
+        self.admission.outstanding = 0
+        self.socket.close()
+
+    def restart(self) -> None:
+        """Bring a crashed broker back: fresh socket, pools, processes.
+
+        Work journaled before the crash is replayed through the ingress
+        pipeline or shed with a degraded reply, according to the
+        installed journal's policy (see
+        :class:`~repro.core.lifecycle.RecoveryJournal`).
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.metrics.increment("broker.restarts")
+        self.socket = self.node.datagram_socket(self._port)
+        self.address = self.socket.address
+        for backend in self.backends:
+            # Connections the killed dispatchers had checked out never
+            # come back; rebuild each pool rather than leak its slots.
+            backend.pool = ConnectionPool(
+                self.sim, backend.adapter, self._pool_size, self.metrics
+            )
+            backend.outstanding = 0
+        self._spawn_processes()
+        if self._heartbeat is not None:
+            self._start_heartbeat()
+        for stage in self.pipeline.stages:
+            if isinstance(stage, LoadReportStage) and stage.address is not None:
+                self._processes.append(
+                    stage.start(stage.address, interval=stage.interval)
+                )
+        self.sim.trace("lifecycle", "restart", broker=self.name)
+        if self.journal is not None:
+            self.journal.recover(self)
+
+    def start_heartbeat(self, address: Address, interval: float = 0.05) -> None:
+        """Emit liveness heartbeats to *address* every *interval* seconds.
+
+        Normally installed by
+        :meth:`~repro.core.lifecycle.BrokerSupervisor.watch`. The
+        heartbeat process dies with the broker on :meth:`crash` and is
+        revived by :meth:`restart` — silence is the death signal.
+        """
+        self._heartbeat = (address, interval)
+        self._start_heartbeat()
+
+    def _start_heartbeat(self) -> None:
+        self._processes.append(
+            self.sim.process(
+                self._heartbeat_loop(), name=f"{self.name}:heartbeat"
+            )
+        )
+
+    def _heartbeat_loop(self):
+        from .lifecycle import Heartbeat  # local import avoids a cycle
+
+        address, interval = self._heartbeat
+        seq = 0
+        while True:
+            self.socket.sendto(
+                Heartbeat(broker=self.name, sent_at=self.sim.now, seq=seq),
+                address,
+            )
+            seq += 1
+            yield self.sim.timeout(interval)
+
     # -- replies and load reports -----------------------------------------
 
     def send_reply(self, request: BrokerRequest, reply: BrokerReply) -> None:
         """Send *reply* to the request's ``reply_to`` address."""
+        if self.journal is not None:
+            self.journal.record_answered(request.request_id)
         self.socket.sendto(reply, request.reply_to)
 
     def report_load_to(self, address: Address, interval: float = 0.1):
@@ -273,7 +423,9 @@ class ServiceBroker:
         except BrokerError:
             stage = LoadReportStage()
             self.pipeline.append(stage)
-        return stage.start(address, interval=interval)
+        process = stage.start(address, interval=interval)
+        self._processes.append(process)
+        return process
 
     def __repr__(self) -> str:
         return (

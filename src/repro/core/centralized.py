@@ -87,9 +87,14 @@ class LoadListener:
             self.table[report.service] = report
             self._applied[report.service] = self.sim.now
             self.metrics.increment("listener.updates")
-            self.metrics.observe(
-                "listener.update_lag", self.sim.now - report.sent_at
-            )
+            lag = self.sim.now - report.sent_at
+            if lag < 0.0:
+                # A report stamped ahead of the listener's clock (e.g.
+                # queued across a broker restart) must not poison the
+                # lag statistics with a negative sample.
+                self.metrics.increment("listener.clock_skew")
+                lag = 0.0
+            self.metrics.observe("listener.update_lag", lag)
             self.metrics.observe(
                 f"broker.load.{report.broker}", float(report.outstanding)
             )
@@ -141,6 +146,19 @@ class CentralizedController:
     the last known broker load meets or exceeds that QoS class's
     admission limit. Unknown services (no report yet) are treated
     optimistically, as the real system must.
+
+    The paper notes the listener "can be overwhelmed". With
+    *staleness_threshold* set, the controller runs a two-state
+    freshness machine: when the stalest profiled service's report age
+    exceeds the threshold it flips to **degraded** mode and admits
+    everything — handing the admission decision back to the per-broker
+    :class:`~repro.core.pipeline.AdmissionStage` (distributed-mode
+    behaviour) rather than deciding from a load table it knows is
+    stale. It recovers to centralized mode once staleness falls back
+    below *recover_staleness* (default: half the threshold —
+    hysteresis against flapping). Both transitions emit metrics and
+    trace spans. With the default ``staleness_threshold=None`` the
+    state machine is disabled and behaviour is byte-identical.
     """
 
     def __init__(
@@ -149,16 +167,71 @@ class CentralizedController:
         profiles: ResourceProfileRegistry,
         qos: Optional[QoSPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        staleness_threshold: Optional[float] = None,
+        recover_staleness: Optional[float] = None,
     ) -> None:
         self.listener = listener
         self.profiles = profiles
         self.qos = qos or QoSPolicy()
         self.metrics = metrics or MetricsRegistry()
+        self.staleness_threshold = staleness_threshold
+        if recover_staleness is not None:
+            self.recover_staleness = recover_staleness
+        elif staleness_threshold is not None:
+            self.recover_staleness = staleness_threshold / 2.0
+        else:
+            self.recover_staleness = None
+        #: ``"centralized"`` or ``"degraded"`` (distributed fallback).
+        self.mode = "centralized"
+        #: Mode flips so far (degrade + recover).
+        self.transitions = 0
+
+    def _update_mode(self, services: Sequence[str]) -> str:
+        """Run the freshness state machine; returns the current mode."""
+        stalest = 0.0
+        for service in services:
+            staleness = self.listener.staleness(service)
+            if staleness == float("inf"):
+                # Never reported: stay optimistic, exactly as admit()
+                # treats a missing report.
+                continue
+            if staleness > stalest:
+                stalest = staleness
+        sim = self.listener.sim
+        if self.mode == "centralized":
+            if stalest > self.staleness_threshold:
+                self.mode = "degraded"
+                self.transitions += 1
+                self.metrics.increment("centralized.degraded_transitions")
+                self.metrics.observe("centralized.mode", 1.0)
+                sim.trace(
+                    "centralized", "degrade",
+                    staleness=stalest, threshold=self.staleness_threshold,
+                )
+        elif stalest <= self.recover_staleness:
+            self.mode = "centralized"
+            self.transitions += 1
+            self.metrics.increment("centralized.recovered_transitions")
+            self.metrics.observe("centralized.mode", 0.0)
+            sim.trace(
+                "centralized", "recover",
+                staleness=stalest, threshold=self.recover_staleness,
+            )
+        return self.mode
 
     def admit(self, request: HttpRequest) -> Tuple[bool, str]:
         """The admission decision for one incoming front-end request."""
         level = self.qos.clamp(qos_of(request))
-        for service in self.profiles.services_for(request.path):
+        services = self.profiles.services_for(request.path)
+        if (
+            self.staleness_threshold is not None
+            and self._update_mode(services) == "degraded"
+        ):
+            # Stale load table: admit at the front door and let each
+            # broker's own admission gate decide (distributed mode).
+            self.metrics.increment("centralized.degraded_admits")
+            return True, ""
+        for service in services:
             report = self.listener.load_of(service)
             if report is None:
                 continue

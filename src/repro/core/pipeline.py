@@ -84,6 +84,7 @@ __all__ = [
     "AdmissionStage",
     "FidelityFallbackStage",
     "EnqueueStage",
+    "BackpressureStage",
     "ClusterStage",
     "CircuitBreakerStage",
     "RetryStage",
@@ -96,6 +97,7 @@ __all__ = [
     "distributed_stage_plan",
     "centralized_stage_plan",
     "fault_tolerant_stage_plan",
+    "overload_protected_stage_plan",
     "stage_plan",
 ]
 
@@ -722,6 +724,12 @@ class EnqueueStage(BrokerStage):
             )
         counter.inc()
         item = broker.queue.put(ctx.request, context=ctx)
+        if item is None:
+            # A bounded queue shed the arrival itself (reject-new, or
+            # no strictly-worse victim): answer busy/degraded now.
+            return self._shed_arrival(ctx)
+        if broker.journal is not None:
+            broker.journal.record_admitted(ctx.request)
         ctx.enqueued_at = item.enqueued_at
         depth = len(broker.queue)
         labels = self._depth_labels
@@ -732,6 +740,158 @@ class EnqueueStage(BrokerStage):
                 labels[depth] = label
         ctx.set_decision(label)
         return StageOutcome.QUEUED
+
+    def _shed_arrival(self, ctx: RequestContext) -> StageOutcome:
+        """Answer an arrival the bounded queue refused to hold."""
+        broker = self.broker
+        # Undo the request_started() above: the request never reaches a
+        # dispatcher, so nothing else will balance the ledger.
+        broker.admission.request_finished()
+        reason = f"shed-{broker.queue.shed_policy}"
+        reply = broker.fidelity.degrade(
+            ctx.request,
+            broker.cache,
+            reason,
+            broker_name=broker.name,
+            context=ctx,
+        )
+        if reply.status is ReplyStatus.DEGRADED:
+            broker.metrics.increment("broker.degraded_replies")
+        broker.record_shed(ctx.qos_level, broker.queue.shed_policy)
+        if broker.sim.tracer is not None:
+            broker.sim.trace(
+                "backpressure", "shed",
+                broker=broker.name, request_id=ctx.request.request_id,
+                qos=ctx.qos_level, reason=reason,
+            )
+        ctx.set_decision(f"shed={broker.queue.shed_policy}")
+        ctx.reply = reply
+        return StageOutcome.REPLY
+
+
+class BackpressureStage(BrokerStage):
+    """Bounded-queue overload protection with QoS-aware shedding.
+
+    Binding this stage installs a capacity and shedding policy (see
+    :data:`~repro.core.queueing.SHED_POLICIES`) on the broker's queue
+    and answers every shed victim immediately through
+    :class:`~repro.core.fidelity.FidelityPolicy` — a stale-cache
+    DEGRADED reply when one exists, else a "system busy" DROPPED reply.
+
+    The stage also runs a watermark admission throttle: when the
+    backlog crosses ``high_watermark × capacity`` it flips *engaged*
+    and notifies every listener registered via :meth:`add_listener`
+    (typically ``FrontendWebServer.set_throttled``), releasing once the
+    backlog drains below ``low_watermark × capacity``.
+    """
+
+    name = "backpressure"
+
+    def __init__(
+        self,
+        capacity: int,
+        shed_policy: str = "drop-lowest",
+        high_watermark: float = 0.75,
+        low_watermark: float = 0.5,
+    ) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < low_watermark <= high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={low_watermark}, high={high_watermark}"
+            )
+        self.capacity = capacity
+        self.shed_policy = shed_policy
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.engaged = False
+        self._listeners: List[Any] = []
+
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bound the broker's queue and pre-resolve the metric handles."""
+        super().bind(broker)
+        broker.queue.configure(
+            self.capacity, self.shed_policy, self._shed_victim
+        )
+        self._high = max(1, int(self.capacity * self.high_watermark))
+        self._low = min(int(self.capacity * self.low_watermark), self._high - 1)
+        self._engaged_counter = broker.metrics.handle(
+            "broker.backpressure.engaged"
+        )
+        self._released_counter = broker.metrics.handle(
+            "broker.backpressure.released"
+        )
+
+    def summary(self) -> str:
+        """One-line description for ``repro pipeline --describe``."""
+        return (
+            f"bounds the queue at {self.capacity} ({self.shed_policy}); "
+            f"watermarks {self.high_watermark:g}/{self.low_watermark:g}"
+        )
+
+    def add_listener(self, listener: Any) -> None:
+        """Register ``listener(engaged, broker_name)`` for transitions."""
+        self._listeners.append(listener)
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Apply watermark hysteresis; requests always pass through."""
+        depth = self.broker.queue._waiting
+        if self.engaged:
+            if depth <= self._low:
+                self._transition(False, depth)
+        elif depth >= self._high:
+            self._transition(True, depth)
+        ctx.set_decision("throttling" if self.engaged else "pass")
+        return StageOutcome.CONTINUE
+
+    def _transition(self, engaged: bool, depth: int) -> None:
+        self.engaged = engaged
+        broker = self.broker
+        if engaged:
+            self._engaged_counter.inc()
+        else:
+            self._released_counter.inc()
+        broker.sim.trace(
+            "backpressure", "engage" if engaged else "release",
+            broker=broker.name, depth=depth,
+            high=self._high, low=self._low,
+        )
+        for listener in self._listeners:
+            listener(engaged, broker.name)
+
+    def _shed_victim(self, item: Any, policy: str) -> None:
+        """``on_shed`` hook: answer an evicted, already-admitted request."""
+        broker = self.broker
+        reason = f"shed-{policy}"
+        ctx = item.context
+        reply = broker.fidelity.degrade(
+            item.request,
+            broker.cache,
+            reason,
+            broker_name=broker.name,
+            context=ctx,
+        )
+        if reply.status is ReplyStatus.DEGRADED:
+            broker.metrics.increment("broker.degraded_replies")
+        now = broker.sim._now
+        if ctx is not None:
+            ctx.record_stage(self.name, now, now, f"shed={policy}")
+            ctx.reply = reply
+            ctx.completed_at = now
+        broker.send_reply(item.request, reply)
+        # The victim was counted into the admission ledger at enqueue;
+        # its dispatcher will never run, so balance it here.
+        broker.admission.request_finished()
+        level = broker.qos.clamp(item.request.qos_level)
+        broker.record_shed(level, policy)
+        if broker.sim.tracer is not None:
+            broker.sim.trace(
+                "backpressure", "shed",
+                broker=broker.name, request_id=item.request.request_id,
+                qos=level, reason=reason,
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -1571,6 +1731,35 @@ def fault_tolerant_stage_plan(
         CacheFillStage(),
         ReplyStage(),
     ]
+
+
+def overload_protected_stage_plan(
+    capacity: int,
+    shed_policy: str = "drop-lowest",
+    high_watermark: float = 0.75,
+    low_watermark: float = 0.5,
+) -> List[BrokerStage]:
+    """The distributed plan plus bounded-queue backpressure.
+
+    Inserts a :class:`BackpressureStage` just before the enqueue
+    boundary: the queue is capped at *capacity*, overflow is shed per
+    *shed_policy*, and the watermark throttle can signal the front end
+    (see :meth:`BackpressureStage.add_listener`).
+    """
+    plan = distributed_stage_plan()
+    boundary = next(
+        index for index, stage in enumerate(plan) if stage.boundary
+    )
+    plan.insert(
+        boundary,
+        BackpressureStage(
+            capacity,
+            shed_policy=shed_policy,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+        ),
+    )
+    return plan
 
 
 #: Factories for the stock stage plans, by model name.

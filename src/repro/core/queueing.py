@@ -6,6 +6,13 @@ raise a request above its nominal class — see
 :mod:`repro.core.transactions`), FCFS within a level. "Service brokers
 receive, sort and rewrite these messages according to their QoS levels"
 — the sorting happens here; dispatchers pull from the front.
+
+The queue is unbounded by default (the paper's testbed). A capacity
+and shedding policy can be installed via :meth:`BrokerQueue.configure`
+— normally done by
+:class:`~repro.core.pipeline.BackpressureStage` — after which
+:meth:`BrokerQueue.put` sheds work instead of letting the backlog grow
+without limit (see :data:`SHED_POLICIES`).
 """
 
 from __future__ import annotations
@@ -21,7 +28,17 @@ from .protocol import BrokerRequest
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .pipeline import RequestContext
 
-__all__ = ["BrokerQueue", "QueuedRequest"]
+__all__ = ["BrokerQueue", "QueuedRequest", "SHED_POLICIES"]
+
+#: Shedding policies a bounded queue understands (see
+#: :meth:`BrokerQueue.configure`):
+#:
+#: * ``"reject-new"`` — a full queue refuses the arrival itself;
+#: * ``"drop-oldest"`` — evict the longest-waiting request to make room;
+#: * ``"drop-lowest"`` — evict the worst (lowest-class, youngest)
+#:   request, but only when it is strictly lower-class than the
+#:   arrival; equal-class arrivals are rejected to preserve FCFS.
+SHED_POLICIES: Tuple[str, ...] = ("reject-new", "drop-oldest", "drop-lowest")
 
 
 class QueuedRequest:
@@ -73,12 +90,21 @@ class BrokerQueue:
     (defaults to its nominal QoS level); :meth:`reprioritize` re-sorts
     the backlog after the function's answers change (the paper's
     "reshuffle the queued requests").
+
+    With a *capacity* configured the queue becomes bounded:
+    :meth:`put` either evicts a queued victim (handed to the
+    ``on_shed`` callback) or returns ``None`` to signal that the
+    arrival itself was shed — the caller owes the client an immediate
+    low-fidelity "busy" reply.
     """
 
     def __init__(
         self,
         sim: Simulation,
         priority_of: Optional[Callable[[BrokerRequest], int]] = None,
+        capacity: Optional[int] = None,
+        shed_policy: str = "reject-new",
+        on_shed: Optional[Callable[[QueuedRequest, str], None]] = None,
     ) -> None:
         self.sim = sim
         self.priority_of = priority_of or (lambda request: request.qos_level)
@@ -88,6 +114,14 @@ class BrokerQueue:
         # Live count of unclaimed entries; claimed items stay on the
         # heap as tombstones, so len() must not scan it.
         self._waiting = 0
+        self.capacity: Optional[int] = None
+        self.shed_policy = "reject-new"
+        self.on_shed: Optional[Callable[[QueuedRequest, str], None]] = None
+        #: Deepest backlog ever observed (for the queue-bound invariant).
+        self.peak_depth = 0
+        #: Requests shed by the bound — evictions and rejected arrivals.
+        self.shed_count = 0
+        self.configure(capacity, shed_policy, on_shed)
 
     def __len__(self) -> int:
         return self._waiting
@@ -97,10 +131,45 @@ class BrokerQueue:
         """Number of requests waiting (alias of ``len``)."""
         return len(self)
 
+    def configure(
+        self,
+        capacity: Optional[int],
+        shed_policy: str = "reject-new",
+        on_shed: Optional[Callable[[QueuedRequest, str], None]] = None,
+    ) -> None:
+        """Install (or remove, with ``capacity=None``) a queue bound.
+
+        *on_shed* is invoked as ``on_shed(victim, policy)`` for every
+        **queued** request evicted to make room; rejected arrivals are
+        reported by :meth:`put` returning ``None`` instead.
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {shed_policy!r}; "
+                f"expected one of {SHED_POLICIES}"
+            )
+        self.capacity = capacity
+        self.shed_policy = shed_policy
+        self.on_shed = on_shed
+
     def put(
         self, request: BrokerRequest, context: Optional["RequestContext"] = None
-    ) -> QueuedRequest:
-        """Enqueue an admitted request (with its pipeline context, if any)."""
+    ) -> Optional[QueuedRequest]:
+        """Enqueue an admitted request (with its pipeline context, if any).
+
+        Returns ``None`` when a configured capacity sheds the arrival
+        itself (``reject-new``, or no strictly-worse victim exists) —
+        the caller must answer the request immediately.
+        """
+        # A full heap implies no waiting getters: _dispatch drains the
+        # heap whenever a getter is pending, so the bound only matters
+        # on the no-consumer path.
+        if self.capacity is not None and self._waiting >= self.capacity:
+            if not self._make_room(request):
+                self.shed_count += 1
+                return None
         item = QueuedRequest(
             request=request,
             effective_level=self.priority_of(request),
@@ -110,8 +179,43 @@ class BrokerQueue:
         )
         heapq.heappush(self._heap, (*item.sort_key(), item))
         self._waiting += 1
+        if self._waiting > self.peak_depth:
+            self.peak_depth = self._waiting
         self._dispatch()
         return item
+
+    def _make_room(self, request: BrokerRequest) -> bool:
+        """Evict one queued victim per the shed policy; False = reject arrival."""
+        policy = self.shed_policy
+        if policy == "reject-new":
+            return False
+        victim: Optional[QueuedRequest] = None
+        if policy == "drop-oldest":
+            for _, _, item in self._heap:
+                if item.claimed:
+                    continue
+                if victim is None or item.seq < victim.seq:
+                    victim = item
+        else:  # drop-lowest
+            for _, _, item in self._heap:
+                if item.claimed:
+                    continue
+                if victim is None or item.sort_key() > victim.sort_key():
+                    victim = item
+            # Only evict strictly worse work: an arrival no better than
+            # everything queued is rejected, preserving FCFS in-class.
+            if victim is not None and victim.effective_level <= self.priority_of(
+                request
+            ):
+                return False
+        if victim is None:
+            return False
+        victim.claimed = True
+        self._waiting -= 1
+        self.shed_count += 1
+        if self.on_shed is not None:
+            self.on_shed(victim, policy)
+        return True
 
     def get(self) -> _QueueGet:
         """Event succeeding with the highest-priority :class:`QueuedRequest`."""
@@ -163,6 +267,24 @@ class BrokerQueue:
         for item in items:
             item.effective_level = self.priority_of(item.request)
             heapq.heappush(self._heap, (*item.sort_key(), item))
+
+    def reset(self) -> List[QueuedRequest]:
+        """Discard the backlog (a broker crash); returns the orphans.
+
+        Every waiting item is tombstoned so any stage still holding a
+        reference sees it as claimed, and pending getters are cancelled
+        — the dispatcher processes that created them die with the
+        broker. Capacity, policy, and the peak/shed statistics survive.
+        """
+        orphans = self.snapshot()
+        for item in orphans:
+            item.claimed = True
+        self._heap = []
+        self._waiting = 0
+        for getter in self._getters:
+            getter.cancelled = True
+        self._getters.clear()
+        return orphans
 
     def _dispatch(self) -> None:
         while self._getters and self._heap:

@@ -41,6 +41,7 @@ class FrontendWebServer:
         port: int = 80,
         max_processes: int = 150,
         admission: Optional[AdmissionHook] = None,
+        throttle_level: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         name: str = "",
     ) -> None:
@@ -48,6 +49,10 @@ class FrontendWebServer:
         self.node = node
         self.name = name or node.name
         self.admission = admission
+        #: Requests of this QoS class or worse get 503 while any broker
+        #: backpressure signal is engaged; ``None`` disables throttling.
+        self.throttle_level = throttle_level
+        self._throttled_by: set = set()
         self.metrics = metrics or MetricsRegistry()
         self.processes = Resource(sim, max_processes)
         self.listener = node.listen_stream(port)
@@ -66,6 +71,30 @@ class FrontendWebServer:
     def register_app(self, app: WebApplication) -> None:
         """Mount *app* at its path."""
         self._apps[app.path] = app
+
+    def set_throttled(self, engaged: bool, source: str) -> None:
+        """Backpressure signal from a broker watermark transition.
+
+        Register as a listener on a
+        :class:`~repro.core.pipeline.BackpressureStage`; while any
+        *source* is engaged, requests at ``throttle_level`` or worse
+        are answered 503 before consuming a server process.
+        """
+        if engaged:
+            self._throttled_by.add(source)
+            self.metrics.increment("frontend.throttle.engaged")
+        else:
+            self._throttled_by.discard(source)
+            self.metrics.increment("frontend.throttle.released")
+        self.sim.trace(
+            "frontend", "throttle",
+            source=source, engaged=engaged, active=len(self._throttled_by),
+        )
+
+    @property
+    def throttled(self) -> bool:
+        """True while any broker's backpressure signal is engaged."""
+        return bool(self._throttled_by)
 
     @property
     def busy_processes(self) -> int:
@@ -118,6 +147,28 @@ class FrontendWebServer:
                 paths=request.paths,
                 context=ctx,
             )
+
+            if (
+                self._throttled_by
+                and self.throttle_level is not None
+                and qos >= self.throttle_level
+            ):
+                now = self.sim.now
+                self.metrics.increment("frontend.throttled")
+                self.metrics.increment(f"frontend.throttled.qos{qos}")
+                self.sim.trace(
+                    "frontend", "throttled", path=request.path, qos=qos,
+                    sources=len(self._throttled_by),
+                )
+                ctx.record_stage("frontend-throttle", now, now, "throttled")
+                ctx.completed_at = now
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.finish(ctx, status="503")
+                connection.send(
+                    HttpResponse.error(503, "throttled: broker backpressure")
+                )
+                continue
 
             if self.admission is not None:
                 admitted_at = self.sim.now

@@ -3,6 +3,7 @@
 from .address import Address
 from .faults import (
     BackendCrash,
+    BrokerCrash,
     FaultInjector,
     FaultPlan,
     LinkDegrade,
@@ -25,6 +26,7 @@ __all__ = [
     "StreamConnection",
     "StreamListener",
     "BackendCrash",
+    "BrokerCrash",
     "LinkDown",
     "LinkDegrade",
     "SlowBackend",

@@ -12,11 +12,14 @@ with the same seed produce the same outages at the same instants, and a
 run with an *empty* plan is byte-identical to one without an injector
 at all.
 
-Four fault shapes cover the failure modes the broker pipeline must
+Five fault shapes cover the failure modes the broker pipeline must
 absorb (see ``DESIGN.md`` §5 for the fault-to-stage mapping):
 
 * :class:`BackendCrash` — the server process dies (listener unbound,
   live connections severed) and restarts after ``duration``;
+* :class:`BrokerCrash` — the *broker* process dies mid-flight and
+  restarts after ``duration`` (see :mod:`repro.core.lifecycle` for
+  detection and recovery);
 * :class:`LinkDown` — a network partition between two hosts: streams
   crossing the link are killed, new connects fail, datagrams vanish;
 * :class:`LinkDegrade` — the link stays up but gains latency, loss,
@@ -40,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "BackendCrash",
+    "BrokerCrash",
     "LinkDown",
     "LinkDegrade",
     "SlowBackend",
@@ -60,6 +64,38 @@ class BackendCrash:
     """
 
     kind = "backend-crash"
+
+    target: str
+    at: float
+    duration: float
+
+    def key(self) -> str:
+        """The outage-window key this fault's downtime is recorded under."""
+        return self.target
+
+    def describe(self) -> str:
+        """One human-readable schedule line."""
+        return (
+            f"{self.kind}: {self.target} down "
+            f"[{self.at:.3f}s, {self.at + self.duration:.3f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class BrokerCrash:
+    """One crash/restart window for a named *broker* target.
+
+    The target (looked up in the injector's target map) must expose
+    ``crash()`` and ``restart()`` —
+    :class:`~repro.core.broker.ServiceBroker` does. While the window is
+    open the broker's UDP port is unbound: requests sent to it vanish
+    exactly like datagrams to a dead host, its queue and in-service
+    work are lost, and clients survive via timeouts, retries, or a
+    replica broker (detection and recovery live in
+    :mod:`repro.core.lifecycle`).
+    """
+
+    kind = "broker-crash"
 
     target: str
     at: float
@@ -212,6 +248,29 @@ class FaultPlan:
             at += mttr + rng.expovariate(1.0 / mtbf)
         return cls(faults)
 
+    @classmethod
+    def broker_crash_cycle(
+        cls,
+        target: str,
+        mtbf: float,
+        mttr: float,
+        until: float,
+        rng: random.Random,
+        first_at: Optional[float] = None,
+    ) -> "FaultPlan":
+        """:meth:`crash_restart_cycle`, but the windows kill a *broker*.
+
+        Identical schedule generation, emitting :class:`BrokerCrash`
+        faults — the chaos harness points these at
+        :class:`~repro.core.broker.ServiceBroker` targets.
+        """
+        plan = cls.crash_restart_cycle(target, mtbf, mttr, until, rng, first_at)
+        plan.faults = [
+            BrokerCrash(target=fault.target, at=fault.at, duration=fault.duration)
+            for fault in plan.faults
+        ]
+        return plan
+
     def add(self, fault: object) -> "FaultPlan":
         """Append *fault* and return the plan (for chaining)."""
         self.faults.append(fault)
@@ -329,7 +388,7 @@ class FaultInjector:
         return self.network
 
     def _apply(self, fault: object) -> None:
-        if isinstance(fault, BackendCrash):
+        if isinstance(fault, (BackendCrash, BrokerCrash)):
             self._target(fault.target).crash()
         elif isinstance(fault, LinkDown):
             self._require_network(fault).sever_link(fault.a, fault.b)
@@ -349,7 +408,7 @@ class FaultInjector:
             raise SimError(f"unknown fault type {type(fault).__name__!r}")
 
     def _revert(self, fault: object) -> None:
-        if isinstance(fault, BackendCrash):
+        if isinstance(fault, (BackendCrash, BrokerCrash)):
             self._target(fault.target).restart()
         elif isinstance(fault, LinkDown):
             self._require_network(fault).restore_link(fault.a, fault.b)

@@ -1,5 +1,12 @@
 """Workload generators and canned experiment testbeds."""
 
+from .chaos import (
+    ChaosResult,
+    InvariantCheck,
+    OverloadResult,
+    run_chaos_experiment,
+    run_overload_experiment,
+)
 from .clients import BurstClient, ClosedLoopClient, OpenLoopGenerator, zipf_sampler
 from .scenarios import (
     QOS_SERVICE_TIMES,
@@ -19,8 +26,13 @@ __all__ = [
     "ClusteringResult",
     "QosResult",
     "FailureRecoveryResult",
+    "OverloadResult",
+    "ChaosResult",
+    "InvariantCheck",
     "run_clustering_experiment",
     "run_qos_experiment",
     "run_failure_recovery_experiment",
+    "run_overload_experiment",
+    "run_chaos_experiment",
     "QOS_SERVICE_TIMES",
 ]

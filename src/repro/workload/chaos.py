@@ -1,0 +1,742 @@
+"""Overload and chaos testbeds for the robustness features.
+
+* :func:`run_overload_experiment` — drives one broker past saturation
+  with open-loop Poisson traffic and compares the bounded-queue
+  backpressure configuration against the unprotected baseline (the
+  paper's binary forward-or-drop testbed: FCFS, unbounded backlog).
+  The claim under test: with QoS-aware shedding, premium goodput at
+  2× saturation stays within a few percent of the uncontended run,
+  while the unprotected broker's premium latency collapses.
+* :func:`run_chaos_experiment` — a seeded chaos soak: two replica
+  brokers under a :class:`~repro.core.lifecycle.BrokerSupervisor`
+  while a :class:`~repro.net.faults.FaultInjector` replays broker
+  crash/restart cycles, link flaps, and open-loop load spikes on top
+  of a steady closed-loop workload. The run ends with a set of
+  machine-checked :class:`InvariantCheck` verdicts (no request lost
+  without a reply, post-crash accounting consistent, queue bound
+  respected, availability floor met).
+
+Both are plain functions returning result dataclasses; the ``repro
+chaos`` CLI and the overload/chaos benchmarks render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.adapters import HttpAdapter
+from ..core.broker import ServiceBroker
+from ..core.cache import ResultCache
+from ..core.client import BrokerClient
+from ..core.faulttolerance import RetryPolicy
+from ..core.lifecycle import BrokerSupervisor, RecoveryJournal
+from ..core.pipeline import (
+    BackpressureStage,
+    distributed_stage_plan,
+    fault_tolerant_stage_plan,
+    overload_protected_stage_plan,
+)
+from ..core.protocol import ReplyStatus
+from ..core.qos import QoSPolicy
+from ..errors import BrokerTimeout
+from ..http.messages import HttpResponse
+from ..http.server import BackendWebServer
+from ..metrics import MetricsRegistry, SummaryStats
+from ..net.faults import BrokerCrash, FaultInjector, FaultPlan, LinkDown
+from ..net.link import Link
+from ..net.network import Network
+from ..sim.core import Simulation
+from .clients import ClosedLoopClient, OpenLoopGenerator
+
+__all__ = [
+    "OverloadResult",
+    "run_overload_experiment",
+    "InvariantCheck",
+    "ChaosResult",
+    "run_chaos_experiment",
+]
+
+
+# ---------------------------------------------------------------------------
+# Overload / backpressure ablation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OverloadResult:
+    """One overload run: per-class goodput and latency under saturation."""
+
+    saturation: float
+    bounded: bool
+    capacity: Optional[int]
+    shed_policy: str
+    duration: float
+    #: Offered Poisson rate per QoS class (requests/second).
+    offered: Dict[int, float] = field(default_factory=dict)
+    issued: Dict[int, int] = field(default_factory=dict)
+    ok: Dict[int, int] = field(default_factory=dict)
+    degraded: Dict[int, int] = field(default_factory=dict)
+    dropped: Dict[int, int] = field(default_factory=dict)
+    #: OK replies delivered inside the issue window, per second.
+    goodput: Dict[int, float] = field(default_factory=dict)
+    #: Latency of OK replies only (sheds answer instantly and would
+    #: otherwise flatter the protected configuration).
+    latency: Dict[int, SummaryStats] = field(default_factory=dict)
+    shed: int = 0
+    peak_depth: int = 0
+    backpressure_engaged: int = 0
+
+    @property
+    def premium_goodput(self) -> float:
+        """Class-1 goodput (the paper's premium customers)."""
+        return self.goodput.get(1, 0.0)
+
+    def premium_p99(self) -> float:
+        """99th-percentile latency of class-1 OK replies."""
+        stats = self.latency.get(1)
+        return stats.percentile(99.0) if stats is not None else float("nan")
+
+
+def run_overload_experiment(
+    saturation: float = 2.5,
+    bounded: bool = True,
+    capacity: int = 40,
+    shed_policy: str = "drop-lowest",
+    premium_rate: float = 8.0,
+    duration: float = 30.0,
+    drain: float = 90.0,
+    service_time: float = 0.1,
+    backend_capacity: int = 4,
+    seed: int = 0,
+) -> OverloadResult:
+    """Offer ``saturation × μ`` Poisson traffic to one broker.
+
+    The backend serves ``μ = backend_capacity / service_time`` requests
+    per second. Class 1 (premium) is offered at the fixed
+    *premium_rate* regardless of *saturation*; classes 2 and 3 split
+    the remainder — so across runs the premium demand is identical and
+    only the background pressure changes.
+
+    With ``bounded=True`` the broker runs
+    :func:`~repro.core.pipeline.overload_protected_stage_plan`:
+    priority queueing plus a *capacity*-bounded queue shedding per
+    *shed_policy*. With ``bounded=False`` it runs the unprotected
+    baseline — the paper's binary forward-or-drop testbed (§III): FCFS
+    service order and an unbounded backlog, so every admitted request
+    waits behind the entire queue.
+
+    Requests are uncacheable and carry no timeout: every request gets
+    exactly one terminal reply (OK, or an immediate shed/busy DROPPED),
+    which keeps the goodput accounting exact. *drain* extends the run
+    after arrivals stop so the unbounded backlog can empty.
+    """
+    if saturation <= 0:
+        raise ValueError(f"saturation must be > 0: {saturation!r}")
+    if premium_rate <= 0:
+        raise ValueError(f"premium_rate must be > 0: {premium_rate!r}")
+    sim = Simulation(seed=seed)
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+    backend_node = net.node("backend1")
+    server = BackendWebServer(
+        sim, backend_node, max_clients=backend_capacity, name="backend1"
+    )
+
+    def item_cgi(server, request):
+        yield server.sim.timeout(service_time * server.service_time_scale)
+        return HttpResponse.text(f"item={request.param('id', '?')}")
+
+    server.add_cgi("/item", item_cgi)
+
+    qos = QoSPolicy(levels=3, threshold=10_000)  # isolate the queue bound
+    if bounded:
+        stages = overload_protected_stage_plan(capacity, shed_policy=shed_policy)
+        priority_queueing = True
+    else:
+        stages = distributed_stage_plan()
+        priority_queueing = False
+    broker = ServiceBroker(
+        sim,
+        web_node,
+        service="items",
+        adapters=[HttpAdapter(sim, web_node, server.address, name=server.name)],
+        qos=qos,
+        pool_size=backend_capacity,
+        priority_queueing=priority_queueing,
+        name="overload-broker",
+        stages=stages,
+    )
+    broker_client = BrokerClient(sim, web_node, {"items": broker.address})
+
+    mu = backend_capacity / service_time
+    total = saturation * mu
+    background = max(total - premium_rate, 0.0) / 2.0
+    offered = {1: premium_rate, 2: background, 3: background}
+
+    samples: Dict[int, List[Tuple[float, str, float, float]]] = {
+        level: [] for level in offered
+    }
+
+    def make_factory(level: int):
+        def one_request(_generator, index):
+            issued = sim.now
+            reply = yield from broker_client.call(
+                "items",
+                "get",
+                ("/item", {"id": index}),
+                qos_level=level,
+                cacheable=False,
+            )
+            samples[level].append(
+                (issued, reply.status.value, sim.now, sim.now - issued)
+            )
+
+        return one_request
+
+    for level, rate in offered.items():
+        if rate <= 0:
+            continue
+        OpenLoopGenerator(
+            sim,
+            name=f"overload.qos{level}",
+            request_factory=make_factory(level),
+            rate=rate,
+            rng_stream=f"overload.arrivals.qos{level}",
+        ).start(until=duration)
+
+    sim.run(until=duration)
+    sim.run(until=duration + drain)  # let the backlog empty
+
+    result = OverloadResult(
+        saturation=saturation,
+        bounded=bounded,
+        capacity=capacity if bounded else None,
+        shed_policy=shed_policy if bounded else "none",
+        duration=duration,
+    )
+    result.offered = offered
+    for level, entries in samples.items():
+        stats = SummaryStats()
+        in_window = 0
+        counts = {"ok": 0, "degraded": 0, "dropped": 0}
+        for _issued, status, completed, elapsed in entries:
+            if status == ReplyStatus.OK.value:
+                counts["ok"] += 1
+                stats.add(elapsed)
+                if completed <= duration:
+                    in_window += 1
+            elif status == ReplyStatus.DEGRADED.value:
+                counts["degraded"] += 1
+            else:
+                counts["dropped"] += 1
+        result.issued[level] = len(entries)
+        result.ok[level] = counts["ok"]
+        result.degraded[level] = counts["degraded"]
+        result.dropped[level] = counts["dropped"]
+        result.goodput[level] = in_window / duration
+        result.latency[level] = stats
+    result.shed = broker.queue.shed_count
+    result.peak_depth = broker.queue.peak_depth
+    result.backpressure_engaged = int(
+        broker.metrics.counter("broker.backpressure.engaged")
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Chaos soak
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One machine-checked invariant verdict from a chaos run."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos soak observed, plus its invariant verdicts."""
+
+    duration: float
+    seed: int
+    capacity: int
+    shed_policy: str
+    mtbf: float
+    mttr: float
+    # Steady (closed-loop) workload outcome counts.
+    requests: int = 0
+    ok: int = 0
+    degraded: int = 0
+    dropped: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    #: Requests answered by the replica broker after the first choice
+    #: failed (timeout or DROPPED).
+    failovers: int = 0
+    latency: SummaryStats = field(default_factory=SummaryStats)
+    # Spike (open-loop burst) outcome counts.
+    spike_requests: int = 0
+    spike_ok: int = 0
+    spike_degraded: int = 0
+    spike_dropped: int = 0
+    spike_timeouts: int = 0
+    # Lifecycle accounting.
+    crashes: int = 0
+    restarts: int = 0
+    detected: int = 0
+    recoveries: int = 0
+    failed_fast: int = 0
+    replayed: int = 0
+    restart_shed: int = 0
+    shed_total: int = 0
+    link_faults: int = 0
+    #: Per-broker deepest backlog ever observed.
+    peak_depths: Dict[str, int] = field(default_factory=dict)
+    #: Per-broker end-of-run residue (queue depth, outstanding, journal).
+    residue: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    invariants: List[InvariantCheck] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Answered fraction of the steady workload (OK + DEGRADED)."""
+        if not self.requests:
+            return 1.0
+        return (self.ok + self.degraded) / self.requests
+
+    @property
+    def all_invariants_hold(self) -> bool:
+        """True when every invariant check passed."""
+        return all(check.passed for check in self.invariants)
+
+    def to_summary(self) -> Dict[str, object]:
+        """A JSON-safe summary (the CI artifact / ``--summary-out``)."""
+        return {
+            "duration": self.duration,
+            "seed": self.seed,
+            "capacity": self.capacity,
+            "shed_policy": self.shed_policy,
+            "mtbf": self.mtbf,
+            "mttr": self.mttr,
+            "requests": self.requests,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "dropped": self.dropped,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "failovers": self.failovers,
+            "availability": round(self.availability, 6),
+            "latency_p50": round(self.latency.percentile(50.0), 6)
+            if self.latency.count
+            else None,
+            "latency_p99": round(self.latency.percentile(99.0), 6)
+            if self.latency.count
+            else None,
+            "spike_requests": self.spike_requests,
+            "spike_ok": self.spike_ok,
+            "spike_degraded": self.spike_degraded,
+            "spike_dropped": self.spike_dropped,
+            "spike_timeouts": self.spike_timeouts,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "detected": self.detected,
+            "recoveries": self.recoveries,
+            "failed_fast": self.failed_fast,
+            "replayed": self.replayed,
+            "restart_shed": self.restart_shed,
+            "shed_total": self.shed_total,
+            "link_faults": self.link_faults,
+            "peak_depths": dict(self.peak_depths),
+            "residue": {name: dict(info) for name, info in self.residue.items()},
+            "invariants": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.invariants
+            ],
+        }
+
+
+def _hardened_stages(capacity: int, shed_policy: str) -> list:
+    """The fault-tolerant plan with backpressure before the boundary."""
+    plan = fault_tolerant_stage_plan(
+        retry=RetryPolicy(max_attempts=3, base_delay=0.05, jitter=0.5),
+        failure_threshold=3,
+        reset_timeout=0.5,
+    )
+    boundary = next(index for index, stage in enumerate(plan) if stage.boundary)
+    plan.insert(boundary, BackpressureStage(capacity, shed_policy=shed_policy))
+    return plan
+
+
+def run_chaos_experiment(
+    duration: float = 300.0,
+    mtbf: float = 25.0,
+    mttr: float = 2.0,
+    capacity: int = 48,
+    shed_policy: str = "drop-lowest",
+    recovery_policy: str = "replay",
+    n_clients: int = 10,
+    think_time: float = 0.05,
+    attempt_timeout: float = 1.0,
+    spike_every: float = 90.0,
+    spike_duration: float = 8.0,
+    spike_rate: float = 100.0,
+    blip_mttr: float = 0.08,
+    key_pool: int = 512,
+    cache_ttl: float = 0.5,
+    service_time: float = 0.1,
+    backend_capacity: int = 5,
+    availability_floor: float = 0.99,
+    seed: int = 0,
+) -> ChaosResult:
+    """A seeded chaos soak over two replica brokers.
+
+    Topology: two brokers (``chaos-a``/``chaos-b``, services
+    ``items-a``/``items-b``) each front the same two backend web
+    servers, run the fault-tolerant stage plan hardened with a
+    *capacity*-bounded :class:`~repro.core.pipeline.BackpressureStage`,
+    and are watched by a :class:`~repro.core.lifecycle.BrokerSupervisor`
+    (heartbeats + per-broker :class:`~repro.core.lifecycle.RecoveryJournal`
+    with *recovery_policy*).
+
+    Chaos, all on dedicated RNG substreams so runs are reproducible:
+
+    * broker crash/restart cycles — ``Exp(1/mtbf)`` time-to-failure,
+      fixed *mttr*, independent schedules per broker (broker B fails
+      at ~1.8× A's MTBF so double-failures stay rare but possible);
+    * crash *blips* — two extra crashes of broker B healing in
+      *blip_mttr* seconds, faster than heartbeat detection, so the
+      journal's **replay** recovery path runs (slow crashes are always
+      consumed by the supervisor's fail-fast first);
+    * link flaps — short :class:`~repro.net.faults.LinkDown` windows
+      between the web host and the second backend;
+    * load spikes — open-loop class-3 bursts of *spike_rate*/s for
+      *spike_duration* seconds every *spike_every* seconds.
+
+    The steady workload is *n_clients* closed-loop clients cycling
+    through the three QoS classes over a *key_pool* of cacheable items;
+    each request tries one broker (alternating per client) and fails
+    over to the replica on timeout or a DROPPED reply.
+
+    After a generous drain the run is scored against four invariants
+    (see :class:`InvariantCheck` entries on the result): every request
+    answered and all journals/queues/ledgers empty; post-crash
+    accounting consistent (restarts match crashes, recovery paths sum);
+    queue bound never exceeded; steady-workload availability at or
+    above *availability_floor*.
+    """
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1: {n_clients!r}")
+    sim = Simulation(seed=seed)
+    metrics = MetricsRegistry()
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+
+    backends: List[BackendWebServer] = []
+    for index in range(1, 3):
+        node = net.node(f"backend{index}")
+        server = BackendWebServer(
+            sim, node, max_clients=backend_capacity, name=f"backend{index}"
+        )
+
+        def item_cgi(server, request):
+            yield server.sim.timeout(service_time * server.service_time_scale)
+            return HttpResponse.text(f"item={request.param('id', '?')}")
+
+        server.add_cgi("/item", item_cgi)
+        backends.append(server)
+
+    qos = QoSPolicy(
+        levels=3,
+        threshold=10_000,  # backpressure, not admission, does the shedding
+        deadlines={1: 1.0, 2: 1.5, 3: 2.0},
+    )
+    brokers: Dict[str, ServiceBroker] = {}
+    services: List[str] = []
+    for index, suffix in enumerate("ab"):
+        service = f"items-{suffix}"
+        brokers[f"chaos-{suffix}"] = ServiceBroker(
+            sim,
+            web_node,
+            service=service,
+            adapters=[
+                HttpAdapter(sim, web_node, server.address, name=server.name)
+                for server in backends
+            ],
+            port=7000 + index,
+            qos=qos,
+            cache=ResultCache(
+                capacity=4 * key_pool, ttl=cache_ttl, clock=lambda: sim.now
+            ),
+            pool_size=backend_capacity,
+            dispatchers=backend_capacity * len(backends),
+            metrics=metrics,
+            name=f"chaos-{suffix}",
+            stages=_hardened_stages(capacity, shed_policy),
+        )
+        services.append(service)
+
+    supervisor = BrokerSupervisor(sim, web_node, metrics=metrics)
+    watches = {
+        name: supervisor.watch(
+            broker,
+            journal=RecoveryJournal(sim, policy=recovery_policy, metrics=metrics),
+        )
+        for name, broker in brokers.items()
+    }
+
+    broker_client = BrokerClient(
+        sim,
+        web_node,
+        {broker.service: broker.address for broker in brokers.values()},
+    )
+
+    # Chaos schedule: two independent crash cycles plus link flaps.
+    plan = FaultPlan.broker_crash_cycle(
+        "chaos-a", mtbf=mtbf, mttr=mttr, until=duration,
+        rng=sim.rng("chaos.crash.a"),
+    )
+    for fault in FaultPlan.broker_crash_cycle(
+        "chaos-b", mtbf=mtbf * 1.8, mttr=mttr, until=duration,
+        rng=sim.rng("chaos.crash.b"),
+    ):
+        plan.add(fault)
+    if blip_mttr > 0:
+        # Instant-restart crashes: the broker is back before the
+        # supervisor's miss timeout, so restart() itself replays the
+        # journaled work instead of the supervisor failing it fast.
+        for fraction in (0.35, 0.75):
+            plan.add(
+                BrokerCrash(
+                    target="chaos-b",
+                    at=duration * fraction,
+                    duration=blip_mttr,
+                )
+            )
+    link_faults = 0
+    flap_at = duration * 0.2
+    while flap_at < duration:
+        plan.add(LinkDown(a="web", b="backend2", at=flap_at, duration=0.5))
+        link_faults += 1
+        flap_at += duration * 0.3
+    injector = FaultInjector(
+        sim, plan, network=net, targets=dict(brokers), metrics=metrics
+    )
+    injector.start()
+
+    # Steady closed-loop workload with one-hop failover.
+    samples: List[Tuple[float, str, float, bool]] = []
+    key_rng = sim.rng("chaos.keys")
+    stagger_rng = sim.rng("chaos.stagger")
+    for index in range(n_clients):
+        net.node(f"client{index}")  # a distinct host per client
+        level = (index % qos.levels) + 1
+        order = (
+            (services[0], services[1])
+            if index % 2 == 0
+            else (services[1], services[0])
+        )
+
+        def one_request(_client, _iteration, _level=level, _order=order):
+            issued = sim.now
+            item = key_rng.randrange(key_pool)
+            status = "error"
+            failed_over = False
+            for attempt, service in enumerate(_order):
+                try:
+                    reply = yield from broker_client.call(
+                        service,
+                        "get",
+                        ("/item", {"id": item}),
+                        qos_level=_level,
+                        timeout=attempt_timeout,
+                    )
+                except BrokerTimeout:
+                    status = "timeout"
+                    continue
+                status = reply.status.value
+                if reply.status in (ReplyStatus.OK, ReplyStatus.DEGRADED):
+                    failed_over = attempt > 0
+                    break
+            samples.append((issued, status, sim.now - issued, failed_over))
+
+        ClosedLoopClient(
+            sim,
+            name=f"chaos{index}",
+            request_factory=one_request,
+            think_time=think_time,
+            start_delay=stagger_rng.uniform(0.0, 1.0),
+        ).start(until=duration)
+
+    # Load spikes: open-loop class-3 bursts, alternating target broker.
+    spike_samples: List[str] = []
+    spike_rng = sim.rng("chaos.spike.keys")
+
+    def spike_request(_generator, index):
+        service = services[index % len(services)]
+        item = spike_rng.randrange(key_pool)
+        try:
+            reply = yield from broker_client.call(
+                service,
+                "get",
+                ("/item", {"id": item}),
+                qos_level=qos.levels,
+                timeout=attempt_timeout,
+            )
+        except BrokerTimeout:
+            spike_samples.append("timeout")
+            return
+        spike_samples.append(reply.status.value)
+
+    def spike_driver():
+        spike_at = spike_every / 2.0
+        count = 0
+        while spike_at < duration:
+            yield sim.timeout(spike_at - sim.now)
+            count += 1
+            end = min(spike_at + spike_duration, duration)
+            sim.trace("chaos", "spike", at=sim.now, until=end, rate=spike_rate)
+            OpenLoopGenerator(
+                sim,
+                name=f"chaos.spike{count}",
+                request_factory=spike_request,
+                rate=spike_rate,
+                rng_stream=f"chaos.spike{count}",
+            ).start(until=end)
+            spike_at += spike_every
+
+    if spike_rate > 0 and spike_every > 0:
+        sim.process(spike_driver(), name="chaos:spikes")
+
+    sim.run(until=duration)
+    # Drain: open fault windows heal, restarts replay, replies land.
+    sim.run(until=duration + mttr + 30.0)
+
+    result = ChaosResult(
+        duration=duration,
+        seed=seed,
+        capacity=capacity,
+        shed_policy=shed_policy,
+        mtbf=mtbf,
+        mttr=mttr,
+    )
+    for _issued, status, elapsed, failed_over in samples:
+        result.requests += 1
+        result.latency.add(elapsed)
+        if failed_over:
+            result.failovers += 1
+        if status == ReplyStatus.OK.value:
+            result.ok += 1
+        elif status == ReplyStatus.DEGRADED.value:
+            result.degraded += 1
+        elif status == ReplyStatus.DROPPED.value:
+            result.dropped += 1
+        elif status == "timeout":
+            result.timeouts += 1
+        else:
+            result.errors += 1
+    for status in spike_samples:
+        result.spike_requests += 1
+        if status == ReplyStatus.OK.value:
+            result.spike_ok += 1
+        elif status == ReplyStatus.DEGRADED.value:
+            result.spike_degraded += 1
+        elif status == "timeout":
+            result.spike_timeouts += 1
+        else:
+            result.spike_dropped += 1
+
+    counter = metrics.counter
+    result.crashes = int(counter("broker.crashes"))
+    result.restarts = int(counter("broker.restarts"))
+    result.detected = sum(watch.detected for watch in watches.values())
+    result.recoveries = sum(watch.recoveries for watch in watches.values())
+    result.failed_fast = int(counter("lifecycle.failed_fast"))
+    result.replayed = int(counter("lifecycle.replayed"))
+    result.restart_shed = int(counter("lifecycle.restart_shed"))
+    result.shed_total = int(counter("broker.shed"))
+    result.link_faults = link_faults
+    for name, broker in brokers.items():
+        result.peak_depths[name] = broker.queue.peak_depth
+        journal = broker.journal
+        result.residue[name] = {
+            "queue_depth": len(broker.queue),
+            "outstanding": broker.admission.outstanding,
+            "journal_pending": journal.pending_count if journal else 0,
+        }
+
+    # -- invariants --------------------------------------------------------
+    lost = [
+        (name, info)
+        for name, info in result.residue.items()
+        if info["queue_depth"] or info["outstanding"] or info["journal_pending"]
+    ]
+    answered = (
+        result.ok
+        + result.degraded
+        + result.dropped
+        + result.timeouts
+        + result.errors
+    )
+    result.invariants.append(
+        InvariantCheck(
+            name="no-lost-request",
+            passed=not lost and answered == result.requests,
+            detail=(
+                f"{result.requests} requests all terminal; residue "
+                + (
+                    "clean"
+                    if not lost
+                    else "; ".join(f"{name}: {info}" for name, info in lost)
+                )
+            ),
+        )
+    )
+    dead = [name for name, broker in brokers.items() if not broker.alive]
+    accounting_ok = (
+        result.restarts == result.crashes
+        and not dead
+        and all(watch.up for watch in watches.values())
+    )
+    result.invariants.append(
+        InvariantCheck(
+            name="post-crash-consistency",
+            passed=accounting_ok,
+            detail=(
+                f"crashes={result.crashes} restarts={result.restarts} "
+                f"failed_fast={result.failed_fast} replayed={result.replayed} "
+                f"restart_shed={result.restart_shed}"
+                + (f"; still dead: {dead}" if dead else "")
+            ),
+        )
+    )
+    over = {
+        name: depth
+        for name, depth in result.peak_depths.items()
+        if depth > capacity
+    }
+    result.invariants.append(
+        InvariantCheck(
+            name="queue-bound",
+            passed=not over,
+            detail=(
+                f"peak depths {result.peak_depths} vs capacity {capacity}"
+            ),
+        )
+    )
+    result.invariants.append(
+        InvariantCheck(
+            name="availability-floor",
+            passed=result.availability >= availability_floor,
+            detail=(
+                f"availability {result.availability:.4f} "
+                f"(floor {availability_floor:.4f}; "
+                f"ok={result.ok} degraded={result.degraded} "
+                f"dropped={result.dropped} timeouts={result.timeouts})"
+            ),
+        )
+    )
+    return result

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     BreakerState,
@@ -398,3 +400,91 @@ class TestFaultTolerantPlan:
         assert broker.metrics.counter("broker.retry.attempts") == 0
         assert broker.metrics.counter("broker.fault.replies") == 0
         assert broker.metrics.counter("broker.breaker.open") == 0
+
+
+class TestHalfOpenProbeBudget:
+    """Property-style checks of the HALF_OPEN probe budget."""
+
+    @given(
+        probes=st.integers(min_value=1, max_value=4),
+        reset=st.sampled_from([0.5, 1.0, 2.0]),
+        steps=st.lists(
+            st.floats(min_value=0.0, max_value=0.4),
+            min_size=1,
+            max_size=50,
+        ),
+    )
+    @settings(max_examples=80, deadline=None, derandomize=True)
+    def test_grants_never_exceed_budget_per_window(self, probes, reset, steps):
+        """However probe attempts are spaced, a half-open breaker never
+        grants more than ``half_open_probes`` per ``reset_timeout``
+        window (the budget replenishes once per window)."""
+        sim = Simulation(seed=2026)
+        breaker = CircuitBreaker(
+            sim,
+            name="b",
+            failure_threshold=1,
+            reset_timeout=reset,
+            half_open_probes=probes,
+        )
+        breaker.record_failure()  # trip to OPEN at t=0
+        sim.run(until=reset)
+        assert breaker.current_state() is BreakerState.HALF_OPEN
+
+        granted = 0
+        elapsed = 0.0
+        for step in steps:
+            if step > 0.0:
+                elapsed += step
+                sim.run(until=reset + elapsed)
+            if breaker.try_probe():
+                granted += 1
+            windows = 1 + int(elapsed // reset)
+            assert granted <= probes * windows
+        # No probe outcome was ever recorded: the breaker must still be
+        # half-open (a stuck probe cannot wedge it open or closed).
+        assert breaker.current_state() is BreakerState.HALF_OPEN
+
+    def test_exact_budget_at_window_entry(self, sim):
+        breaker = CircuitBreaker(
+            sim, name="b", failure_threshold=1,
+            reset_timeout=1.0, half_open_probes=2,
+        )
+        breaker.record_failure()
+        sim.run(until=1.0)
+        # Exactly the configured budget is granted, then denial.
+        assert breaker.try_probe()
+        assert breaker.try_probe()
+        assert not breaker.try_probe()
+        assert not breaker.allows()
+
+    def test_budget_replenishes_each_window(self, sim):
+        breaker = CircuitBreaker(
+            sim, name="b", failure_threshold=1,
+            reset_timeout=1.0, half_open_probes=1,
+        )
+        breaker.record_failure()
+        sim.run(until=1.0)
+        assert breaker.try_probe()
+        assert not breaker.try_probe()  # budget spent, still half-open
+        sim.run(until=2.5)
+        # A full reset_timeout later the claimed-but-unresolved probe
+        # slot is replenished — the breaker cannot wedge half-open.
+        assert breaker.try_probe()
+        assert not breaker.try_probe()
+
+    def test_probe_outcomes_settle_the_state(self, sim):
+        breaker = CircuitBreaker(
+            sim, name="b", failure_threshold=1,
+            reset_timeout=1.0, half_open_probes=1,
+        )
+        breaker.record_failure()
+        sim.run(until=1.0)
+        assert breaker.try_probe()
+        breaker.record_failure()  # failed probe re-opens immediately
+        assert breaker.current_state() is BreakerState.OPEN
+        sim.run(until=2.0)
+        assert breaker.try_probe()
+        breaker.record_success()  # successful probe closes
+        assert breaker.current_state() is BreakerState.CLOSED
+        assert breaker.allows()

@@ -115,6 +115,149 @@ class TestBrokerQueue:
         assert served == [("c1", 1), ("c2", 2)]
 
 
+class TestBoundedQueue:
+    def shed_log(self):
+        log = []
+
+        def on_shed(item, policy):
+            log.append((item.request.request_id, policy))
+
+        return log, on_shed
+
+    def test_configure_rejects_bad_capacity_and_policy(self, sim):
+        queue = BrokerQueue(sim)
+        with pytest.raises(ValueError):
+            queue.configure(0)
+        with pytest.raises(ValueError):
+            queue.configure(4, shed_policy="drop-random")
+
+    def test_exact_capacity_admits_boundary_arrival(self, sim):
+        queue = BrokerQueue(sim, capacity=3)
+        for i in range(3):
+            assert queue.put(make_request(i, qos=1)) is not None
+        assert len(queue) == 3
+        assert queue.peak_depth == 3
+        assert queue.shed_count == 0
+
+    def test_capacity_one_reject_new(self, sim):
+        queue = BrokerQueue(sim, capacity=1, shed_policy="reject-new")
+        assert queue.put(make_request(1, qos=3)) is not None
+        assert queue.put(make_request(2, qos=1)) is None
+        assert [i.request.request_id for i in queue.snapshot()] == [1]
+        assert queue.shed_count == 1
+
+    def test_capacity_one_drop_oldest_evicts_sole_occupant(self, sim):
+        log, on_shed = self.shed_log()
+        queue = BrokerQueue(
+            sim, capacity=1, shed_policy="drop-oldest", on_shed=on_shed
+        )
+        queue.put(make_request(1, qos=1))
+        assert queue.put(make_request(2, qos=3)) is not None
+        assert log == [(1, "drop-oldest")]
+        assert [i.request.request_id for i in queue.snapshot()] == [2]
+        assert len(queue) == 1
+
+    def test_drop_oldest_evicts_by_arrival_not_priority(self, sim):
+        log, on_shed = self.shed_log()
+        queue = BrokerQueue(
+            sim, capacity=2, shed_policy="drop-oldest", on_shed=on_shed
+        )
+        queue.put(make_request(1, qos=1))
+        queue.put(make_request(2, qos=3))
+        queue.put(make_request(3, qos=2))
+        # The premium request arrived first, so it is the victim.
+        assert log == [(1, "drop-oldest")]
+        assert [i.request.request_id for i in queue.snapshot()] == [3, 2]
+
+    def test_drop_lowest_evicts_strictly_worse_only(self, sim):
+        log, on_shed = self.shed_log()
+        queue = BrokerQueue(
+            sim, capacity=2, shed_policy="drop-lowest", on_shed=on_shed
+        )
+        queue.put(make_request(1, qos=2))
+        queue.put(make_request(2, qos=3))
+        # A premium arrival evicts the worst queued request.
+        assert queue.put(make_request(3, qos=1)) is not None
+        assert log == [(2, "drop-lowest")]
+        # An equal-class arrival is rejected (FCFS within a class).
+        assert queue.put(make_request(4, qos=2)) is None
+        # A worse-than-everything arrival is rejected too.
+        assert queue.put(make_request(5, qos=3)) is None
+        assert [i.request.request_id for i in queue.snapshot()] == [3, 1]
+        assert queue.shed_count == 3
+
+    def test_drop_lowest_victim_is_youngest_of_worst_class(self, sim):
+        log, on_shed = self.shed_log()
+        queue = BrokerQueue(
+            sim, capacity=3, shed_policy="drop-lowest", on_shed=on_shed
+        )
+        queue.put(make_request(1, qos=3))
+        queue.put(make_request(2, qos=3))
+        queue.put(make_request(3, qos=2))
+        queue.put(make_request(4, qos=1))
+        assert log == [(2, "drop-lowest")]
+
+    def test_claimed_items_do_not_count_toward_capacity(self, sim):
+        queue = BrokerQueue(sim, capacity=2, shed_policy="reject-new")
+        queue.put(make_request(1, qos=1))
+        queue.put(make_request(2, qos=1))
+        taken = queue.take_matching(lambda item: True, limit=1)
+        assert [i.request.request_id for i in taken] == [1]
+        # The claimed tombstone freed a slot.
+        assert queue.put(make_request(3, qos=1)) is not None
+        assert queue.put(make_request(4, qos=1)) is None
+
+    def test_take_matching_skips_shed_victims(self, sim):
+        queue = BrokerQueue(sim, capacity=2, shed_policy="drop-oldest")
+        queue.put(make_request(1, qos=1))
+        queue.put(make_request(2, qos=1))
+        queue.put(make_request(3, qos=1))  # evicts request 1
+        taken = queue.take_matching(lambda item: True, limit=10)
+        assert [i.request.request_id for i in taken] == [2, 3]
+
+    def test_cancelled_getter_with_full_queue(self, sim):
+        queue = BrokerQueue(sim, capacity=1, shed_policy="reject-new")
+        pending = queue.get()
+        queue.cancel(pending)
+        # The cancelled getter must not consume the arrival...
+        assert queue.put(make_request(1, qos=1)) is not None
+        assert not pending.triggered
+        # ...and the queue is genuinely full afterwards.
+        assert queue.put(make_request(2, qos=1)) is None
+
+    def test_waiting_getter_bypasses_bound(self, sim):
+        queue = BrokerQueue(sim, capacity=1, shed_policy="reject-new")
+        queue.put(make_request(1, qos=1))
+        served = []
+
+        def consumer():
+            item = yield queue.get()
+            served.append(item.request.request_id)
+
+        sim.process(consumer())
+        sim.run()
+        # The consumer drained the queue; a new arrival is admitted.
+        assert served == [1]
+        assert queue.put(make_request(2, qos=1)) is not None
+
+    def test_reset_preserves_bound_and_statistics(self, sim):
+        queue = BrokerQueue(sim, capacity=2, shed_policy="reject-new")
+        queue.put(make_request(1, qos=1))
+        queue.put(make_request(2, qos=1))
+        assert queue.put(make_request(3, qos=1)) is None
+        orphans = queue.reset()
+        assert [i.request.request_id for i in orphans] == [1, 2]
+        assert all(item.claimed for item in orphans)
+        assert len(queue) == 0
+        assert queue.capacity == 2
+        assert queue.shed_count == 1
+        assert queue.peak_depth == 2
+        # Still bounded after the crash.
+        queue.put(make_request(4, qos=1))
+        queue.put(make_request(5, qos=1))
+        assert queue.put(make_request(6, qos=1)) is None
+
+
 class TestQueueProperties:
     @given(
         st.lists(

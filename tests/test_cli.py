@@ -75,6 +75,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs", "--scenario", "nope"])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert not args.describe and not args.quick
+        assert args.duration == 300.0
+        assert args.capacity == 48
+        assert args.policy == "drop-lowest"
+        assert args.mtbf == 25.0 and args.mttr == 2.0
+        assert args.recovery == "replay"
+        assert args.availability_floor == 0.99
+        assert args.summary_out is None
+        assert args.seed == 2026
+
+    def test_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "--quick", "--capacity", "32", "--policy", "reject-new",
+             "--mtbf", "10", "--mttr", "1", "--recovery", "shed",
+             "--availability-floor", "0.95", "--summary-out", "s.json"]
+        )
+        assert args.quick
+        assert args.capacity == 32
+        assert args.policy == "reject-new"
+        assert args.mtbf == 10.0 and args.mttr == 1.0
+        assert args.recovery == "shed"
+        assert args.availability_floor == 0.95
+        assert args.summary_out == "s.json"
+
+    def test_chaos_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--policy", "drop-random"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--recovery", "pray"])
+
 
 class TestCommands:
     def test_fig7_output(self, capsys):
@@ -194,6 +227,38 @@ class TestCommands:
         doc = json.loads(export.read_text())
         assert validate_chrome_trace(doc) == []
         assert jsonl.read_text().strip()
+
+    def test_chaos_describe(self, capsys):
+        assert main(["chaos", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos soak" in out
+        assert "broker-crash" in out
+        assert "no-lost-request" in out
+        assert "availability-floor" in out
+
+    def test_chaos_quick_run_with_summary(self, capsys, tmp_path):
+        import json
+
+        summary = tmp_path / "CHAOS_soak.json"
+        assert main(["chaos", "--quick", "--summary-out", str(summary)]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos soak" in out
+        assert out.count("PASS") == 4
+        assert "FAIL" not in out
+        payload = json.loads(summary.read_text())
+        assert payload["invariants_hold"] is True
+        assert payload["requests"] > 0
+        assert len(payload["invariants"]) == 4
+
+    def test_chaos_invariant_failure_exits_nonzero(self, capsys):
+        # An impossible availability floor makes the invariant fail; the
+        # CLI must still print the full report and exit 1.
+        code = main(["chaos", "--quick", "--availability-floor", "1.0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "INVARIANT availability-floor" in captured.out
+        assert "FAIL" in captured.out
+        assert "chaos invariants violated" in captured.err
 
     def test_determinism_across_invocations(self, capsys):
         main(["fig7", "--degrees", "2", "--seed", "11"])
