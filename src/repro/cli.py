@@ -7,9 +7,12 @@ Usage::
     python -m repro fig10  [--clients ...] [--duration S] [--seed N]
     python -m repro table1 [--clients ...] [--duration S] [--seed N]
     python -m repro drops  [--clients ...] [--duration S] [--seed N]
-    python -m repro pipeline --describe [--model distributed|centralized|fault-tolerant|all]
+    python -m repro pipeline --describe [--model distributed|centralized|fault-tolerant|sharded|all]
     python -m repro faults --describe
     python -m repro faults [--mtbf 40,20,10] [--mttr S] [--replicas N] [--duration S]
+    python -m repro shard  --describe
+    python -m repro shard  [--shards 1,2,4,8] [--replicas N] [--clients N]
+                           [--mode broker|centralized] [--duration S]
     python -m repro bench  [--quick] [--profile] [--out PATH] [--baseline PATH]
     python -m repro obs    --describe
     python -m repro obs    [--scenario qos|fig7|faults] [--trace-sample N]
@@ -19,6 +22,8 @@ Usage::
                            [--policy reject-new|drop-oldest|drop-lowest]
                            [--mtbf S] [--mttr S] [--recovery replay|shed]
                            [--availability-floor F] [--summary-out FILE]
+    python -m repro chaos  --shards N [--replicas R] [--leader-kill-every S]
+                           [--quick] [--duration S] [--summary-out FILE]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -38,6 +43,8 @@ from .workload import (
     run_clustering_experiment,
     run_failure_recovery_experiment,
     run_qos_experiment,
+    run_shard_chaos_experiment,
+    run_sharded_qos_experiment,
 )
 
 __all__ = ["main", "build_parser", "ChaosInvariantFailure"]
@@ -120,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the stage order of the selected model(s)",
     )
     pipeline.add_argument(
-        "--model", choices=("distributed", "centralized", "fault-tolerant", "all"),
+        "--model",
+        choices=("distributed", "centralized", "fault-tolerant", "sharded", "all"),
         default="all",
         help="which stage plan to describe (default: all)",
     )
@@ -149,6 +157,38 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--duration", type=float, default=120.0,
         help="virtual seconds per point (default 120)",
+    )
+
+    shard = sub.add_parser(
+        "shard", parents=[common],
+        help="shard-aware broker tier: consistent-hash routing, replica "
+        "groups, leader election",
+    )
+    shard.add_argument(
+        "--describe", action="store_true",
+        help="print the sharded stage plan and a sample shard directory "
+        "without running anything",
+    )
+    shard.add_argument(
+        "--shards", type=_int_list, default=_int_list("1,2,4,8"),
+        help="shard counts to sweep (default 1,2,4,8)",
+    )
+    shard.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica brokers per shard group (default 2)",
+    )
+    shard.add_argument(
+        "--clients", type=int, default=40,
+        help="closed-loop clients per point (default 40)",
+    )
+    shard.add_argument(
+        "--mode", choices=("broker", "centralized"), default="centralized",
+        help="base broker model under the shard router "
+        "(default centralized, which exercises the load listener)",
+    )
+    shard.add_argument(
+        "--duration", type=float, default=60.0,
+        help="virtual seconds per point (default 60)",
     )
 
     bench = sub.add_parser(
@@ -275,6 +315,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary-out", dest="summary_out", default=None,
         help="write the run summary and invariant verdicts as JSON here",
     )
+    chaos.add_argument(
+        "--shards", type=int, default=0,
+        help="run the shard-leader-kill soak over N shard groups instead "
+        "of the classic two-broker soak (default 0 = classic)",
+    )
+    chaos.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica brokers per shard group in shard mode (default 2)",
+    )
+    chaos.add_argument(
+        "--leader-kill-every", dest="leader_kill_every", type=float,
+        default=25.0,
+        help="in shard mode, crash a rotating shard leader this often, "
+        "seconds (default 25)",
+    )
     return parser
 
 
@@ -365,7 +420,7 @@ def run_pipeline(args) -> str:
     from .core.pipeline import stage_plan
 
     models = (
-        ("distributed", "centralized", "fault-tolerant")
+        ("distributed", "centralized", "fault-tolerant", "sharded")
         if args.model == "all"
         else (args.model,)
     )
@@ -451,6 +506,90 @@ def run_faults(args) -> str:
     )
 
 
+def _describe_shard() -> str:
+    from .core.pipeline import stage_plan
+    from .core.sharding import ShardDirectory, ShardGroup
+    from .metrics import MetricsRegistry
+
+    lines = ["Sharded broker pipeline (stage_plan('sharded')):"]
+    for index, stage in enumerate(stage_plan("sharded"), 1):
+        marker = "  [ingress/dispatch boundary]" if stage.boundary else ""
+        lines.append(f"  {index:>2}. {stage.name:<12} {stage.summary()}{marker}")
+    lines += [
+        "",
+        "Routing: the front end addresses a *service*; the shard directory",
+        "hashes the request key onto a seeded consistent-hash ring (64 vnodes",
+        "per shard) and hands back the elected leader of the owning replica",
+        "group. A broker that receives a key it does not own relays it to",
+        "the owner (shard-route stage, bounded hop count); replicas inside",
+        "a group replicate journal entries and elect a new leader by",
+        "join-order priority when the current one crashes.",
+        "",
+        "Sample directory — service 'items', 4 shards x 2 replicas:",
+    ]
+    metrics = MetricsRegistry()
+    groups = []
+    for shard in range(4):
+        group = ShardGroup("items", shard, metrics)
+        for replica in range(2):
+            group.add(_FakeReplica(f"items-s{shard}r{replica}", ("web", 7100 + shard * 2 + replica)))
+        groups.append(group)
+    directory = ShardDirectory(metrics)
+    directory.register("items", groups, seed=2026)
+    for line in directory.describe().splitlines():
+        lines.append(f"  {line}")
+    lines += [
+        "",
+        "A 1-shard x 1-replica registration is the degenerate case: every",
+        "key maps to the only group and the stage plan behaves exactly like",
+        "the unsharded broker.",
+    ]
+    return "\n".join(lines)
+
+
+class _FakeReplica:
+    """Just enough broker surface for ShardGroup/describe demos."""
+
+    def __init__(self, name, address) -> None:
+        self.name = name
+        self.address = address
+        self.alive = True
+
+
+def run_shard(args) -> str:
+    """Describe the shard tier, or sweep throughput vs shard count."""
+    if args.describe:
+        return _describe_shard()
+    rows = []
+    for shards in args.shards:
+        result = run_sharded_qos_experiment(
+            args.clients,
+            shards=shards,
+            replicas=args.replicas,
+            mode=args.mode,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "brokers": result.brokers,
+                "goodput_rps": round(result.goodput, 2),
+                "throughput_rps": round(result.throughput, 1),
+                "premium_p99_ms": round(result.premium_p99() * 1000, 1),
+                "local": result.local_routes,
+                "forwards": result.forwards,
+                "elections": result.elections,
+                "listener_upd": result.listener_updates,
+            }
+        )
+    return render_table(
+        rows,
+        title=f"Shard scaling — {args.clients} clients, mode={args.mode}, "
+        f"{args.replicas} replicas/shard, {args.duration:g}s virtual",
+    )
+
+
 def _describe_chaos() -> str:
     from .core.lifecycle import DEFAULT_SUPERVISOR_PORT
     from .core.queueing import SHED_POLICIES
@@ -494,6 +633,8 @@ def run_chaos(args) -> str:
     if args.describe:
         return _describe_chaos()
     duration = 90.0 if args.quick else args.duration
+    if args.shards > 0:
+        return _run_shard_chaos(args, duration)
     result = run_chaos_experiment(
         duration=duration,
         mtbf=args.mtbf,
@@ -531,6 +672,62 @@ def run_chaos(args) -> str:
             f"{name}={depth}" for name, depth in sorted(result.peak_depths.items())
         ),
         f"link faults     : {result.link_faults}",
+        "",
+    ]
+    failed = []
+    for check in result.invariants:
+        verdict = "PASS" if check.passed else "FAIL"
+        lines.append(f"INVARIANT {check.name:<24} {verdict} — {check.detail}")
+        if not check.passed:
+            failed.append(check.name)
+    report = "\n".join(lines)
+    if args.summary_out:
+        payload = result.to_summary()
+        payload["invariants_hold"] = result.all_invariants_hold
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        report += f"\n\nsummary written to {args.summary_out}"
+    if failed:
+        raise ChaosInvariantFailure(report, failed)
+    return report
+
+
+def _run_shard_chaos(args, duration: float) -> str:
+    """Shard-mode chaos: kill a rotating shard leader every N seconds."""
+    result = run_shard_chaos_experiment(
+        duration=duration,
+        shards=args.shards,
+        replicas=args.replicas,
+        leader_kill_every=args.leader_kill_every,
+        mttr=args.mttr,
+        availability_floor=args.availability_floor,
+        seed=args.seed,
+    )
+    lines = [
+        f"Shard chaos soak — {duration:g}s virtual, seed={args.seed}, "
+        f"{args.shards} shards x {args.replicas} replicas "
+        f"({args.shards * args.replicas} brokers), "
+        f"leader kill every {args.leader_kill_every:g}s, mttr={args.mttr:g}s",
+        "",
+        f"steady workload : {result.requests} requests  "
+        f"ok={result.ok} degraded={result.degraded} "
+        f"dropped={result.dropped} timeouts={result.timeouts} "
+        f"errors={result.errors} failovers={result.failovers}",
+        f"latency         : p50={result.latency.percentile(50) * 1000:.1f}ms  "
+        f"p99={result.latency.percentile(99) * 1000:.1f}ms",
+        f"availability    : {100.0 * result.availability:.3f}% "
+        f"(floor {100.0 * args.availability_floor:g}%)",
+        f"leadership      : leader_kills={result.leader_kills} "
+        f"elections={result.elections} "
+        f"reporting_failovers={result.leader_failovers}",
+        f"peering         : route_adverts={result.route_adverts} "
+        f"journal_syncs={result.journal_syncs} forwards={result.forwards}",
+        f"lifecycle       : crashes={result.crashes} "
+        f"restarts={result.restarts} detected={result.detected} "
+        f"recoveries={result.recoveries}",
+        f"journal         : failed_fast={result.failed_fast} "
+        f"replayed={result.replayed} restart_shed={result.restart_shed}",
         "",
     ]
     failed = []
@@ -593,6 +790,7 @@ _COMMANDS = {
     "drops": run_drops,
     "pipeline": run_pipeline,
     "faults": run_faults,
+    "shard": run_shard,
     "bench": run_bench,
     "obs": run_obs,
     "chaos": run_chaos,

@@ -45,7 +45,7 @@ from .cache import ResultCache
 from .clustering import ClusteringConfig
 from .fidelity import FidelityPolicy
 from .loadbalance import BackendState, Balancer, LeastOutstandingBalancer
-from .peering import TxnStateUpdate
+from .peering import JournalSync, RouteAdvert, TxnStateUpdate
 from .pipeline import (
     BrokerStage,
     LoadReportStage,
@@ -66,6 +66,10 @@ __all__ = ["ServiceBroker", "DEFAULT_BROKER_PORT"]
 
 #: Default UDP port brokers listen on.
 DEFAULT_BROKER_PORT = 7000
+
+#: Peer-plane message types, checked with one tuple isinstance so the
+#: request hot path pays the same two type checks as before sharding.
+_PEER_MESSAGES = (TxnStateUpdate, JournalSync, RouteAdvert)
 
 
 class ServiceBroker:
@@ -153,6 +157,14 @@ class ServiceBroker:
         self.address = self.socket.address
         #: Set by :meth:`BrokerPeerGroup.join`; enables txn-state gossip.
         self.peer_group: Optional["BrokerPeerGroup"] = None
+        #: Set by :meth:`ShardGroup.add` when this broker is a shard
+        #: replica; ``None`` in unsharded (degenerate) topologies.
+        self.shard_group = None
+        #: ``(service, shard) → leader name`` learned from RouteAdverts.
+        self.shard_view: dict = {}
+        #: Per-peer shadow of replicated journal entries
+        #: (``origin name → {request_id: request}``), fed by JournalSync.
+        self.shard_shadow: dict = {}
         #: False while crashed (see :meth:`crash` / :meth:`restart`).
         self.alive = True
         #: Optional :class:`~repro.core.lifecycle.RecoveryJournal`;
@@ -245,10 +257,17 @@ class ServiceBroker:
         while True:
             envelope = yield recv()
             message = envelope.payload
-            if isinstance(message, TxnStateUpdate):
-                if self.transactions is not None:
-                    self.transactions.observe_remote(message.txn_id, message.step)
-                    self.metrics.increment("peering.updates_received")
+            if isinstance(message, _PEER_MESSAGES):
+                if type(message) is TxnStateUpdate:
+                    if self.transactions is not None:
+                        self.transactions.observe_remote(
+                            message.txn_id, message.step
+                        )
+                        self.metrics.increment("peering.updates_received")
+                elif self.peer_group is not None:
+                    self.peer_group.handle(self, message)
+                else:
+                    self.metrics.increment("broker.malformed")
                 continue
             if not isinstance(message, BrokerRequest):
                 self.metrics.increment("broker.malformed")

@@ -13,6 +13,17 @@ itself:
 * the :class:`CentralizedController` checks, before a request enters
   normal handling, whether any required service's broker is overloaded
   for the request's QoS class, and rejects with an error message if so.
+
+With the shard tier (:mod:`repro.core.sharding`) a service is fronted
+by many brokers, and having every replica report would multiply the
+listener's load — the exact saturation the paper warns about. Instead
+each shard's *leader* reports a :class:`ShardLoadReport` (the plain
+report plus shard id and a leadership claim, stamped at send time); the
+listener keeps a per-``(service, shard)`` view, aggregates the busiest
+shard into the service-level table ``admit`` consults, and tracks the
+reporting leader per shard — when a shard leader dies and the bully
+election promotes a replica, the reporting role fails over with it and
+the listener counts a ``centralized.leader_failover``.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from .qos import QoSPolicy
 
 __all__ = [
     "LoadReport",
+    "ShardLoadReport",
     "LoadListener",
     "ResourceProfileRegistry",
     "CentralizedController",
@@ -45,6 +57,22 @@ class LoadReport:
     queue_depth: int
     threshold: int
     sent_at: float
+
+
+@dataclass(frozen=True)
+class ShardLoadReport(LoadReport):
+    """A load update from a shard replica.
+
+    A separate subclass (rather than extra fields on
+    :class:`LoadReport`) so unsharded topologies keep their exact wire
+    size — message size feeds transfer times, and the degenerate
+    configuration must stay byte-identical. ``leader`` is the sender's
+    leadership claim at send time; the listener only moves its per-shard
+    leader tracking on reports that claim the role.
+    """
+
+    shard: int = 0
+    leader: bool = True
 
 
 class LoadListener:
@@ -73,6 +101,12 @@ class LoadListener:
         self.address = self.socket.address
         self.table: Dict[str, LoadReport] = {}
         self._applied: Dict[str, float] = {}
+        #: Latest report per ``(service, shard)`` (sharded topologies).
+        self.shards: Dict[Tuple[str, int], ShardLoadReport] = {}
+        #: Reporting leader per ``(service, shard)``.
+        self.shard_leaders: Dict[Tuple[str, int], str] = {}
+        #: Times the reporting role moved to a different broker.
+        self.leader_failovers = 0
         sim.process(self._listen(), name="load-listener")
 
     def _listen(self):
@@ -102,10 +136,53 @@ class LoadListener:
                 f"broker.load.{report.broker}.queue_depth",
                 float(report.queue_depth),
             )
+            if isinstance(report, ShardLoadReport):
+                self._apply_shard(report)
+
+    def _apply_shard(self, report: ShardLoadReport) -> None:
+        """Track per-shard load and leadership for a sharded service.
+
+        The service-level table entry ``admit`` consults becomes the
+        busiest shard's report (worst case), and the per-shard leader
+        record moves when a report from a *different* broker claims the
+        leader role — that is the reporting-role failover the
+        controller surfaces after a shard leader dies.
+        """
+        key = (report.service, report.shard)
+        self.shards[key] = report
+        worst = report
+        for (service, _), other in self.shards.items():
+            if service == report.service and other.outstanding > worst.outstanding:
+                worst = other
+        self.table[report.service] = worst
+        if not report.leader:
+            return
+        previous = self.shard_leaders.get(key)
+        if previous == report.broker:
+            return
+        self.shard_leaders[key] = report.broker
+        if previous is not None:
+            self.leader_failovers += 1
+            self.metrics.increment("centralized.leader_failover")
+            self.sim.trace(
+                "centralized", "leader-failover",
+                service=report.service, shard=report.shard,
+                leader=report.broker, previous=previous,
+            )
 
     def load_of(self, service: str) -> Optional[LoadReport]:
         """The most recently applied report for *service*, if any."""
         return self.table.get(service)
+
+    def shard_load_of(
+        self, service: str, shard: int
+    ) -> Optional["ShardLoadReport"]:
+        """The most recently applied report for one shard, if any."""
+        return self.shards.get((service, shard))
+
+    def leader_of(self, service: str, shard: int) -> Optional[str]:
+        """The broker currently reporting as (*service*, *shard*) leader."""
+        return self.shard_leaders.get((service, shard))
 
     def staleness(self, service: str) -> float:
         """Seconds since the last applied update for *service*."""
@@ -185,6 +262,21 @@ class CentralizedController:
         self.mode = "centralized"
         #: Mode flips so far (degrade + recover).
         self.transitions = 0
+
+    def leader_of(self, service: str, shard: int) -> Optional[str]:
+        """The broker the controller believes leads (*service*, *shard*).
+
+        Tracked from the leadership claims on incoming
+        :class:`ShardLoadReport` datagrams — only shard leaders carry
+        the reporting role, so this follows bully-election outcomes
+        with one report interval of lag.
+        """
+        return self.listener.leader_of(service, shard)
+
+    @property
+    def leader_failovers(self) -> int:
+        """Times the reporting role moved between brokers of a shard."""
+        return self.listener.leader_failovers
 
     def _update_mode(self, services: Sequence[str]) -> str:
         """Run the freshness state machine; returns the current mode."""

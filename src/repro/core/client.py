@@ -6,6 +6,15 @@ queries" (paper §III). :class:`BrokerClient` is that message-passing
 stub: it routes each call to the broker registered for the named
 service over UDP and matches replies to callers by request id.
 
+With the shard tier the client addresses a *service*, not a broker:
+:meth:`BrokerClient.use_directory` installs a
+:class:`~repro.core.sharding.ShardDirectory`, and calls for services it
+knows resolve per attempt through the consistent-hash ring to the owning
+shard's live leader (re-resolved on retry, so a timeout after a leader
+crash fails over to the freshly elected replica). Services the
+directory does not know — and every call when no directory is set —
+use the classic static route table, unchanged.
+
 Because UDP is unreliable, calls support a timeout plus retries; on a
 lossless LAN (the default testbeds) neither ever fires.
 """
@@ -51,6 +60,7 @@ class BrokerClient:
         self.socket = node.datagram_socket()
         self._ids = count(1)
         self._pending: Dict[int, Event] = {}
+        self._directory = None
         # Hot-path metric handles (per-status ones resolved lazily).
         self._calls = self.metrics.handle("client.calls")
         self._call_time = self.metrics.sample_handle("client.call_time")
@@ -60,6 +70,17 @@ class BrokerClient:
     def add_route(self, service: str, address: Address) -> None:
         """Register (or replace) the broker address for *service*."""
         self.routes[service] = address
+
+    def use_directory(self, directory) -> None:
+        """Resolve shard-routed services through *directory*.
+
+        *directory* is a :class:`~repro.core.sharding.ShardDirectory`;
+        services it knows are addressed per call through the
+        consistent-hash ring (deterministic in the request key) to the
+        owning shard's current leader. Other services keep using
+        :attr:`routes`.
+        """
+        self._directory = directory
 
     def _pump(self):
         recv = self.socket.recv
@@ -105,14 +126,30 @@ class BrokerClient:
         (when attached — see :class:`repro.obs.spans.TraceCollector`)
         nests this call's trace under the parent request's trace.
         """
-        address = self.routes.get(service)
-        if address is None:
-            raise UnknownServiceError(
-                f"no broker registered for service {service!r}"
+        directory = self._directory
+        sharded = directory is not None and directory.knows(service)
+        if sharded:
+            # The same key the broker's ShardRouteStage derives, so the
+            # client-side resolution and the ring agree on the owner.
+            routing_key = (
+                cache_key
+                if cache_key is not None
+                else f"{service}:{operation}:{payload!r}"
             )
+            address = None
+        else:
+            address = self.routes.get(service)
+            if address is None:
+                raise UnknownServiceError(
+                    f"no broker registered for service {service!r}"
+                )
         deadline = timeout if timeout is not None else self.default_timeout
         attempts = self.retries + 1
         for attempt in range(attempts):
+            if sharded:
+                # Re-resolved every attempt: a retry after a leader
+                # crash routes to the freshly elected replica.
+                address = directory.address_for(service, routing_key)
             request_id = next(self._ids)
             started = self.sim._now
             context = RequestContext.originate(

@@ -24,7 +24,7 @@ supervisor behaves byte-identically to previous revisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..metrics import MetricsRegistry
 from ..net.network import Node
@@ -85,6 +85,14 @@ class RecoveryJournal:
         self.policy = policy
         self.metrics = metrics or MetricsRegistry()
         self._pending: Dict[int, BrokerRequest] = {}
+        #: Optional replication hook, called as ``on_admitted(request)``
+        #: after each journal write — a shard peer group
+        #: (:class:`~repro.core.peering.ShardPeerGroup`) installs one to
+        #: mirror the entry onto the shard's replica brokers.
+        self.on_admitted: Optional[Callable[[BrokerRequest], None]] = None
+        #: Optional replication hook, called as ``on_answered(request_id)``
+        #: after each journal clear (the replication tombstone).
+        self.on_answered: Optional[Callable[[int], None]] = None
         #: Requests re-run through the pipeline by :meth:`recover`.
         self.replayed = 0
         #: Requests answered degraded by a shedding :meth:`recover`.
@@ -95,10 +103,14 @@ class RecoveryJournal:
     def record_admitted(self, request: BrokerRequest) -> None:
         """Shadow one request entering the broker's queue."""
         self._pending[request.request_id] = request
+        if self.on_admitted is not None:
+            self.on_admitted(request)
 
     def record_answered(self, request_id: int) -> None:
         """Clear a request once any reply for it has been sent."""
         self._pending.pop(request_id, None)
+        if self.on_answered is not None:
+            self.on_answered(request_id)
 
     @property
     def pending_count(self) -> int:
@@ -205,7 +217,20 @@ class BrokerSupervisor:
         self.socket = node.datagram_socket(port)
         self.address = self.socket.address
         self._watches: Dict[str, _Watch] = {}
+        self._listeners: List[Callable[["ServiceBroker", bool], None]] = []
         sim.process(self._listen(), name="supervisor:rx")
+
+    def add_listener(
+        self, listener: Callable[["ServiceBroker", bool], None]
+    ) -> None:
+        """Subscribe to up/down detections: ``listener(broker, up)``.
+
+        A :class:`~repro.core.sharding.ShardGroup` registers its
+        ``on_supervisor_event`` here so leader elections fire as soon as
+        the supervisor declares a shard leader dead, not only when the
+        next request routes around the corpse.
+        """
+        self._listeners.append(listener)
 
     def watch(
         self,
@@ -253,6 +278,8 @@ class BrokerSupervisor:
                     "lifecycle.downtime", self.sim.now - watch.down_since
                 )
                 self.sim.trace("lifecycle", "up", broker=beat.broker)
+                for listener in self._listeners:
+                    listener(watch.broker, True)
 
     def _monitor(self, watch: _Watch):
         sim = self.sim
@@ -268,6 +295,8 @@ class BrokerSupervisor:
                     "lifecycle.detection_time", sim.now - watch.last_heard
                 )
                 sim.trace("lifecycle", "down", broker=watch.broker.name)
+                for listener in self._listeners:
+                    listener(watch.broker, False)
                 self._fail_fast(watch)
 
     def _fail_fast(self, watch: _Watch) -> None:

@@ -1,11 +1,20 @@
-"""Backend selection policies for replicated backends.
+"""Replica health bookkeeping and backend selection policies.
 
 "The service brokers can track the traffic and monitor their workload
 and accurately distribute the workload among the backend servers to
-achieve a balanced load" (paper §III). Each broker keeps a
-:class:`BackendState` per replica — outstanding count and an EWMA of
-observed latency — and a :class:`Balancer` picks the replica for each
-dispatch.
+achieve a balanced load" (paper §III). The bookkeeping — an outstanding
+count, an EWMA of observed latency, and a consecutive-error health
+streak — lives in :class:`ReplicaHealth`, one instance per replica of
+*anything* replicated:
+
+* each broker keeps a :class:`BackendState` (a :class:`ReplicaHealth`
+  plus the adapter and connection pool) per backend replica, and a
+  :class:`Balancer` picks the replica for each dispatch;
+* the shard tier's :class:`~repro.core.sharding.ShardGroup` keeps a
+  plain :class:`ReplicaHealth` per *broker* replica, so the shard
+  router balances and fails over from the same view the backend
+  balancers use — there is exactly one outstanding-count/EWMA
+  implementation, not a parallel copy in the ring.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .faulttolerance import CircuitBreaker
 
 __all__ = [
+    "ReplicaHealth",
     "BackendState",
     "Balancer",
     "RoundRobinBalancer",
@@ -29,8 +39,8 @@ __all__ = [
 ]
 
 
-class BackendState:
-    """Live statistics for one backend replica behind a broker.
+class ReplicaHealth:
+    """Live statistics for one replica of a replicated resource.
 
     Tracks a consecutive-error streak for circuit breaking: a replica
     that keeps failing is skipped by the balancers (:attr:`healthy`)
@@ -47,9 +57,8 @@ class BackendState:
     #: Consecutive errors after which a replica is considered unhealthy.
     UNHEALTHY_AFTER = 3
 
-    def __init__(self, adapter: ServiceAdapter, pool: ConnectionPool) -> None:
-        self.adapter = adapter
-        self.pool = pool
+    def __init__(self, label: str = "") -> None:
+        self.label = label
         self.outstanding = 0
         self.completed = 0
         self.errors = 0
@@ -87,29 +96,42 @@ class BackendState:
 
     @property
     def name(self) -> str:
-        return self.adapter.name
+        return self.label
 
     def __repr__(self) -> str:
         return (
-            f"<BackendState {self.name} outstanding={self.outstanding} "
-            f"ewma={self.ewma_latency:.4g}>"
+            f"<{type(self).__name__} {self.name} "
+            f"outstanding={self.outstanding} ewma={self.ewma_latency:.4g}>"
         )
 
 
+class BackendState(ReplicaHealth):
+    """One backend replica behind a broker: health plus adapter and pool."""
+
+    def __init__(self, adapter: ServiceAdapter, pool: ConnectionPool) -> None:
+        super().__init__(label=adapter.name)
+        self.adapter = adapter
+        self.pool = pool
+
+    @property
+    def name(self) -> str:
+        return self.adapter.name
+
+
 class Balancer:
-    """Base class: pick one backend for the next dispatch.
+    """Base class: pick one replica for the next dispatch.
 
     All policies balance across *healthy* replicas (circuit breaking);
     when every replica is unhealthy they fall back to all of them, which
     doubles as the periodic probe that detects recovery.
     """
 
-    def pick(self, backends: Sequence[BackendState]) -> BackendState:
+    def pick(self, backends: Sequence[ReplicaHealth]) -> ReplicaHealth:
         """Choose the replica for the next dispatch."""
         raise NotImplementedError
 
     @staticmethod
-    def _candidates(backends: Sequence[BackendState]) -> Sequence[BackendState]:
+    def _candidates(backends: Sequence[ReplicaHealth]) -> Sequence[ReplicaHealth]:
         if not backends:
             raise BrokerError("no backends to balance across")
         healthy = [b for b in backends if b.healthy]
@@ -122,7 +144,7 @@ class RoundRobinBalancer(Balancer):
     def __init__(self) -> None:
         self._counter = count()
 
-    def pick(self, backends: Sequence[BackendState]) -> BackendState:
+    def pick(self, backends: Sequence[ReplicaHealth]) -> ReplicaHealth:
         candidates = self._candidates(backends)
         return candidates[next(self._counter) % len(candidates)]
 
@@ -130,7 +152,7 @@ class RoundRobinBalancer(Balancer):
 class LeastOutstandingBalancer(Balancer):
     """Pick the replica with the fewest in-flight requests (ties: first)."""
 
-    def pick(self, backends: Sequence[BackendState]) -> BackendState:
+    def pick(self, backends: Sequence[ReplicaHealth]) -> ReplicaHealth:
         candidates = self._candidates(backends)
         return min(candidates, key=lambda b: b.outstanding)
 
@@ -142,7 +164,7 @@ class LatencyAwareBalancer(Balancer):
     probed.
     """
 
-    def pick(self, backends: Sequence[BackendState]) -> BackendState:
+    def pick(self, backends: Sequence[ReplicaHealth]) -> ReplicaHealth:
         candidates = self._candidates(backends)
         unprobed = [b for b in candidates if b.completed == 0]
         if unprobed:

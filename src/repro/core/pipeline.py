@@ -36,6 +36,7 @@ uniform instrumentation for free.
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
 from enum import Enum
 from inspect import isgeneratorfunction
 from typing import (
@@ -78,6 +79,7 @@ __all__ = [
     "BrokerStage",
     "StagePipeline",
     "ValidateServiceStage",
+    "ShardRouteStage",
     "ArrivalStage",
     "TimeoutBudgetStage",
     "CacheLookupStage",
@@ -98,6 +100,7 @@ __all__ = [
     "centralized_stage_plan",
     "fault_tolerant_stage_plan",
     "overload_protected_stage_plan",
+    "sharded_stage_plan",
     "stage_plan",
 ]
 
@@ -117,6 +120,11 @@ class StageOutcome(Enum):
 
     DONE = "done"
     """Dispatch finished; replies (if any) have been sent by the stage."""
+
+    FORWARDED = "forwarded"
+    """The request was relayed to another broker (the owning shard's
+    leader); this broker stops processing it — the reply will come from
+    the forward target, addressed straight to the original caller."""
 
 
 class StageRecord:
@@ -460,6 +468,95 @@ class ValidateServiceStage(BrokerStage):
             context=ctx,
         )
         return StageOutcome.REPLY
+
+
+class ShardRouteStage(BrokerStage):
+    """Routes each request to the shard owning its key (consistent hash).
+
+    The front end addresses a *service*; this stage makes the broker
+    tier agree on which shard serves each request. The owning shard is
+    a pure function of the request key through the service's seeded
+    :class:`~repro.core.sharding.HashRing`. Requests owned locally
+    continue down the pipeline; the rest are relayed to the owning
+    shard's live leader (preferring the leader learned from
+    :class:`~repro.core.peering.RouteAdvert` gossip, falling back to
+    directory truth) and processing stops here with
+    :data:`StageOutcome.FORWARDED` — the relay takes no admission slot,
+    queues nothing, and the reply travels straight from the owner to
+    the original caller.
+
+    Without a directory, or for services the directory does not know,
+    every request routes local: the degenerate single-shard
+    configuration is a pass-through.
+    """
+
+    name = "shard-route"
+
+    #: Forward-hop ceiling: under ring-view disagreement a request could
+    #: otherwise bounce between brokers forever; past the ceiling the
+    #: current broker serves it locally.
+    MAX_HOPS = 3
+
+    def __init__(self, directory=None, shard: int = 0) -> None:
+        super().__init__()
+        #: The :class:`~repro.core.sharding.ShardDirectory`, or ``None``
+        #: for a degenerate always-local stage.
+        self.directory = directory
+        #: The shard index this broker serves.
+        self.shard = shard
+
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bind and pre-resolve the routing counters."""
+        super().bind(broker)
+        metrics = broker.metrics
+        self._local = metrics.handle("broker.shard.local")
+        self._forwarded = metrics.handle("broker.shard.forwarded")
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Continue locally or relay to the owning shard's leader."""
+        directory = self.directory
+        request = ctx.request
+        if directory is None or not directory.knows(request.service):
+            self._local.inc()
+            ctx.set_decision("local")
+            return StageOutcome.CONTINUE
+        target_shard = directory.shard_of(request.service, request.key())
+        if target_shard == self.shard:
+            self._local.inc()
+            ctx.set_decision("local")
+            return StageOutcome.CONTINUE
+        broker = self.broker
+        annotations = ctx.annotations
+        hops = annotations.get("shard.hops", 0)
+        if hops >= self.MAX_HOPS:
+            broker.metrics.increment("broker.shard.hop_limit")
+            ctx.set_decision("hop-limit")
+            return StageOutcome.CONTINUE
+        group = directory.group(request.service, target_shard)
+        target = None
+        advertised = broker.shard_view.get((request.service, target_shard))
+        if advertised is not None:
+            target = group.member(advertised)
+            if target is not None and not target.alive:
+                target = None
+        if target is None:
+            target = group.route()
+        if target is None or target is broker:
+            broker.metrics.increment("broker.shard.no_route")
+            ctx.set_decision("no-route")
+            return StageOutcome.CONTINUE
+        now = broker.sim._now
+        path = annotations.get("shard.path")
+        if path is None:
+            path = annotations["shard.path"] = []
+        path.append((broker.name, ctx.received_at, now))
+        annotations["shard.hops"] = hops + 1
+        forwarded = _dc_replace(request, sent_at=now)
+        ctx.request = forwarded
+        broker.socket.sendto(forwarded, target.address)
+        self._forwarded.inc()
+        ctx.set_decision("forward")
+        return StageOutcome.FORWARDED
 
 
 class ArrivalStage(BrokerStage):
@@ -1389,7 +1486,8 @@ class LoadReportStage(BrokerStage):
 
     def start(self, address: Address, interval: float = 0.1):
         """Begin streaming load reports to *address* every *interval* s."""
-        from .centralized import LoadReport  # local import avoids a cycle
+        # Local import avoids a cycle.
+        from .centralized import LoadReport, ShardLoadReport
 
         broker = self.broker
         self.address = address
@@ -1398,14 +1496,36 @@ class LoadReportStage(BrokerStage):
         def reporter():
             while True:
                 yield broker.sim.timeout(self.interval)
-                report = LoadReport(
-                    broker=broker.name,
-                    service=broker.service,
-                    outstanding=broker.outstanding,
-                    queue_depth=len(broker.queue),
-                    threshold=broker.qos.threshold,
-                    sent_at=broker.sim.now,
-                )
+                group = broker.shard_group
+                if group is None:
+                    report = LoadReport(
+                        broker=broker.name,
+                        service=broker.service,
+                        outstanding=broker.outstanding,
+                        queue_depth=len(broker.queue),
+                        threshold=broker.qos.threshold,
+                        sent_at=broker.sim.now,
+                    )
+                else:
+                    # Shard replicas only report while leading: the
+                    # listener's load is bounded by the shard count, not
+                    # the replica count (every replica runs a reporter,
+                    # so the reporting role follows bully elections
+                    # automatically — a demoted broker falls silent, the
+                    # promoted one starts claiming the role). Leadership
+                    # is re-checked every tick, at send time.
+                    if group.leader is not broker:
+                        continue
+                    report = ShardLoadReport(
+                        broker=broker.name,
+                        service=broker.service,
+                        outstanding=broker.outstanding,
+                        queue_depth=len(broker.queue),
+                        threshold=broker.qos.threshold,
+                        sent_at=broker.sim.now,
+                        shard=group.index,
+                        leader=group.leader is broker,
+                    )
                 broker.socket.sendto(report, self.address)
 
         return broker.sim.process(
@@ -1762,11 +1882,41 @@ def overload_protected_stage_plan(
     return plan
 
 
+def sharded_stage_plan(
+    directory=None,
+    shard: int = 0,
+    base: str = "distributed",
+) -> List[BrokerStage]:
+    """The *base* model's plan with shard routing at ingress.
+
+    Inserts a :class:`ShardRouteStage` immediately after service
+    validation, so a request landing on the wrong shard is relayed to
+    the owning shard's leader *before* it consumes any local admission
+    slot or queue capacity. Pass the topology's
+    :class:`~repro.core.sharding.ShardDirectory` and this broker's
+    *shard* index; with the defaults (no directory) the stage is a
+    pass-through and the plan behaves exactly like the base model —
+    the degenerate 1-shard/1-replica configuration.
+    """
+    plan = stage_plan(base)
+    index = next(
+        (
+            i + 1
+            for i, stage in enumerate(plan)
+            if stage.name == ValidateServiceStage.name
+        ),
+        0,
+    )
+    plan.insert(index, ShardRouteStage(directory=directory, shard=shard))
+    return plan
+
+
 #: Factories for the stock stage plans, by model name.
 _STAGE_PLANS: Dict[str, Callable[[], List[BrokerStage]]] = {
     "distributed": distributed_stage_plan,
     "centralized": centralized_stage_plan,
     "fault-tolerant": fault_tolerant_stage_plan,
+    "sharded": sharded_stage_plan,
 }
 
 

@@ -4,7 +4,11 @@ This is the access model the paper argues against (its Figure 1): every
 backend operation pays connection establishment + authentication +
 teardown, nothing is shared between application processes, no QoS, no
 caching, no clustering. The :class:`ApiBackendGateway` implements it
-faithfully so broker-vs-API comparisons are like-for-like.
+faithfully so broker-vs-API comparisons are like-for-like. It is also
+the contrast case for the shard tier: API callers must name a concrete
+backend *address* per call, while broker callers name a *service* and
+let the :class:`~repro.core.sharding.ShardDirectory` (or the classic
+route table) resolve the serving broker.
 
 All methods are ``yield from`` generators.
 """

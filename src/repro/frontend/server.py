@@ -9,6 +9,14 @@ performance".
 An optional *admission* hook implements the centralized broker model:
 it inspects each request before a process is allocated and may reject
 it with 503 (see :class:`repro.core.centralized.CentralizedController`).
+
+Web applications running here reach the broker tier through a
+:class:`~repro.core.client.BrokerClient`; since the shard tier landed
+they address a *service*, not a broker — with a
+:class:`~repro.core.sharding.ShardDirectory` installed on the client,
+each call resolves through the service's consistent-hash ring to the
+owning shard's live leader, and single-broker services keep using the
+static route table.
 """
 
 from __future__ import annotations

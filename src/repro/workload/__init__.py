@@ -4,8 +4,10 @@ from .chaos import (
     ChaosResult,
     InvariantCheck,
     OverloadResult,
+    ShardChaosResult,
     run_chaos_experiment,
     run_overload_experiment,
+    run_shard_chaos_experiment,
 )
 from .clients import BurstClient, ClosedLoopClient, OpenLoopGenerator, zipf_sampler
 from .scenarios import (
@@ -13,9 +15,11 @@ from .scenarios import (
     ClusteringResult,
     FailureRecoveryResult,
     QosResult,
+    ShardedQosResult,
     run_clustering_experiment,
     run_failure_recovery_experiment,
     run_qos_experiment,
+    run_sharded_qos_experiment,
 )
 
 __all__ = [
@@ -26,13 +30,17 @@ __all__ = [
     "ClusteringResult",
     "QosResult",
     "FailureRecoveryResult",
+    "ShardedQosResult",
     "OverloadResult",
     "ChaosResult",
+    "ShardChaosResult",
     "InvariantCheck",
     "run_clustering_experiment",
     "run_qos_experiment",
     "run_failure_recovery_experiment",
+    "run_sharded_qos_experiment",
     "run_overload_experiment",
     "run_chaos_experiment",
+    "run_shard_chaos_experiment",
     "QOS_SERVICE_TIMES",
 ]

@@ -15,8 +15,16 @@
   machine-checked :class:`InvariantCheck` verdicts (no request lost
   without a reply, post-crash accounting consistent, queue bound
   respected, availability floor met).
+* :func:`run_shard_chaos_experiment` — the shard-tier soak: one
+  service fronted by N shards × R replica brokers
+  (:mod:`repro.core.sharding`) while a leader-killer process crashes
+  the *current leader* of a rotating shard every ``leader_kill_every``
+  seconds. Clients address the service through the
+  :class:`~repro.core.sharding.ShardDirectory` and must ride each
+  bully election; the verdicts add leadership convergence to the
+  no-lost-request / post-crash / availability checks.
 
-Both are plain functions returning result dataclasses; the ``repro
+All are plain functions returning result dataclasses; the ``repro
 chaos`` CLI and the overload/chaos benchmarks render them.
 """
 
@@ -31,14 +39,17 @@ from ..core.cache import ResultCache
 from ..core.client import BrokerClient
 from ..core.faulttolerance import RetryPolicy
 from ..core.lifecycle import BrokerSupervisor, RecoveryJournal
+from ..core.peering import ShardPeerGroup
 from ..core.pipeline import (
     BackpressureStage,
     distributed_stage_plan,
     fault_tolerant_stage_plan,
     overload_protected_stage_plan,
+    sharded_stage_plan,
 )
 from ..core.protocol import ReplyStatus
 from ..core.qos import QoSPolicy
+from ..core.sharding import ShardDirectory, ShardGroup
 from ..errors import BrokerTimeout
 from ..http.messages import HttpResponse
 from ..http.server import BackendWebServer
@@ -55,6 +66,8 @@ __all__ = [
     "InvariantCheck",
     "ChaosResult",
     "run_chaos_experiment",
+    "ShardChaosResult",
+    "run_shard_chaos_experiment",
 ]
 
 
@@ -736,6 +749,384 @@ def run_chaos_experiment(
                 f"(floor {availability_floor:.4f}; "
                 f"ok={result.ok} degraded={result.degraded} "
                 f"dropped={result.dropped} timeouts={result.timeouts})"
+            ),
+        )
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Shard-leader chaos soak
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardChaosResult(ChaosResult):
+    """A :class:`ChaosResult` plus the shard tier's own accounting."""
+
+    shards: int = 0
+    replicas: int = 0
+    #: Leader crashes the killer process actually landed.
+    leader_kills: int = 0
+    #: Bully elections run across all shard groups.
+    elections: int = 0
+    #: ``RouteAdvert`` messages applied at receiving brokers.
+    route_adverts: int = 0
+    #: ``JournalSync`` messages applied at receiving replicas.
+    journal_syncs: int = 0
+    #: Reporting-role moves the load listener observed.
+    leader_failovers: int = 0
+    #: Requests relayed broker→broker by the ShardRouteStage.
+    forwards: int = 0
+
+    def to_summary(self) -> Dict[str, object]:
+        """The base summary extended with the shard-tier fields."""
+        summary = super().to_summary()
+        summary.update(
+            {
+                "shards": self.shards,
+                "replicas": self.replicas,
+                "leader_kills": self.leader_kills,
+                "elections": self.elections,
+                "route_adverts": self.route_adverts,
+                "journal_syncs": self.journal_syncs,
+                "leader_failovers": self.leader_failovers,
+                "forwards": self.forwards,
+            }
+        )
+        return summary
+
+
+def run_shard_chaos_experiment(
+    duration: float = 300.0,
+    shards: int = 8,
+    replicas: int = 2,
+    leader_kill_every: float = 25.0,
+    mttr: float = 2.0,
+    n_clients: int = 10,
+    think_time: float = 0.05,
+    attempt_timeout: float = 0.75,
+    max_tries: int = 3,
+    key_pool: int = 512,
+    service_time: float = 0.1,
+    backend_capacity: int = 5,
+    report_interval: float = 0.1,
+    availability_floor: float = 0.99,
+    seed: int = 0,
+) -> ShardChaosResult:
+    """A seeded soak that assassinates shard leaders on a fixed cadence.
+
+    Topology: one service (``items``) fronted by *shards* ×
+    *replicas* brokers. Each shard owns its own backend web server (its
+    partition); every broker runs the distributed plan with a
+    :class:`~repro.core.pipeline.ShardRouteStage`, is watched by a
+    :class:`~repro.core.lifecycle.BrokerSupervisor` with a
+    :class:`~repro.core.lifecycle.RecoveryJournal`, and joins its
+    shard's :class:`~repro.core.peering.ShardPeerGroup` (so journal
+    transitions replicate intra-shard and elections broadcast
+    ``RouteAdvert`` gossip service-wide). Every replica also streams
+    leader-only :class:`~repro.core.centralized.ShardLoadReport`
+    updates to a :class:`~repro.core.centralized.LoadListener`, so the
+    run observes the reporting role failing over with each election.
+
+    The killer process crashes the *current leader* of a rotating
+    shard every *leader_kill_every* seconds and restarts the corpse
+    after *mttr* — by which time a bully election has promoted the
+    next replica, so the returning broker re-takes the shard (a
+    takeover election) and the cycle repeats on another shard.
+
+    Clients resolve through the :class:`~repro.core.sharding.ShardDirectory`
+    (service addressing) and retry up to *max_tries* times on a
+    timeout or a DROPPED reply; each retry re-resolves the leader, so
+    surviving an assassination is exactly one retry against the fresh
+    replica. Verdicts: no-lost-request, post-crash-consistency,
+    availability-floor (as the plain soak) plus leadership-convergence
+    — every shard ends the run with a live, routable leader and at
+    least one election per landed kill.
+    """
+    if shards < 1 or replicas < 1:
+        raise ValueError(
+            f"shards and replicas must be >= 1: {shards!r}x{replicas!r}"
+        )
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1: {n_clients!r}")
+    sim = Simulation(seed=seed)
+    metrics = MetricsRegistry()
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+
+    qos = QoSPolicy(
+        levels=3,
+        threshold=10_000,  # elections, not admission, are under test
+        deadlines={1: 1.0, 2: 1.5, 3: 2.0},
+    )
+    directory = ShardDirectory(metrics=metrics)
+    supervisor = BrokerSupervisor(sim, web_node, metrics=metrics)
+    from ..core.centralized import LoadListener
+
+    listener = LoadListener(
+        sim, web_node, process_time=0.0005, metrics=metrics
+    )
+
+    groups: List[ShardGroup] = []
+    brokers: Dict[str, ServiceBroker] = {}
+    peers: List[ShardPeerGroup] = []
+    watches = {}
+    next_port = 7201
+    for shard in range(shards):
+        backend_name = f"shardbackend{shard}"
+        backend = BackendWebServer(
+            sim,
+            net.node(backend_name),
+            max_clients=backend_capacity,
+            name=backend_name,
+        )
+
+        def item_cgi(server, request):
+            yield server.sim.timeout(service_time * server.service_time_scale)
+            return HttpResponse.text(f"item={request.param('id', '?')}")
+
+        backend.add_cgi("/item", item_cgi)
+        group = ShardGroup("items", shard, metrics=metrics)
+        peer = ShardPeerGroup(group)
+        for replica in range(replicas):
+            broker = ServiceBroker(
+                sim,
+                web_node,
+                service="items",
+                port=next_port,
+                adapters=[
+                    HttpAdapter(sim, web_node, backend.address, name=backend_name)
+                ],
+                qos=qos,
+                pool_size=backend_capacity,
+                dispatchers=backend_capacity,
+                metrics=metrics,
+                name=f"shard{shard}r{replica}",
+                stages=sharded_stage_plan(directory, shard=shard),
+            )
+            next_port += 1
+            # Supervise first (installs the journal), then join the
+            # shard mesh (wires the journal's replication hooks) and
+            # the group (elects); the supervisor listener keeps
+            # elections in step with heartbeat detections.
+            watches[broker.name] = supervisor.watch(
+                broker, journal=RecoveryJournal(sim, metrics=metrics)
+            )
+            peer.join(broker)
+            group.add(broker)
+            broker.report_load_to(listener.address, interval=report_interval)
+        supervisor.add_listener(group.on_supervisor_event)
+        groups.append(group)
+        peers.append(peer)
+        brokers.update((b.name, b) for b in group.members)
+    roster = list(brokers.values())
+    for peer in peers:
+        peer.set_roster(roster)
+    directory.register("items", groups, seed=seed)
+
+    broker_client = BrokerClient(sim, web_node, {})
+    broker_client.use_directory(directory)
+
+    # The assassin: crash the current leader of a rotating shard.
+    kills = {"count": 0}
+
+    def resurrect(victim: ServiceBroker):
+        yield sim.timeout(mttr)
+        if not victim.alive:
+            victim.restart()
+
+    def leader_killer():
+        target = 0
+        while True:
+            yield sim.timeout(leader_kill_every)
+            if sim.now >= duration:
+                return
+            group = groups[target % len(groups)]
+            target += 1
+            victim = group.route()
+            if victim is None:
+                continue
+            kills["count"] += 1
+            sim.trace(
+                "chaos", "leader-kill",
+                shard=group.index, broker=victim.name, kill=kills["count"],
+            )
+            victim.crash()
+            sim.process(resurrect(victim), name=f"resurrect:{victim.name}")
+
+    sim.process(leader_killer(), name="chaos:leader-killer")
+
+    # Steady closed-loop workload through the directory, with retries.
+    samples: List[Tuple[float, str, float, bool]] = []
+    key_rng = sim.rng("chaos.shard.keys")
+    stagger_rng = sim.rng("chaos.shard.stagger")
+    for index in range(n_clients):
+        net.node(f"client{index}")
+        level = (index % qos.levels) + 1
+
+        def one_request(_client, _iteration, _level=level):
+            issued = sim.now
+            item = key_rng.randrange(key_pool)
+            status = "error"
+            retried = False
+            for attempt in range(max_tries):
+                try:
+                    reply = yield from broker_client.call(
+                        "items",
+                        "get",
+                        ("/item", {"id": item}),
+                        qos_level=_level,
+                        cacheable=False,
+                        cache_key=f"item{item}",
+                        timeout=attempt_timeout,
+                    )
+                except BrokerTimeout:
+                    status = "timeout"
+                    retried = attempt + 1 < max_tries
+                    continue
+                status = reply.status.value
+                if reply.status in (ReplyStatus.OK, ReplyStatus.DEGRADED):
+                    retried = attempt > 0
+                    break
+                retried = attempt + 1 < max_tries
+            samples.append((issued, status, sim.now - issued, retried))
+
+        ClosedLoopClient(
+            sim,
+            name=f"shardchaos{index}",
+            request_factory=one_request,
+            think_time=think_time,
+            start_delay=stagger_rng.uniform(0.0, 1.0),
+        ).start(until=duration)
+
+    sim.run(until=duration)
+    # Drain: the last corpse restarts, retries land, replies settle.
+    sim.run(until=duration + mttr + 30.0)
+
+    result = ShardChaosResult(
+        duration=duration,
+        seed=seed,
+        capacity=0,
+        shed_policy="none",
+        mtbf=leader_kill_every,
+        mttr=mttr,
+        shards=shards,
+        replicas=replicas,
+    )
+    for _issued, status, elapsed, retried in samples:
+        result.requests += 1
+        result.latency.add(elapsed)
+        if retried:
+            result.failovers += 1
+        if status == ReplyStatus.OK.value:
+            result.ok += 1
+        elif status == ReplyStatus.DEGRADED.value:
+            result.degraded += 1
+        elif status == ReplyStatus.DROPPED.value:
+            result.dropped += 1
+        elif status == "timeout":
+            result.timeouts += 1
+        else:
+            result.errors += 1
+
+    counter = metrics.counter
+    result.leader_kills = kills["count"]
+    result.crashes = int(counter("broker.crashes"))
+    result.restarts = int(counter("broker.restarts"))
+    result.detected = sum(watch.detected for watch in watches.values())
+    result.recoveries = sum(watch.recoveries for watch in watches.values())
+    result.failed_fast = int(counter("lifecycle.failed_fast"))
+    result.replayed = int(counter("lifecycle.replayed"))
+    result.restart_shed = int(counter("lifecycle.restart_shed"))
+    result.shed_total = int(counter("broker.shed"))
+    result.elections = sum(group.elections for group in groups)
+    result.route_adverts = int(counter("peering.route_adverts_applied"))
+    result.journal_syncs = int(counter("peering.journal_syncs_applied"))
+    result.leader_failovers = listener.leader_failovers
+    result.forwards = int(counter("broker.shard.forwarded"))
+    for name, broker in brokers.items():
+        result.peak_depths[name] = broker.queue.peak_depth
+        journal = broker.journal
+        result.residue[name] = {
+            "queue_depth": len(broker.queue),
+            "outstanding": broker.admission.outstanding,
+            "journal_pending": journal.pending_count if journal else 0,
+        }
+
+    # -- invariants --------------------------------------------------------
+    lost = [
+        (name, info)
+        for name, info in result.residue.items()
+        if info["queue_depth"] or info["outstanding"] or info["journal_pending"]
+    ]
+    answered = (
+        result.ok
+        + result.degraded
+        + result.dropped
+        + result.timeouts
+        + result.errors
+    )
+    result.invariants.append(
+        InvariantCheck(
+            name="no-lost-request",
+            passed=not lost and answered == result.requests,
+            detail=(
+                f"{result.requests} requests all terminal; residue "
+                + (
+                    "clean"
+                    if not lost
+                    else "; ".join(f"{name}: {info}" for name, info in lost)
+                )
+            ),
+        )
+    )
+    dead = [name for name, broker in brokers.items() if not broker.alive]
+    accounting_ok = (
+        result.restarts == result.crashes
+        and not dead
+        and all(watch.up for watch in watches.values())
+    )
+    result.invariants.append(
+        InvariantCheck(
+            name="post-crash-consistency",
+            passed=accounting_ok,
+            detail=(
+                f"crashes={result.crashes} restarts={result.restarts} "
+                f"failed_fast={result.failed_fast} replayed={result.replayed}"
+                + (f"; still dead: {dead}" if dead else "")
+            ),
+        )
+    )
+    leaderless = [
+        group.name for group in groups if group.route() is None
+    ]
+    convergence_ok = (
+        not leaderless
+        and result.elections >= result.leader_kills
+    )
+    result.invariants.append(
+        InvariantCheck(
+            name="leadership-convergence",
+            passed=convergence_ok,
+            detail=(
+                f"kills={result.leader_kills} elections={result.elections} "
+                f"adverts={result.route_adverts} "
+                f"reporting_failovers={result.leader_failovers}"
+                + (f"; leaderless: {leaderless}" if leaderless else "")
+            ),
+        )
+    )
+    result.invariants.append(
+        InvariantCheck(
+            name="availability-floor",
+            passed=result.availability >= availability_floor,
+            detail=(
+                f"availability {result.availability:.4f} "
+                f"(floor {availability_floor:.4f}; "
+                f"ok={result.ok} degraded={result.degraded} "
+                f"dropped={result.dropped} timeouts={result.timeouts}; "
+                f"retried={result.failovers})"
             ),
         )
     )

@@ -16,6 +16,12 @@
   first replica on an exponential MTBF schedule; every request is
   classified as issued during an outage window or during healthy
   operation.
+* :func:`run_sharded_qos_experiment` — the §V.B testbed rebuilt on the
+  shard tier (:mod:`repro.core.sharding`): every service is fronted by
+  N shards × R replica brokers behind a consistent-hash
+  :class:`~repro.core.sharding.ShardDirectory`, probing the scaling
+  ceiling the paper leaves open (one broker per service; a centralized
+  listener that saturates as brokers multiply).
 
 All return plain result dataclasses the benchmark harness renders as
 the paper's tables/series.
@@ -32,13 +38,16 @@ from ..core.cache import ResultCache
 from ..core.client import BrokerClient
 from ..core.clustering import ClusteringConfig, RepeatWorkloadCombiner
 from ..core.faulttolerance import RetryPolicy
+from ..core.peering import ShardPeerGroup
 from ..core.pipeline import (
     centralized_stage_plan,
     distributed_stage_plan,
     fault_tolerant_stage_plan,
+    sharded_stage_plan,
 )
 from ..core.protocol import ReplyStatus
 from ..core.qos import QoSPolicy
+from ..core.sharding import ShardDirectory, ShardGroup
 from ..errors import BrokerTimeout
 from ..db.client import DatabaseClient
 from ..db.engine import Database
@@ -48,7 +57,7 @@ from ..frontend.api_access import ApiBackendGateway
 from ..frontend.server import FrontendWebServer
 from ..http.client import HttpClient
 from ..http.messages import HttpRequest, HttpResponse
-from ..metrics import SummaryStats
+from ..metrics import MetricsRegistry, SummaryStats
 from ..net.faults import FaultInjector, FaultPlan
 from ..net.link import Link
 from ..net.network import Network
@@ -63,6 +72,8 @@ __all__ = [
     "QOS_SERVICE_TIMES",
     "FailureRecoveryResult",
     "run_failure_recovery_experiment",
+    "ShardedQosResult",
+    "run_sharded_qos_experiment",
 ]
 
 #: Bounded CGI processing times (seconds) at backends 1, 2, 3 (paper §V.B).
@@ -752,4 +763,322 @@ def run_failure_recovery_experiment(
     result.failover_recovered = int(counter("broker.fault.failover_recovered"))
     result.breaker_opens = int(counter("broker.breaker.open"))
     result.fault_replies = int(counter("broker.fault.replies"))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Experiment D — the shard tier on the §V.B testbed
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardedQosResult:
+    """Measurements from one run of the sharded differentiation testbed."""
+
+    mode: str
+    n_clients: int
+    shards: int
+    replicas: int
+    duration: float
+    #: Total broker count (services × shards × replicas).
+    brokers: int = 0
+    #: QoS class -> response-time stats measured at the clients.
+    response_times: Dict[int, SummaryStats] = field(default_factory=dict)
+    #: QoS class -> completed requests (the access-log count).
+    completions: Dict[int, int] = field(default_factory=dict)
+    #: QoS class -> requests answered at full fidelity.
+    full_fidelity: Dict[int, int] = field(default_factory=dict)
+    #: QoS class -> front-door 503 rejections (centralized mode only).
+    frontend_rejections: Dict[int, int] = field(default_factory=dict)
+    #: Requests relayed broker→broker by the ShardRouteStage.
+    forwards: int = 0
+    #: Requests the ShardRouteStage kept local.
+    local_routes: int = 0
+    #: Bully elections run across all shard groups.
+    elections: int = 0
+    #: Reporting-role moves seen by the load listener (centralized mode).
+    leader_failovers: int = 0
+    #: Load updates the listener processed — the paper's saturation
+    #: variable; leader-only reporting bounds it by the shard count.
+    listener_updates: int = 0
+    #: ``ShardDirectory.describe()`` at end of run.
+    topology: str = ""
+
+    @property
+    def throughput(self) -> float:
+        """Completed pages per second across all QoS classes."""
+        return sum(self.completions.values()) / self.duration
+
+    @property
+    def goodput(self) -> float:
+        """Full-fidelity pages per second — the honest scaling metric.
+
+        Raw :attr:`throughput` counts low-fidelity rejects, which an
+        overloaded single shard produces quickly; goodput only counts
+        pages every service answered at full fidelity.
+        """
+        return sum(self.full_fidelity.values()) / self.duration
+
+    def premium_p99(self) -> float:
+        """99th-percentile page response time of QoS class 1."""
+        stats = self.response_times.get(1)
+        if stats is None or not stats.count:
+            return float("nan")
+        return stats.percentile(99.0)
+
+    def mean_response_of(self, level: int) -> float:
+        """Mean response time of QoS class *level*."""
+        return self.response_times[level].mean
+
+
+def run_sharded_qos_experiment(
+    n_clients: int,
+    shards: int = 2,
+    replicas: int = 2,
+    mode: str = "broker",
+    duration: float = 60.0,
+    service_times: Tuple[float, ...] = QOS_SERVICE_TIMES,
+    threshold: int = 20,
+    backend_capacity: int = 5,
+    levels: int = 3,
+    think_time: float = 0.1,
+    key_pool: int = 4096,
+    fractions: Optional[Dict[int, float]] = None,
+    seed: int = 0,
+    obs=None,
+) -> ShardedQosResult:
+    """Run the §V.B testbed with every service sharded N × R ways.
+
+    The topology generalizes :func:`run_qos_experiment`: each of the
+    three services is fronted by *shards* shard groups of *replicas*
+    brokers, every shard owning its own backend web server (its data
+    partition) with the service's bounded CGI time. A
+    :class:`~repro.core.sharding.ShardDirectory` seeded with *seed*
+    maps request keys to shards; the front end's
+    :class:`~repro.core.client.BrokerClient` resolves through it (it
+    addresses a *service*, never a broker), and every broker runs
+    :func:`~repro.core.pipeline.sharded_stage_plan` so a request
+    landing on the wrong shard is relayed to the owner's leader.
+
+    ``mode`` is ``"broker"`` (distributed admission) or
+    ``"centralized"`` — the latter wires the load listener exactly as
+    the base experiment does, except only shard *leaders* report, so
+    listener load grows with the shard count rather than the broker
+    count (the paper's listener-saturation weakness is the point of
+    this sweep; see EXPERIMENTS.md).
+
+    Each page request draws one item from *key_pool* and reads it from
+    all three services, so the request key spreads page traffic across
+    shards deterministically. ``shards=1, replicas=1`` is the
+    degenerate configuration — one broker per service, every route
+    local, exactly the classic topology.
+    """
+    if mode not in ("broker", "centralized"):
+        raise ValueError(f"mode must be 'broker' or 'centralized': {mode!r}")
+    if shards < 1 or replicas < 1:
+        raise ValueError(
+            f"shards and replicas must be >= 1: {shards!r}x{replicas!r}"
+        )
+    if n_clients < levels:
+        raise ValueError(f"need at least {levels} clients, got {n_clients}")
+    sim = Simulation(seed=seed)
+    if obs is not None:
+        obs.attach(sim)
+    metrics = MetricsRegistry()
+    net = Network(sim, default_link=Link.lan())
+    web_node = net.node("web")
+    stages = len(service_times)
+
+    from ..http.server import BackendWebServer
+
+    frontend = FrontendWebServer(sim, web_node, name="frontend")
+    if fractions is None and levels == 3:
+        fractions = {1: 1.0, 2: 5.0 / 6.0, 3: 2.0 / 3.0}
+    qos_policy = QoSPolicy(levels=levels, threshold=threshold, fractions=fractions)
+
+    directory = ShardDirectory(metrics=metrics)
+    base_plan = "distributed" if mode == "broker" else "centralized"
+    all_brokers: List[ServiceBroker] = []
+    groups: List[ShardGroup] = []
+    peers: List[ShardPeerGroup] = []
+    next_port = 7101
+    for index, service_time in enumerate(service_times, 1):
+        service = f"svc{index}"
+        service_brokers: List[ServiceBroker] = []
+        service_groups: List[ShardGroup] = []
+        for shard in range(shards):
+            backend_name = f"backend{index}s{shard}"
+            backend = BackendWebServer(
+                sim,
+                net.node(backend_name),
+                max_clients=backend_capacity,
+                name=backend_name,
+            )
+
+            def bounded_cgi(server, request, _t=service_time):
+                yield server.sim.timeout(_t)
+                return HttpResponse.text("served")
+
+            backend.add_cgi("/service", bounded_cgi)
+            group = ShardGroup(service, shard, metrics=metrics)
+            peer = ShardPeerGroup(group)
+            for replica in range(replicas):
+                broker = ServiceBroker(
+                    sim,
+                    web_node,
+                    service=service,
+                    port=next_port,
+                    adapters=[
+                        HttpAdapter(
+                            sim, web_node, backend.address, name=backend_name
+                        )
+                    ],
+                    qos=qos_policy,
+                    pool_size=backend_capacity,
+                    dispatchers=backend_capacity,
+                    priority_queueing=False,
+                    metrics=metrics,
+                    name=f"broker{index}s{shard}r{replica}",
+                    stages=sharded_stage_plan(
+                        directory, shard=shard, base=base_plan
+                    ),
+                )
+                next_port += 1
+                group.add(broker)
+                peer.join(broker)
+                service_brokers.append(broker)
+            service_groups.append(group)
+            groups.append(group)
+            peers.append(peer)
+        # Route adverts go to every broker of the service, across shards.
+        roster_start = len(peers) - shards
+        for peer in peers[roster_start:]:
+            peer.set_roster(service_brokers)
+        directory.register(service, service_groups, seed=seed)
+        all_brokers.extend(service_brokers)
+
+    broker_client = BrokerClient(sim, web_node, {})
+    broker_client.use_directory(directory)
+
+    listener = None
+    if mode == "centralized":
+        from ..core.centralized import (
+            CentralizedController,
+            LoadListener,
+            ResourceProfileRegistry,
+        )
+
+        listener = LoadListener(
+            sim, web_node, process_time=0.0005, metrics=metrics
+        )
+        for broker in all_brokers:
+            # Every replica runs a reporter; only the current leader
+            # sends, so the reporting role follows elections.
+            broker.report_load_to(listener.address, interval=0.05)
+        profiles = ResourceProfileRegistry()
+        profiles.register("/page", [f"svc{i}" for i in range(1, stages + 1)])
+        controller = CentralizedController(listener, profiles, qos_policy)
+        frontend.admission = controller.admit
+
+    service_names = [f"svc{stage}" for stage in range(stages + 1)]
+    full_fidelity = HttpResponse.text("full-fidelity")
+    low_fidelity = [
+        HttpResponse.text(f"low-fidelity (stage {stage})")
+        for stage in range(stages + 1)
+    ]
+    key_rng = sim.rng("shard.keys")
+
+    def page_app(frontend_server, request):
+        """3-stage page over one item key: the key picks each shard."""
+        level = qos_of(request)
+        item = key_rng.randrange(key_pool)
+        for stage in range(1, stages + 1):
+            reply = yield from broker_client.call(
+                service_names[stage],
+                "get",
+                ("/service", {"item": item}),
+                qos_level=level,
+                cacheable=False,
+                cache_key=f"item{item}",
+                parent=request.context,
+            )
+            if reply.status is not ReplyStatus.OK:
+                frontend_server.metrics.increment(f"app.lowfid.qos{level}")
+                return low_fidelity[stage]
+        frontend_server.metrics.increment(f"app.fullfid.qos{level}")
+        return full_fidelity
+
+    frontend.register_app(WebApplication(path="/page", handler=page_app))
+
+    per_class = n_clients // levels
+    extra = n_clients - per_class * levels
+    clients_by_class: Dict[int, List[ClosedLoopClient]] = {}
+    stagger_rng = sim.rng("qos.stagger")
+    for level in range(1, levels + 1):
+        workstation = net.node(f"workstation{level}")
+        count_for_class = per_class + (1 if level <= extra else 0)
+        class_clients: List[ClosedLoopClient] = []
+        page_request = HttpRequest(
+            method="GET",
+            path="/page",
+            headers={QOS_HEADER: str(level)},
+        )
+        for index in range(count_for_class):
+
+            def one_request(
+                _client, _iteration, _level=level, _request=page_request
+            ):
+                response = yield from HttpClient.fetch(
+                    sim,
+                    workstation,
+                    frontend.address,
+                    _request,
+                )
+                if response.status == 500:
+                    raise RuntimeError(f"server error {response.status}")
+
+            client = ClosedLoopClient(
+                sim,
+                name=f"shard-qos{level}-{index}",
+                request_factory=one_request,
+                think_time=think_time,
+                start_delay=stagger_rng.uniform(0.0, sum(service_times)),
+            )
+            client.start(until=duration)
+            class_clients.append(client)
+        clients_by_class[level] = class_clients
+
+    sim.run(until=duration)
+    sim.run(until=duration + 200.0)  # drain in-flight pages
+
+    result = ShardedQosResult(
+        mode=mode,
+        n_clients=n_clients,
+        shards=shards,
+        replicas=replicas,
+        duration=duration,
+        brokers=len(all_brokers),
+    )
+    for level, class_clients in clients_by_class.items():
+        merged = SummaryStats()
+        completed = 0
+        for client in class_clients:
+            completed += client.completed
+            for value in client.response_times.values():
+                merged.add(value)
+        result.response_times[level] = merged
+        result.completions[level] = completed
+        result.full_fidelity[level] = int(
+            frontend.metrics.counter(f"app.fullfid.qos{level}")
+        )
+        result.frontend_rejections[level] = int(
+            frontend.metrics.counter(f"frontend.rejected.qos{level}")
+        )
+    result.forwards = int(metrics.counter("broker.shard.forwarded"))
+    result.local_routes = int(metrics.counter("broker.shard.local"))
+    result.elections = sum(group.elections for group in groups)
+    if listener is not None:
+        result.leader_failovers = listener.leader_failovers
+        result.listener_updates = int(metrics.counter("listener.updates"))
+    result.topology = directory.describe()
     return result

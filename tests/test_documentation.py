@@ -135,7 +135,7 @@ class TestDocsReferenceCode:
 
         design = _read_doc("DESIGN.md")
         missing = set()
-        for model in ("distributed", "centralized", "fault-tolerant"):
+        for model in ("distributed", "centralized", "fault-tolerant", "sharded"):
             for stage in stage_plan(model):
                 if stage.name not in design:
                     missing.add(stage.name)
@@ -146,7 +146,7 @@ class TestDocsReferenceCode:
 
         known = {
             stage.name
-            for model in ("distributed", "centralized", "fault-tolerant")
+            for model in ("distributed", "centralized", "fault-tolerant", "sharded")
             for stage in stage_plan(model)
         }
         readme = _read_doc("README.md")
