@@ -1,0 +1,76 @@
+"""CACHE — the cross-request optimization tier at 10x the §V.B scale.
+
+Runs the 600-client testbed (ten times the paper's §V.B maximum of 60)
+twice at the same seed: once with only per-broker result caches, once
+with the shared cache tier, cross-broker query combining, and the
+materialized view enabled. Reports backend statement counts, cache hit
+ratios, and latency for both modes.
+
+Expected: the shared tier cuts backend load by at least 2x over
+single-broker caching — a popular result is fetched once for the whole
+deployment instead of once per broker, and the grouped-aggregate view
+absorbs the COUNT(*) shape entirely.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import render_table
+from repro.workload import run_cache_tier_experiment
+
+from .harness import SEED, print_artifact
+
+N_CLIENTS = 600
+BROKERS = 4
+DURATION = 30.0
+
+
+def run_modes():
+    return {
+        enabled: run_cache_tier_experiment(
+            n_clients=N_CLIENTS,
+            brokers=BROKERS,
+            duration=DURATION,
+            tier=enabled,
+            seed=SEED,
+        )
+        for enabled in (False, True)
+    }
+
+
+def test_cache_tier_backend_load_reduction(benchmark):
+    runs = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    base, tier = runs[False], runs[True]
+    reduction = base.backend_queries / max(tier.backend_queries, 1)
+    rows = [
+        {
+            "mode": "shared-tier" if r.tier_enabled else "local-caches",
+            "requests": r.requests,
+            "ok": r.ok,
+            "backend_q": r.backend_queries,
+            "cache_srv_pct": round(100.0 * r.cache_served_ratio, 1),
+            "tier_hits": r.tier_hits,
+            "view_hits": r.view_hits,
+            "mean_ms": round(r.latency.mean * 1000, 2),
+            "p99_ms": round(r.latency.p99 * 1000, 2),
+        }
+        for r in (base, tier)
+    ]
+    print_artifact(
+        f"CACHE — cross-request optimization tier "
+        f"({N_CLIENTS} clients, {BROKERS} brokers, reduction {reduction:.2f}x)",
+        render_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["reduction"] = reduction
+
+    assert base.errors == 0 and tier.errors == 0
+    # Acceptance bar: >= 2x backend-load reduction over per-broker caching.
+    assert reduction >= 2.0, (
+        f"shared tier should at least halve backend load, got {reduction:.2f}x"
+    )
+    # The tier serves the bulk of local misses once warm.
+    assert tier.tier_hit_ratio > 0.5
+    # The materialized view absorbed the aggregate shape.
+    assert tier.view_hits > 0
+    # Write-behind drained (overflowed writes fell back to write-through).
+    assert tier.write_behind_flushed > 0

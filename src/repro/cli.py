@@ -7,7 +7,7 @@ Usage::
     python -m repro fig10  [--clients ...] [--duration S] [--seed N]
     python -m repro table1 [--clients ...] [--duration S] [--seed N]
     python -m repro drops  [--clients ...] [--duration S] [--seed N]
-    python -m repro pipeline --describe [--model distributed|centralized|fault-tolerant|sharded|all]
+    python -m repro pipeline --describe [--model distributed|centralized|fault-tolerant|sharded|cache-tier|all]
     python -m repro faults --describe
     python -m repro faults [--mtbf 40,20,10] [--mttr S] [--replicas N] [--duration S]
     python -m repro shard  --describe
@@ -24,6 +24,9 @@ Usage::
                            [--availability-floor F] [--summary-out FILE]
     python -m repro chaos  --shards N [--replicas R] [--leader-kill-every S]
                            [--quick] [--duration S] [--summary-out FILE]
+    python -m repro cache  --describe
+    python -m repro cache  [--clients N] [--brokers B] [--duration S]
+                           [--ttl S] [--no-views] [--quick] [--summary-out FILE]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -39,6 +42,7 @@ from typing import List, Optional, Sequence
 
 from .metrics import render_table
 from .workload import (
+    run_cache_tier_experiment,
     run_chaos_experiment,
     run_clustering_experiment,
     run_failure_recovery_experiment,
@@ -128,7 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument(
         "--model",
-        choices=("distributed", "centralized", "fault-tolerant", "sharded", "all"),
+        choices=(
+            "distributed", "centralized", "fault-tolerant", "sharded",
+            "cache-tier", "all",
+        ),
         default="all",
         help="which stage plan to describe (default: all)",
     )
@@ -330,6 +337,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="in shard mode, crash a rotating shard leader this often, "
         "seconds (default 25)",
     )
+
+    cache = sub.add_parser(
+        "cache", parents=[common],
+        help="cross-request optimization tier: shared cache, cross-broker "
+        "query combining, materialized views",
+    )
+    cache.add_argument(
+        "--describe", action="store_true",
+        help="print the cache-tier stage plan, the write-behind contract, "
+        "and the metric families without running anything",
+    )
+    cache.add_argument(
+        "--clients", type=int, default=600,
+        help="closed-loop clients (default 600, 10x the paper's "
+        "section V.B maximum)",
+    )
+    cache.add_argument(
+        "--brokers", type=int, default=4,
+        help="brokers sharing the tier (default 4)",
+    )
+    cache.add_argument(
+        "--duration", type=float, default=30.0,
+        help="virtual seconds per mode (default 30)",
+    )
+    cache.add_argument(
+        "--ttl", type=float, default=2.0,
+        help="cache entry time-to-live, both layers (default 2)",
+    )
+    cache.add_argument(
+        "--no-views", dest="no_views", action="store_true",
+        help="disable the materialized view in the tier-enabled run",
+    )
+    cache.add_argument(
+        "--quick", action="store_true",
+        help="shrunken run (60 clients, 5s) for CI smoke tests",
+    )
+    cache.add_argument(
+        "--summary-out", dest="summary_out", default=None,
+        help="write both runs' counters and the reduction factor as JSON",
+    )
     return parser
 
 
@@ -420,7 +467,7 @@ def run_pipeline(args) -> str:
     from .core.pipeline import stage_plan
 
     models = (
-        ("distributed", "centralized", "fault-tolerant", "sharded")
+        ("distributed", "centralized", "fault-tolerant", "sharded", "cache-tier")
         if args.model == "all"
         else (args.model,)
     )
@@ -749,6 +796,138 @@ def _run_shard_chaos(args, duration: float) -> str:
     return report
 
 
+def _describe_cache() -> str:
+    from .core.pipeline import stage_plan
+
+    lines = ["Cache-tier broker pipeline (stage_plan('cache-tier')):"]
+    for index, stage in enumerate(stage_plan("cache-tier"), 1):
+        marker = "  [ingress/dispatch boundary]" if stage.boundary else ""
+        lines.append(f"  {index:>2}. {stage.name:<13} {stage.summary()}{marker}")
+    lines += [
+        "",
+        "Shared cache tier (repro.core.cachetier.SharedCacheTier): one",
+        "store behind every broker's local ResultCache. A local miss",
+        "probes the tier before admission (cache-tier stage); every",
+        "backend result fills both layers (cache-fill stage), so a result",
+        "fetched through any broker serves later requests at every broker.",
+        "",
+        "Write-behind: tier.write_behind invalidates the stale keys",
+        "immediately, queues the write on a bounded flush queue, and",
+        "applies it asynchronously in seeded batches; a full queue refuses",
+        "the write and the caller falls back to synchronous write-through.",
+        "Keys written inside a transaction are invalidated again when the",
+        "transaction completes.",
+        "",
+        "Cross-broker combining (query-combine stage): a dispatcher about",
+        "to execute a combinable shape broadcasts a CombinableAdvert over",
+        "the peer mesh and holds its window open; peers reaching the same",
+        "shape while the advert is fresh yield, and the advertiser claims",
+        "their queued matches into one deployment-wide IN-list query,",
+        "transferring each claimed request's admission slot and journal",
+        "entry to itself.",
+        "",
+        "Materialized views (repro.db.views.ViewCatalog): grouped",
+        "aggregates registered on the database are answered from a",
+        "precomputed index; a write to the base table marks the view",
+        "dirty and the next read refreshes it lazily.",
+        "",
+        "Metric families: broker.cache.* mirrors the per-broker local",
+        "caches; broker.cachetier.* covers the shared store, write-behind",
+        "queue, and cross-broker combining; db.view.hits and",
+        "db.view.invalidations count view serves and dirty-markings.",
+    ]
+    return "\n".join(lines)
+
+
+def run_cache(args) -> str:
+    """Describe the tier, or measure its backend-load reduction at scale."""
+    if args.describe:
+        return _describe_cache()
+    clients = 60 if args.quick else args.clients
+    duration = 5.0 if args.quick else args.duration
+    runs = {}
+    for enabled in (False, True):
+        runs[enabled] = run_cache_tier_experiment(
+            n_clients=clients,
+            brokers=args.brokers,
+            duration=duration,
+            tier=enabled,
+            views=not args.no_views,
+            cache_ttl=args.ttl,
+            seed=args.seed,
+        )
+    base, tier = runs[False], runs[True]
+    reduction = base.backend_queries / max(tier.backend_queries, 1)
+    rows = [
+        {
+            "mode": "local-caches" if not r.tier_enabled else "shared-tier",
+            "requests": r.requests,
+            "ok": r.ok,
+            "backend_q": r.backend_queries,
+            "cache_srv_pct": round(100.0 * r.cache_served_ratio, 1),
+            "tier_hits": r.tier_hits,
+            "view_hits": r.view_hits,
+            "mean_ms": round(r.latency.mean * 1000, 2),
+            "p99_ms": round(r.latency.p99 * 1000, 2),
+        }
+        for r in (base, tier)
+    ]
+    report = render_table(
+        rows,
+        title=f"Cross-request optimization tier — {clients} clients, "
+        f"{args.brokers} brokers, {duration:g}s virtual, seed={args.seed}",
+    )
+    report += (
+        "\n\n"
+        f"backend-load reduction : {reduction:.2f}x "
+        f"({base.backend_queries} -> {tier.backend_queries} statements)\n"
+        f"shared tier            : hit ratio "
+        f"{100.0 * tier.tier_hit_ratio:.1f}% among local misses\n"
+        f"combining              : batches={tier.combine_batches} "
+        f"remote_items={tier.combine_remote_items} "
+        f"yields={tier.combine_yields}\n"
+        f"write-behind           : accepted={tier.write_behind_accepted} "
+        f"flushed={tier.write_behind_flushed} "
+        f"overflow={tier.write_behind_overflow} (overflow -> write-through)"
+    )
+    if args.summary_out:
+        payload = {
+            "clients": clients,
+            "brokers": args.brokers,
+            "duration": duration,
+            "seed": args.seed,
+            "reduction": reduction,
+            "modes": {
+                name: {
+                    "requests": r.requests,
+                    "ok": r.ok,
+                    "errors": r.errors,
+                    "timeouts": r.timeouts,
+                    "backend_queries": r.backend_queries,
+                    "from_cache": r.from_cache,
+                    "local_hits": r.local_hits,
+                    "tier_hits": r.tier_hits,
+                    "tier_hit_ratio": r.tier_hit_ratio,
+                    "view_hits": r.view_hits,
+                    "combine_batches": r.combine_batches,
+                    "combine_remote_items": r.combine_remote_items,
+                    "combine_yields": r.combine_yields,
+                    "write_behind_accepted": r.write_behind_accepted,
+                    "write_behind_flushed": r.write_behind_flushed,
+                    "write_behind_overflow": r.write_behind_overflow,
+                    "mean_latency": r.latency.mean,
+                    "p99_latency": r.latency.p99,
+                }
+                for name, r in (("local-caches", base), ("shared-tier", tier))
+            },
+        }
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        report += f"\n\nsummary written to {args.summary_out}"
+    return report
+
+
 def run_bench(args) -> str:
     """Run the performance suite; see :mod:`repro.bench`."""
     from .bench import run_bench_command
@@ -794,6 +973,7 @@ _COMMANDS = {
     "bench": run_bench,
     "obs": run_obs,
     "chaos": run_chaos,
+    "cache": run_cache,
 }
 
 

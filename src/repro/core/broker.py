@@ -45,7 +45,7 @@ from .cache import ResultCache
 from .clustering import ClusteringConfig
 from .fidelity import FidelityPolicy
 from .loadbalance import BackendState, Balancer, LeastOutstandingBalancer
-from .peering import JournalSync, RouteAdvert, TxnStateUpdate
+from .peering import CombinableAdvert, JournalSync, RouteAdvert, TxnStateUpdate
 from .pipeline import (
     BrokerStage,
     LoadReportStage,
@@ -69,7 +69,7 @@ DEFAULT_BROKER_PORT = 7000
 
 #: Peer-plane message types, checked with one tuple isinstance so the
 #: request hot path pays the same two type checks as before sharding.
-_PEER_MESSAGES = (TxnStateUpdate, JournalSync, RouteAdvert)
+_PEER_MESSAGES = (TxnStateUpdate, JournalSync, RouteAdvert, CombinableAdvert)
 
 
 class ServiceBroker:
@@ -131,6 +131,10 @@ class ServiceBroker:
         self.qos = qos or QoSPolicy()
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache
+        if cache is not None:
+            # Mirror CacheStats onto broker.cache.* registry counters so
+            # per-broker cache accounting lives with the other metrics.
+            cache.bind_metrics(self.metrics)
         self.clustering = clustering
         self.transactions = transactions
         self.fidelity = fidelity or FidelityPolicy()
@@ -165,6 +169,14 @@ class ServiceBroker:
         #: Per-peer shadow of replicated journal entries
         #: (``origin name → {request_id: request}``), fed by JournalSync.
         self.shard_shadow: dict = {}
+        #: ``combine key → CombinableAdvert`` learned from peers; the
+        #: query-combine stage yields to a peer with a fresh advert.
+        self.combinable_adverts: dict = {}
+        #: Optional :class:`~repro.core.cachetier.SharedCacheTier`;
+        #: installed by :meth:`SharedCacheTier.attach` (via the
+        #: cache-tier stage plan). ``None`` keeps the legacy single-broker
+        #: behaviour byte-identical.
+        self.cache_tier = None
         #: False while crashed (see :meth:`crash` / :meth:`restart`).
         self.alive = True
         #: Optional :class:`~repro.core.lifecycle.RecoveryJournal`;

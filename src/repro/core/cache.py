@@ -6,6 +6,14 @@ can be cached and served without touching the backend (paper §III,
 a stale entry cannot satisfy a normal lookup, but the fidelity policy
 may serve it as a degraded reply when admission control rejects a
 request ("cached results from previous queries with lower fidelity").
+
+Accounting lives in a :class:`CacheStats` value object *and*, when the
+cache is bound to a :class:`~repro.metrics.MetricsRegistry` (see
+:meth:`ResultCache.bind_metrics`), is mirrored onto registry counters
+under the ``broker.cache.*`` prefix so per-broker cache behaviour shows
+up next to every other broker metric. The shared cross-broker tier uses
+the sibling ``broker.cachetier.*`` prefix — see
+:mod:`repro.core.cachetier`.
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
 __all__ = ["ResultCache", "CacheEntry", "CacheStats"]
+
+#: Registry counter names mirrored from :class:`CacheStats` fields.
+_MIRRORED_STATS = ("hits", "misses", "stale_hits", "evictions", "puts")
 
 
 @dataclass(slots=True)
@@ -58,6 +69,9 @@ class ResultCache:
         Default seconds before an entry goes stale.
     clock:
         Callable returning the current time (pass ``lambda: sim.now``).
+    metrics:
+        Optional registry; when given, statistics are also mirrored to
+        ``broker.cache.*`` counters (see :meth:`bind_metrics`).
     """
 
     def __init__(
@@ -65,6 +79,7 @@ class ResultCache:
         capacity: int = 256,
         ttl: float = 60.0,
         clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[Any] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1: {capacity!r}")
@@ -75,6 +90,27 @@ class ResultCache:
         self._clock = clock or (lambda: 0.0)
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
+        self._handles: Optional[dict] = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: Any, prefix: str = "broker.cache") -> None:
+        """Mirror statistics onto registry counters under *prefix*.
+
+        The :class:`CacheStats` value object stays authoritative (and
+        keeps working without a registry); this additionally interns one
+        counter handle per stat — ``broker.cache.hits``,
+        ``broker.cache.misses``, ``broker.cache.stale_hits``,
+        ``broker.cache.evictions``, ``broker.cache.puts`` — so the
+        per-broker cache shows up in ``metrics.counters("broker.")``
+        dumps next to every other broker counter. Binding twice is a
+        no-op; counters never influence simulated behaviour.
+        """
+        if self._handles is not None:
+            return
+        self._handles = {
+            name: metrics.handle(f"{prefix}.{name}") for name in _MIRRORED_STATS
+        }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -89,9 +125,13 @@ class ResultCache:
         now = self._clock()
         if entry is None or not entry.fresh(now):
             self.stats.misses += 1
+            if self._handles is not None:
+                self._handles["misses"].inc()
             return None
         entry.hits += 1
         self.stats.hits += 1
+        if self._handles is not None:
+            self._handles["hits"].inc()
         self._entries.move_to_end(key)
         return entry.value
 
@@ -105,6 +145,8 @@ class ResultCache:
         if entry is None:
             return None
         self.stats.stale_hits += 1
+        if self._handles is not None:
+            self._handles["stale_hits"].inc()
         return entry.value, self._clock() - entry.stored_at
 
     def put(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
@@ -116,9 +158,13 @@ class ResultCache:
         )
         self._entries.move_to_end(key)
         self.stats.puts += 1
+        if self._handles is not None:
+            self._handles["puts"].inc()
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._handles is not None:
+                self._handles["evictions"].inc()
 
     def invalidate(self, key: str) -> bool:
         """Drop *key*; returns whether it was present."""

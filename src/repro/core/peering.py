@@ -26,6 +26,14 @@ steps are no longer the only cross-broker state. A
 
 The plain full-mesh :class:`BrokerPeerGroup` remains the degenerate
 single-shard configuration and behaves byte-identically to before.
+
+The cross-request optimization tier (:mod:`repro.core.cachetier`) adds
+a fourth message kind to every mesh: :class:`CombinableAdvert`. A
+broker about to open a combining window for an in-list query shape
+broadcasts the advert so its peers can *yield* — hand matching queued
+requests to the advertiser and skip opening a competing window for the
+same shape — turning per-broker in-list combining into cross-broker
+combining (see :class:`repro.core.pipeline.QueryCombineStage`).
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ __all__ = [
     "TxnStateUpdate",
     "JournalSync",
     "RouteAdvert",
+    "CombinableAdvert",
     "BrokerPeerGroup",
     "ShardPeerGroup",
 ]
@@ -83,6 +92,27 @@ class RouteAdvert:
     shard: int
     leader: str
     members: Tuple[str, ...]
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class CombinableAdvert:
+    """Gossip message: *origin* is collecting combinable queries.
+
+    ``key`` is the combiner's shape key (see
+    :meth:`repro.core.clustering.InListQueryCombiner.key`); ``count`` is
+    how many matching requests the origin already holds; ``window`` is
+    how long the origin will keep its combining window open. A peer that
+    receives a fresh advert for a shape it is about to dispatch yields
+    its queued matches to the advertiser instead of issuing a competing
+    backend query.
+    """
+
+    origin: str
+    service: str
+    key: str
+    count: int
+    window: float
     sent_at: float
 
 
@@ -130,13 +160,48 @@ class BrokerPeerGroup:
             origin.socket.sendto(update, member.address)
             origin.metrics.increment("peering.updates_sent")
 
+    def advertise_combinable(
+        self,
+        origin: "ServiceBroker",
+        key: str,
+        count: int,
+        window: float,
+    ) -> None:
+        """Broadcast a :class:`CombinableAdvert` from *origin* to all peers.
+
+        Called by :class:`~repro.core.pipeline.QueryCombineStage` the
+        moment a dispatcher opens a combining window for shape *key*, so
+        peer brokers holding the same shape yield to *origin* instead of
+        racing it to the backend.
+        """
+        advert = CombinableAdvert(
+            origin=origin.name,
+            service=origin.service,
+            key=key,
+            count=count,
+            window=window,
+            sent_at=origin.sim.now,
+        )
+        for member in self._members:
+            if member is origin:
+                continue
+            origin.socket.sendto(advert, member.address)
+            origin.metrics.increment("peering.combinable_adverts_sent")
+
     def handle(self, broker: "ServiceBroker", message: Any) -> bool:
         """Apply a peer message *broker* received; ``True`` if consumed.
 
-        The plain mesh exchanges nothing beyond :class:`TxnStateUpdate`
-        (which the broker's receive loop applies directly), so anything
-        landing here is counted malformed.
+        Every mesh understands :class:`CombinableAdvert` (recorded into
+        ``broker.combinable_adverts`` for the
+        :class:`~repro.core.pipeline.QueryCombineStage` to consult).
+        Beyond that the plain mesh exchanges nothing but
+        :class:`TxnStateUpdate` (which the broker's receive loop applies
+        directly), so anything else landing here is counted malformed.
         """
+        if isinstance(message, CombinableAdvert):
+            broker.combinable_adverts[message.key] = message
+            broker.metrics.increment("peering.combinable_adverts_applied")
+            return True
         broker.metrics.increment("broker.malformed")
         return False
 

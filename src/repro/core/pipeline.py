@@ -83,6 +83,8 @@ __all__ = [
     "ArrivalStage",
     "TimeoutBudgetStage",
     "CacheLookupStage",
+    "CacheTierStage",
+    "QueryCombineStage",
     "AdmissionStage",
     "FidelityFallbackStage",
     "EnqueueStage",
@@ -101,6 +103,7 @@ __all__ = [
     "fault_tolerant_stage_plan",
     "overload_protected_stage_plan",
     "sharded_stage_plan",
+    "cache_tier_stage_plan",
     "stage_plan",
 ]
 
@@ -684,6 +687,64 @@ class CacheLookupStage(BrokerStage):
         return StageOutcome.REPLY
 
 
+class CacheTierStage(BrokerStage):
+    """Answers cacheable requests from the *shared* cross-broker tier.
+
+    Sits right after the per-broker :class:`CacheLookupStage`: a local
+    miss gets a second chance against the deployment-wide
+    :class:`~repro.core.cachetier.SharedCacheTier`, so a result fetched
+    through *any* broker serves subsequent requests at *every* broker
+    (read-through; the fill side lives in :class:`CacheFillStage`).
+    With no tier attached the stage is a pass-through and behavior is
+    byte-identical to the plain plans.
+    """
+
+    name = "cache-tier"
+
+    def __init__(self, tier=None) -> None:
+        super().__init__()
+        self.tier = tier
+
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bind; attach the broker to the tier when one was configured."""
+        super().bind(broker)
+        if self.tier is not None:
+            self.tier.attach(broker)
+        self._replies = broker.metrics.handle("broker.cachetier.replies")
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Reply from the shared tier on a fresh hit; otherwise continue."""
+        broker = self.broker
+        tier = broker.cache_tier
+        request = ctx.request
+        if tier is None or not request.cacheable:
+            ctx.set_decision("bypass")
+            return StageOutcome.CONTINUE
+        value = tier.get(request.key())
+        if value is None:
+            ctx.set_decision("miss")
+            ctx.annotate("cachetier", "miss")
+            return StageOutcome.CONTINUE
+        self._replies.inc()
+        if broker.sim.tracer is not None:
+            broker.sim.trace(
+                "broker", "cachetier-hit",
+                broker=broker.name, request_id=request.request_id,
+            )
+        ctx.set_decision("hit")
+        ctx.annotate("cachetier", "hit")
+        ctx.reply = BrokerReply(
+            request_id=request.request_id,
+            status=ReplyStatus.OK,
+            payload=value,
+            fidelity=1.0,
+            from_cache=True,
+            broker=broker.name,
+            context=ctx,
+        )
+        return StageOutcome.REPLY
+
+
 class AdmissionStage(BrokerStage):
     """QoS admission control: the threshold and intensity gates.
 
@@ -1036,6 +1097,133 @@ class ClusterStage(BrokerStage):
         return StageOutcome.CONTINUE
 
 
+class QueryCombineStage(BrokerStage):
+    """Combines equal-shape queries queued at *different* brokers.
+
+    :class:`ClusterStage` batches combinable queries that happen to be
+    queued at the same broker; with ``B`` brokers behind a balancer,
+    simultaneous arrivals of the same shape scatter and each broker
+    issues its own (smaller) combined query. This stage extends the
+    combining window across the peer mesh:
+
+    1. the dispatcher about to execute a combinable shape broadcasts a
+       :class:`~repro.core.peering.CombinableAdvert` over the peer
+       group's gossip and holds its window open;
+    2. a peer whose own dispatcher reaches the same shape while a fresh
+       advert is live *yields* — it skips advertising, claiming, and
+       waiting, because the advertiser will take its queued matches;
+    3. when the window closes, the advertiser claims matching queued
+       requests from every peer's queue (transferring each request's
+       admission slot and journal entry to itself) and issues one
+       combined IN-list query for the whole deployment.
+
+    Requires the broker to have both a clustering config (for the
+    combiner) and a peer group (for the gossip); otherwise it is a
+    pass-through. Counters live under ``broker.cachetier.combine.*``.
+    """
+
+    name = "query-combine"
+
+    def __init__(
+        self,
+        window: Optional[float] = None,
+        max_batch: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.window = window
+        self.max_batch = max_batch
+
+    def bind(self, broker: "ServiceBroker") -> None:
+        """Bind and pre-resolve the combine counters."""
+        super().bind(broker)
+        metrics = broker.metrics
+        self._batches = metrics.handle("broker.cachetier.combine.batches")
+        self._remote_items = metrics.handle(
+            "broker.cachetier.combine.remote_items"
+        )
+        self._yields = metrics.handle("broker.cachetier.combine.yields")
+
+    def on_batch(self, batch: BatchContext):
+        """Advertise, gather across the mesh, and re-combine the batch."""
+        broker = self.broker
+        config = broker.clustering
+        peer_group = broker.peer_group
+        if config is None or peer_group is None or config.max_batch <= 1:
+            return StageOutcome.CONTINUE
+        key = config.combiner.key(batch.items[0].request)
+        if key is None:
+            return StageOutcome.CONTINUE
+        limit = self.max_batch if self.max_batch is not None else config.max_batch
+        capacity = limit - len(batch.items)
+        if capacity <= 0:
+            return StageOutcome.CONTINUE
+
+        now = broker.sim.now
+        advert = broker.combinable_adverts.get(key)
+        if (
+            advert is not None
+            and advert.origin != broker.name
+            and now - advert.sent_at <= advert.window
+        ):
+            # A peer opened a window for this shape moments ago; it will
+            # claim our queued matches. Execute only what we hold.
+            self._yields.inc()
+            for ctx in batch.contexts:
+                ctx.set_decision("yield")
+                ctx.annotate("combine", f"yield:{advert.origin}")
+            return StageOutcome.CONTINUE
+
+        window = self.window if self.window is not None else config.window
+        peer_group.advertise_combinable(broker, key, len(batch.items), window)
+        if window > 0:
+            yield broker.sim.timeout(window)
+
+        def _matches(queued: QueuedRequest) -> bool:
+            return config.combiner.key(queued.request) == key
+
+        # Late local arrivals first, then the peers' queues.
+        companions = broker.queue.take_matching(_matches, capacity)
+        batch.items.extend(companions)
+        capacity -= len(companions)
+        claimed = 0
+        for peer in peer_group.members:
+            if capacity <= 0:
+                break
+            if peer is broker or not peer.alive:
+                continue
+            taken = peer.queue.take_matching(_matches, capacity)
+            for item in taken:
+                # Transfer ownership: the peer's admission slot closes,
+                # ours opens (the reply stage releases it), and the
+                # peer's journal entry is cleared so a supervisor
+                # fail-fast can never answer the request a second time.
+                peer.admission.request_finished()
+                broker.admission.request_started()
+                if peer.journal is not None:
+                    peer.journal.record_answered(item.request.request_id)
+                if item.context is not None:
+                    item.context.annotate("combine", f"claimed:{broker.name}")
+            batch.items.extend(taken)
+            capacity -= len(taken)
+            claimed += len(taken)
+        if claimed:
+            self._batches.inc()
+            self._remote_items.inc(claimed)
+            if broker.sim.tracer is not None:
+                broker.sim.trace(
+                    "broker", "cross-combine",
+                    broker=broker.name, key=key, remote=claimed,
+                    batch=len(batch.items),
+                )
+        if len(batch.items) > 1:
+            batch.operation, batch.payload = config.combiner.combine(
+                batch.requests
+            )
+            for ctx in batch.contexts:
+                ctx.batch_size = len(batch.items)
+        return StageOutcome.CONTINUE
+
+
 def execute_batch_on(
     broker: "ServiceBroker", batch: BatchContext, backend: "BackendState"
 ):
@@ -1369,7 +1557,14 @@ class FailoverStage(BrokerStage):
 
 
 class CacheFillStage(BrokerStage):
-    """Splits the combined result per request and fills the cache."""
+    """Splits the combined result per request and fills the cache(s).
+
+    Fresh results go into the per-broker
+    :class:`~repro.core.cache.ResultCache` and — when the broker is
+    attached to a :class:`~repro.core.cachetier.SharedCacheTier` — into
+    the shared tier as well, completing the read-through path for every
+    peer broker.
+    """
 
     name = "cache-fill"
 
@@ -1384,10 +1579,16 @@ class CacheFillStage(BrokerStage):
             )
         else:
             batch.payloads = [batch.result]
-        if broker.cache is not None:
+        cache = broker.cache
+        tier = broker.cache_tier
+        if cache is not None or tier is not None:
             for item, payload in zip(batch.items, batch.payloads):
                 if item.request.cacheable:
-                    broker.cache.put(item.request.key(), payload)
+                    key = item.request.key()
+                    if cache is not None:
+                        cache.put(key, payload)
+                    if tier is not None:
+                        tier.put(key, payload)
         return StageOutcome.CONTINUE
 
 
@@ -1911,12 +2112,55 @@ def sharded_stage_plan(
     return plan
 
 
+def cache_tier_stage_plan(
+    tier=None,
+    base: str = "distributed",
+    combine_window: Optional[float] = None,
+    combine_max_batch: Optional[int] = None,
+) -> List[BrokerStage]:
+    """The *base* model's plan with the cross-request optimization tier.
+
+    Inserts a :class:`CacheTierStage` right after the per-broker
+    ``cache-lookup`` (local hits stay local; local misses get a second
+    chance against the shared tier) and a :class:`QueryCombineStage`
+    right after ``cluster`` (per-broker batches widen across the peer
+    mesh before execution). Pass the deployment's
+    :class:`~repro.core.cachetier.SharedCacheTier`; with the default
+    (``tier=None``, no peer group) both stages are pass-throughs and
+    the plan behaves exactly like the base model.
+    """
+    plan = stage_plan(base)
+    lookup = next(
+        (
+            i + 1
+            for i, stage in enumerate(plan)
+            if stage.name == CacheLookupStage.name
+        ),
+        0,
+    )
+    plan.insert(lookup, CacheTierStage(tier=tier))
+    cluster = next(
+        (
+            i + 1
+            for i, stage in enumerate(plan)
+            if stage.name == ClusterStage.name
+        ),
+        len(plan),
+    )
+    plan.insert(
+        cluster,
+        QueryCombineStage(window=combine_window, max_batch=combine_max_batch),
+    )
+    return plan
+
+
 #: Factories for the stock stage plans, by model name.
 _STAGE_PLANS: Dict[str, Callable[[], List[BrokerStage]]] = {
     "distributed": distributed_stage_plan,
     "centralized": centralized_stage_plan,
     "fault-tolerant": fault_tolerant_stage_plan,
     "sharded": sharded_stage_plan,
+    "cache-tier": cache_tier_stage_plan,
 }
 
 

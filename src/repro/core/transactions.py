@@ -11,12 +11,18 @@ accesses before late-step ones.
 of a request improves by ``escalation_per_step`` for every completed
 step, and requests at or beyond ``protect_from_step`` are *protected* —
 admission only rejects them when the hard threshold itself is hit.
+
+The tracker is also the invalidation spine for the cross-request cache
+tier (:mod:`repro.core.cachetier`): interested parties register an
+:meth:`TransactionTracker.on_complete` callback and are told the moment
+a transaction finishes, so cached results written under that
+transaction can be invalidated on the transaction path rather than
+waiting for TTL expiry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..metrics import MetricsRegistry
 from .protocol import BrokerRequest
@@ -41,6 +47,7 @@ class TransactionTracker:
         self.protect_from_step = protect_from_step
         self.metrics = metrics or MetricsRegistry()
         self._steps: Dict[str, int] = {}
+        self._on_complete: List[Callable[[str], None]] = []
 
     def observe(self, request: BrokerRequest) -> Optional[int]:
         """Record the latest step seen for the request's transaction.
@@ -102,10 +109,22 @@ class TransactionTracker:
             and self._known_step(request) >= self.protect_from_step
         )
 
+    def on_complete(self, callback: Callable[[str], None]) -> None:
+        """Register *callback* to run when a transaction completes.
+
+        Callbacks receive the transaction id and run synchronously from
+        :meth:`complete`. The cache tier uses this to invalidate every
+        key written under the transaction (see
+        :meth:`repro.core.cachetier.SharedCacheTier.watch_transactions`).
+        """
+        self._on_complete.append(callback)
+
     def complete(self, txn_id: str) -> None:
-        """Forget a finished transaction."""
+        """Forget a finished transaction and fire completion callbacks."""
         if self._steps.pop(txn_id, None) is not None:
             self.metrics.increment("txn.completed")
+            for callback in self._on_complete:
+                callback(txn_id)
 
     @property
     def active(self) -> int:

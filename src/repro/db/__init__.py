@@ -21,6 +21,7 @@ from .query import (
 from .schema import Column, Schema
 from .server import DatabaseServer
 from .table import Table
+from .views import MaterializedView, ViewCatalog
 
 __all__ = [
     "Database",
@@ -48,4 +49,6 @@ __all__ = [
     "InsertStatement",
     "UpdateStatement",
     "DeleteStatement",
+    "MaterializedView",
+    "ViewCatalog",
 ]

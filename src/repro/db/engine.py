@@ -27,6 +27,10 @@ class Database:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self.tables: Dict[str, Table] = {}
+        #: Optional :class:`~repro.db.views.ViewCatalog`; ``None`` means
+        #: every statement goes straight to the executor (byte-identical
+        #: legacy behaviour). Install with :meth:`install_views`.
+        self.views = None
 
     def create_table(
         self,
@@ -58,9 +62,28 @@ class Database:
                 f"unknown table {name!r}; have {sorted(self.tables)!r}"
             ) from None
 
+    def install_views(self, catalog) -> None:
+        """Route statements through a materialized-view catalog.
+
+        Writes against a view's base table mark it dirty; reads a view
+        can answer are served from its index instead of the executor
+        (see :mod:`repro.db.views`).
+        """
+        self.views = catalog
+
     def execute(self, statement: Union[str, Statement]) -> ResultSet:
-        """Parse (if needed) and execute one statement."""
+        """Parse (if needed) and execute one statement.
+
+        With a view catalog installed, the statement is offered to the
+        views first: a served read returns immediately, a write falls
+        through after invalidating the affected views.
+        """
         stmt = parse(statement) if isinstance(statement, str) else statement
+        views = self.views
+        if views is not None:
+            served = views.intercept(self, stmt)
+            if served is not None:
+                return served
         return execute_statement(self.table(stmt.table), stmt)
 
     def __repr__(self) -> str:

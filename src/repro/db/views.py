@@ -1,0 +1,277 @@
+"""Materialized views: precomputed answers for hot query shapes.
+
+The §V.A workload's hot query — ``SELECT COUNT(*) FROM records WHERE
+grp = k`` — rescans (or re-probes) the base table for every request.
+A :class:`MaterializedView` computes the *grouped* form of that shape
+once (``SELECT grp, COUNT(*) FROM records GROUP BY grp``) and then
+answers each keyed aggregate with a single dictionary probe, following
+the ``materialized-views-pattern`` named in the roadmap.
+
+Invalidation is hooked into the write path: a
+:class:`ViewCatalog` installed on a :class:`~repro.db.engine.Database`
+intercepts every statement — writes against a view's base table mark
+the view *dirty*, and the next read that the view can answer triggers a
+lazy refresh (one base-table recompute, amortized over every read until
+the next write). Reads the view cannot answer fall through to the
+normal executor untouched, so installing a catalog with no matching
+views changes nothing.
+
+The served :class:`~repro.db.executor.ResultSet` carries
+``plan="view:<name>"`` and a one-row ``rows_examined``, so the database
+server's cost model naturally charges a view probe far less than a
+table scan — that cost difference *is* the optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import QueryError
+from ..metrics import MetricsRegistry
+from .engine import Database
+from .executor import ExecutionStats, ResultSet, execute_statement
+from .parser import parse
+from .query import (
+    Comparison,
+    DeleteStatement,
+    InList,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+    aggregate_label,
+)
+
+__all__ = ["MaterializedView", "ViewCatalog"]
+
+_WRITE_STATEMENTS = (InsertStatement, UpdateStatement, DeleteStatement)
+
+
+class MaterializedView:
+    """One precomputed grouped aggregate over a base table.
+
+    Parameters
+    ----------
+    name:
+        Identifier; appears in the served plan as ``view:<name>``.
+    database:
+        The database holding the base table.
+    definition:
+        SQL (or parsed statement) of the form
+        ``SELECT <group_col>, <aggregates...> FROM <table> GROUP BY
+        <group_col>`` — a plain grouped aggregate with no WHERE, ORDER
+        BY, or LIMIT.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        definition: Union[str, SelectStatement],
+    ) -> None:
+        stmt = parse(definition) if isinstance(definition, str) else definition
+        if not isinstance(stmt, SelectStatement):
+            raise QueryError(f"view {name!r}: definition must be a SELECT")
+        if stmt.group_by is None or not stmt.aggregates:
+            raise QueryError(
+                f"view {name!r}: definition must be a grouped aggregate "
+                f"(SELECT <col>, <agg...> FROM t GROUP BY <col>)"
+            )
+        if stmt.where is not None or stmt.order_by is not None or stmt.limit:
+            raise QueryError(
+                f"view {name!r}: definition must not filter, order, or limit"
+            )
+        if stmt.columns != (stmt.group_by,):
+            raise QueryError(
+                f"view {name!r}: definition must select its grouping column"
+            )
+        self.name = name
+        self.database = database
+        self.definition = stmt
+        self.table = stmt.table
+        self.group_by = stmt.group_by
+        self.aggregates = stmt.aggregates
+        self._labels: Tuple[str, ...] = tuple(
+            aggregate_label(agg) for agg in self.aggregates
+        )
+        self._index: Dict[object, Tuple] = {}
+        self.dirty = True
+        self.refreshes = 0
+
+    def refresh(self) -> None:
+        """Recompute the view from the base table (clears ``dirty``)."""
+        result = execute_statement(
+            self.database.table(self.table), self.definition
+        )
+        # Definition output: the group key first, then the aggregates in
+        # select-list order (see the executor's aggregate layout).
+        self._index = {row[0]: tuple(row[1:]) for row in result.rows}
+        self.dirty = False
+        self.refreshes += 1
+
+    def note_write(self) -> None:
+        """Mark the view stale; the next served read refreshes first."""
+        self.dirty = True
+
+    def _empty_group_row(self) -> Tuple:
+        # Aggregates over an empty group: COUNT is 0, the rest NULL.
+        return tuple(
+            0 if function == "COUNT" else None
+            for function, _column in self.aggregates
+        )
+
+    def answer(self, stmt: SelectStatement) -> Optional[ResultSet]:
+        """Serve *stmt* from the view, or ``None`` if it doesn't match.
+
+        Matching shapes, given a definition grouped on ``g``:
+
+        * ``SELECT <same aggregates> FROM t WHERE g = k`` — one probe;
+        * ``SELECT g, <same aggregates> FROM t WHERE g IN (...) GROUP
+          BY g`` — one probe per listed key;
+        * the definition itself (full grouped read) — the whole index.
+        """
+        if stmt.table != self.table or stmt.aggregates != self.aggregates:
+            return None
+        if stmt.order_by is not None or stmt.limit is not None:
+            return None
+
+        probes = self._match_probes(stmt)
+        if probes is None:
+            return None
+        if self.dirty:
+            self.refresh()
+
+        keyed, keys = probes
+        rows: List[Tuple] = []
+        if keys is None:  # full grouped read
+            for key in sorted(self._index):
+                rows.append((key,) + self._index[key])
+            examined = len(rows)
+        else:
+            for key in keys:
+                value = self._index.get(key)
+                if keyed:
+                    if value is not None:
+                        rows.append((key,) + value)
+                else:
+                    rows.append(
+                        value if value is not None else self._empty_group_row()
+                    )
+            examined = len(keys)
+        columns = ((self.group_by,) if keyed else ()) + self._labels
+        return ResultSet(
+            columns=columns,
+            rows=tuple(rows),
+            stats=ExecutionStats(
+                plan=f"view:{self.name}",
+                rows_examined=examined,
+                rows_matched=len(rows),
+                rows_returned=len(rows),
+            ),
+        )
+
+    def _match_probes(self, stmt: SelectStatement):
+        """``(keyed, keys)`` for an answerable *stmt*, else ``None``.
+
+        ``keys=None`` means the full grouped read; ``keyed`` says
+        whether the group column appears in the output.
+        """
+        if stmt.group_by is None:
+            # Keyed lookup: SELECT <aggs> FROM t WHERE g = k.
+            if stmt.columns:
+                return None
+            where = stmt.where
+            if (
+                isinstance(where, Comparison)
+                and where.op == "="
+                and where.column == self.group_by
+            ):
+                return (False, (where.value,))
+            if isinstance(where, InList) and where.column == self.group_by:
+                return (False, tuple(where.values))
+            return None
+        # Grouped form: must group on the view's key and select it.
+        if stmt.group_by != self.group_by:
+            return None
+        if stmt.columns not in ((), (self.group_by,)):
+            return None
+        keyed = bool(stmt.columns)
+        if stmt.where is None:
+            return (keyed, None)
+        if isinstance(stmt.where, InList) and stmt.where.column == self.group_by:
+            return (keyed, tuple(stmt.where.values))
+        if (
+            isinstance(stmt.where, Comparison)
+            and stmt.where.op == "="
+            and stmt.where.column == self.group_by
+        ):
+            return (keyed, (stmt.where.value,))
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<MaterializedView {self.name!r} on {self.table!r} "
+            f"groups={len(self._index)} dirty={self.dirty}>"
+        )
+
+
+class ViewCatalog:
+    """The set of materialized views installed on one database.
+
+    Install with :meth:`Database.install_views`; the database then
+    routes every statement through :meth:`intercept` — writes
+    invalidate, answerable reads are served, everything else falls
+    through to the executor.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self._by_table: Dict[str, List[MaterializedView]] = {}
+        self._h_hits = self.metrics.handle("db.view.hits")
+        self._h_invalidations = self.metrics.handle("db.view.invalidations")
+
+    @property
+    def views(self) -> List[MaterializedView]:
+        """Every registered view, in registration order."""
+        return [v for views in self._by_table.values() for v in views]
+
+    def create(
+        self,
+        name: str,
+        database: Database,
+        definition: Union[str, SelectStatement],
+    ) -> MaterializedView:
+        """Define, register, and return a view over *database*."""
+        view = MaterializedView(name, database, definition)
+        self._by_table.setdefault(view.table, []).append(view)
+        return view
+
+    def intercept(
+        self, database: Database, stmt: Statement
+    ) -> Optional[ResultSet]:
+        """Apply the catalog to *stmt*; a ResultSet if a view served it.
+
+        Write statements mark every view on their base table dirty and
+        return ``None`` (the write still executes normally). Reads
+        return the first matching view's answer, or ``None`` to fall
+        through.
+        """
+        views = self._by_table.get(stmt.table)
+        if not views:
+            return None
+        if isinstance(stmt, _WRITE_STATEMENTS):
+            for view in views:
+                if not view.dirty:
+                    view.note_write()
+                    self._h_invalidations.inc()
+            return None
+        if isinstance(stmt, SelectStatement):
+            for view in views:
+                result = view.answer(stmt)
+                if result is not None:
+                    self._h_hits.inc()
+                    return result
+        return None
+
+    def __repr__(self) -> str:
+        return f"<ViewCatalog views={[v.name for v in self.views]}>"

@@ -12,10 +12,12 @@ from .chaos import (
 from .clients import BurstClient, ClosedLoopClient, OpenLoopGenerator, zipf_sampler
 from .scenarios import (
     QOS_SERVICE_TIMES,
+    CacheTierResult,
     ClusteringResult,
     FailureRecoveryResult,
     QosResult,
     ShardedQosResult,
+    run_cache_tier_experiment,
     run_clustering_experiment,
     run_failure_recovery_experiment,
     run_qos_experiment,
@@ -31,6 +33,7 @@ __all__ = [
     "QosResult",
     "FailureRecoveryResult",
     "ShardedQosResult",
+    "CacheTierResult",
     "OverloadResult",
     "ChaosResult",
     "ShardChaosResult",
@@ -39,6 +42,7 @@ __all__ = [
     "run_qos_experiment",
     "run_failure_recovery_experiment",
     "run_sharded_qos_experiment",
+    "run_cache_tier_experiment",
     "run_overload_experiment",
     "run_chaos_experiment",
     "run_shard_chaos_experiment",

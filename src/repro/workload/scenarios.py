@@ -22,6 +22,12 @@
   :class:`~repro.core.sharding.ShardDirectory`, probing the scaling
   ceiling the paper leaves open (one broker per service; a centralized
   listener that saturates as brokers multiply).
+* :func:`run_cache_tier_experiment` — the cross-request optimization
+  tier (:mod:`repro.core.cachetier`) at ten times the §V.B client
+  count: several brokers over one database server, Zipf-skewed keyed
+  reads, with and without the shared cache / cross-broker query
+  combining / materialized views, measuring hit ratios and
+  backend-load reduction against single-broker caching.
 
 All return plain result dataclasses the benchmark harness renders as
 the paper's tables/series.
@@ -32,14 +38,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..core.adapters import HttpAdapter
+from ..core.adapters import DatabaseAdapter, HttpAdapter
 from ..core.broker import ServiceBroker
 from ..core.cache import ResultCache
+from ..core.cachetier import SharedCacheTier
 from ..core.client import BrokerClient
-from ..core.clustering import ClusteringConfig, RepeatWorkloadCombiner
+from ..core.clustering import (
+    ClusteringConfig,
+    InListQueryCombiner,
+    RepeatWorkloadCombiner,
+)
 from ..core.faulttolerance import RetryPolicy
-from ..core.peering import ShardPeerGroup
+from ..core.peering import BrokerPeerGroup, ShardPeerGroup
 from ..core.pipeline import (
+    cache_tier_stage_plan,
     centralized_stage_plan,
     distributed_stage_plan,
     fault_tolerant_stage_plan,
@@ -48,9 +60,11 @@ from ..core.pipeline import (
 from ..core.protocol import ReplyStatus
 from ..core.qos import QoSPolicy
 from ..core.sharding import ShardDirectory, ShardGroup
+from ..core.transactions import TransactionTracker
 from ..errors import BrokerTimeout
 from ..db.client import DatabaseClient
 from ..db.engine import Database
+from ..db.views import ViewCatalog
 from ..db.server import DatabaseServer
 from ..frontend.app import QOS_HEADER, WebApplication, qos_of
 from ..frontend.api_access import ApiBackendGateway
@@ -62,7 +76,7 @@ from ..net.faults import FaultInjector, FaultPlan
 from ..net.link import Link
 from ..net.network import Network
 from ..sim.core import Simulation
-from .clients import ClosedLoopClient
+from .clients import ClosedLoopClient, zipf_sampler
 
 __all__ = [
     "ClusteringResult",
@@ -74,6 +88,8 @@ __all__ = [
     "run_failure_recovery_experiment",
     "ShardedQosResult",
     "run_sharded_qos_experiment",
+    "CacheTierResult",
+    "run_cache_tier_experiment",
 ]
 
 #: Bounded CGI processing times (seconds) at backends 1, 2, 3 (paper §V.B).
@@ -1082,3 +1098,290 @@ def run_sharded_qos_experiment(
         result.listener_updates = int(metrics.counter("listener.updates"))
     result.topology = directory.describe()
     return result
+
+
+# ---------------------------------------------------------------------------
+# Experiment E — cross-request optimization tier (shared cache + combining)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheTierResult:
+    """One run of the cross-request optimization tier experiment.
+
+    ``backend_queries`` is the load metric: the number of statements the
+    database server actually executed (reads *and* flushed write-behind
+    writes). Comparing a ``tier_enabled=False`` run against a
+    ``tier_enabled=True`` run at the same seed gives the backend-load
+    reduction the shared tier buys over single-broker caching.
+    """
+
+    clients: int
+    brokers: int
+    duration: float
+    tier_enabled: bool
+    requests: int
+    ok: int
+    from_cache: int
+    errors: int
+    timeouts: int
+    writes: int
+    backend_queries: int
+    local_hits: int
+    local_misses: int
+    tier_hits: int
+    tier_misses: int
+    view_hits: int
+    combine_batches: int
+    combine_remote_items: int
+    combine_yields: int
+    write_behind_accepted: int
+    write_behind_flushed: int
+    write_behind_overflow: int
+    latency: SummaryStats
+
+    @property
+    def local_hit_ratio(self) -> float:
+        """Per-broker cache hit ratio (hits over lookups)."""
+        total = self.local_hits + self.local_misses
+        return self.local_hits / total if total else 0.0
+
+    @property
+    def tier_hit_ratio(self) -> float:
+        """Shared-tier hit ratio among requests that missed locally."""
+        total = self.tier_hits + self.tier_misses
+        return self.tier_hits / total if total else 0.0
+
+    @property
+    def cache_served_ratio(self) -> float:
+        """Fraction of completed requests answered from any cache."""
+        return self.from_cache / self.ok if self.ok else 0.0
+
+
+def run_cache_tier_experiment(
+    n_clients: int = 600,
+    brokers: int = 4,
+    duration: float = 30.0,
+    tier: bool = True,
+    views: bool = True,
+    table_rows: int = 20_000,
+    groups: int = 400,
+    key_skew: float = 1.1,
+    cache_capacity: int = 256,
+    cache_ttl: float = 2.0,
+    tier_capacity: int = 8192,
+    combine_window: float = 0.004,
+    max_batch: int = 8,
+    write_fraction: float = 0.02,
+    count_fraction: float = 0.2,
+    think_time: float = 0.05,
+    seed: int = 0,
+    obs=None,
+) -> CacheTierResult:
+    """Measure the cross-request optimization tier at 10x the §V.B scale.
+
+    *brokers* brokers front one database server; *n_clients* closed-loop
+    clients (default 600 — ten times the §V.B sweep maximum of 60) are
+    sprayed round-robin across the brokers and issue Zipf-skewed keyed
+    reads (``SELECT val FROM records WHERE grp = k``, combinable),
+    keyed aggregates (``SELECT COUNT(*) ...``, served by a materialized
+    view when *views* is on), and a small fraction of writes.
+
+    With ``tier=False`` every broker has only its private
+    :class:`~repro.core.cache.ResultCache` — the single-broker caching
+    status quo. With ``tier=True`` the same topology additionally runs
+    a :class:`~repro.core.cachetier.SharedCacheTier` (read-through +
+    write-behind), cross-broker query combining over peer gossip, and
+    the materialized view; per-broker caches, clustering configs, and
+    the workload are identical in both modes, so the delta isolates the
+    tier.
+    """
+    if brokers < 1:
+        raise ValueError(f"brokers must be >= 1: {brokers!r}")
+    sim = Simulation(seed=seed)
+    if obs is not None:
+        obs.attach(sim)
+    net = Network(sim, default_link=Link.lan())
+    client_node = net.node("client")
+    web_node = net.node("web")
+    db_node = net.node("dbhost")
+
+    # Backend: one database server, the shared bottleneck.
+    database = Database("catalog")
+    table = database.create_table(
+        "records", [("id", int), ("grp", int), ("val", int)]
+    )
+    for i in range(table_rows):
+        table.insert((i, i % groups, (i * 7) % 1000))
+    table.create_index("grp", "hash")
+    table.create_index("id", "hash")
+    db_metrics = MetricsRegistry()
+    db_server = DatabaseServer(
+        sim, db_node, database, max_workers=16, metrics=db_metrics
+    )
+    if tier and views:
+        catalog = ViewCatalog(metrics=db_metrics)
+        catalog.create(
+            "records_by_grp",
+            database,
+            "SELECT grp, COUNT(*) FROM records GROUP BY grp",
+        )
+        database.install_views(catalog)
+
+    # Broker tier: shared registry so counters aggregate per deployment.
+    registry = MetricsRegistry()
+    cache_tier = (
+        SharedCacheTier(
+            sim, capacity=tier_capacity, ttl=cache_ttl, metrics=registry
+        )
+        if tier
+        else None
+    )
+    broker_list: List[ServiceBroker] = []
+    for b in range(brokers):
+        clustering = ClusteringConfig(
+            combiner=InListQueryCombiner(),
+            max_batch=max_batch,
+            window=combine_window,
+        )
+        if tier:
+            stages = cache_tier_stage_plan(
+                cache_tier,
+                combine_window=combine_window,
+                combine_max_batch=max_batch * brokers,
+            )
+        else:
+            stages = distributed_stage_plan()
+        broker_list.append(
+            ServiceBroker(
+                sim,
+                web_node,
+                service="db",
+                adapters=[
+                    DatabaseAdapter(
+                        sim, web_node, db_server.address, name=f"db{b}"
+                    )
+                ],
+                port=7301 + b,
+                qos=QoSPolicy(levels=1, threshold=10_000),  # no drops here
+                cache=ResultCache(
+                    capacity=cache_capacity,
+                    ttl=cache_ttl,
+                    clock=lambda: sim.now,
+                ),
+                clustering=clustering,
+                transactions=TransactionTracker(metrics=registry),
+                pool_size=4,
+                dispatchers=8,
+                metrics=registry,
+                name=f"cache-broker-{b}",
+                stages=stages,
+            )
+        )
+    if tier:
+        mesh = BrokerPeerGroup()
+        for broker in broker_list:
+            mesh.join(broker)
+
+    broker_clients = [
+        BrokerClient(sim, client_node, {"db": broker.address})
+        for broker in broker_list
+    ]
+
+    def _select_sql(grp: int) -> str:
+        return f"SELECT val FROM records WHERE grp = {grp}"
+
+    def _count_sql(grp: int) -> str:
+        return f"SELECT COUNT(*) FROM records WHERE grp = {grp}"
+
+    sampler = zipf_sampler(sim.rng("cache.keys"), groups, skew=key_skew)
+    op_rng = sim.rng("cache.ops")
+    stagger_rng = sim.rng("cache.stagger")
+    counts = {"requests": 0, "ok": 0, "from_cache": 0, "errors": 0,
+              "timeouts": 0, "writes": 0, "wb_accepted": 0}
+    latency = SummaryStats()
+
+    def client_loop(index: int):
+        broker = broker_list[index % brokers]
+        broker_client = broker_clients[index % brokers]
+        yield sim.timeout(stagger_rng.uniform(0.0, think_time + 0.5))
+        while True:
+            grp = sampler()
+            roll = op_rng.random()
+            if roll < write_fraction:
+                counts["writes"] += 1
+                row = (sampler() * 37) % table_rows
+                update = (
+                    f"UPDATE records SET val = {int(roll * 1000)} "
+                    f"WHERE id = {row}"
+                )
+                stale_keys = (
+                    f"db:query:{_select_sql(row % groups)!r}",
+                    f"db:query:{_count_sql(row % groups)!r}",
+                )
+                if cache_tier is not None and cache_tier.write_behind(
+                    broker, "query", update, keys=stale_keys
+                ):
+                    counts["wb_accepted"] += 1
+                    yield sim.timeout(think_time)
+                    continue
+                sql, cacheable = update, False
+            elif roll < write_fraction + count_fraction:
+                sql, cacheable = _count_sql(grp), True
+            else:
+                sql, cacheable = _select_sql(grp), True
+            counts["requests"] += 1
+            started = sim.now
+            try:
+                reply = yield from broker_client.call(
+                    "db", "query", sql, cacheable=cacheable, timeout=30.0
+                )
+            except BrokerTimeout:
+                counts["timeouts"] += 1
+            else:
+                if reply.status is ReplyStatus.OK:
+                    counts["ok"] += 1
+                    latency.add(sim.now - started)
+                    if reply.from_cache:
+                        counts["from_cache"] += 1
+                else:
+                    counts["errors"] += 1
+            yield sim.timeout(think_time)
+
+    for index in range(n_clients):
+        sim.process(client_loop(index), name=f"cache-client:{index}")
+
+    sim.run(until=duration)
+
+    counter = registry.counter
+    return CacheTierResult(
+        clients=n_clients,
+        brokers=brokers,
+        duration=duration,
+        tier_enabled=tier,
+        requests=counts["requests"],
+        ok=counts["ok"],
+        from_cache=counts["from_cache"],
+        errors=counts["errors"],
+        timeouts=counts["timeouts"],
+        writes=counts["writes"],
+        backend_queries=int(db_metrics.counter("db.queries")),
+        local_hits=int(counter("broker.cache.hits")),
+        local_misses=int(counter("broker.cache.misses")),
+        tier_hits=int(counter("broker.cachetier.hits")),
+        tier_misses=int(counter("broker.cachetier.misses")),
+        view_hits=int(db_metrics.counter("db.view.hits")),
+        combine_batches=int(counter("broker.cachetier.combine.batches")),
+        combine_remote_items=int(
+            counter("broker.cachetier.combine.remote_items")
+        ),
+        combine_yields=int(counter("broker.cachetier.combine.yields")),
+        write_behind_accepted=counts["wb_accepted"],
+        write_behind_flushed=int(
+            counter("broker.cachetier.writebehind.flushed")
+        ),
+        write_behind_overflow=int(
+            counter("broker.cachetier.writebehind.overflow")
+        ),
+        latency=latency,
+    )

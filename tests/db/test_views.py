@@ -1,0 +1,146 @@
+"""Tests for materialized views and the catalog's write invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, MaterializedView, ViewCatalog
+from repro.errors import QueryError
+from repro.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    table = database.create_table(
+        "records", [("id", int), ("grp", int), ("val", int)]
+    )
+    for i in range(12):
+        table.insert((i, i % 3, i * 10))
+    table.create_index("grp")
+    return database
+
+
+@pytest.fixture
+def catalog(db):
+    catalog = ViewCatalog(MetricsRegistry())
+    catalog.create(
+        "records_by_grp", db, "SELECT grp, COUNT(*) FROM records GROUP BY grp"
+    )
+    db.install_views(catalog)
+    return catalog
+
+
+class TestDefinitionValidation:
+    def test_plain_select_rejected(self, db):
+        with pytest.raises(QueryError):
+            MaterializedView("v", db, "SELECT val FROM records")
+
+    def test_ungrouped_aggregate_rejected(self, db):
+        with pytest.raises(QueryError):
+            MaterializedView("v", db, "SELECT COUNT(*) FROM records")
+
+    def test_filtered_definition_rejected(self, db):
+        with pytest.raises(QueryError):
+            MaterializedView(
+                "v", db,
+                "SELECT grp, COUNT(*) FROM records WHERE grp = 1 GROUP BY grp",
+            )
+
+    def test_definition_must_select_group_column(self, db):
+        with pytest.raises(QueryError):
+            MaterializedView(
+                "v", db, "SELECT val, COUNT(*) FROM records GROUP BY grp"
+            )
+
+    def test_valid_definition_starts_dirty(self, db):
+        view = MaterializedView(
+            "v", db, "SELECT grp, COUNT(*) FROM records GROUP BY grp"
+        )
+        assert view.dirty
+        assert view.refreshes == 0
+
+
+class TestAnswering:
+    def test_keyed_aggregate_served(self, db, catalog):
+        result = db.execute("SELECT COUNT(*) FROM records WHERE grp = 1")
+        assert result.stats.plan == "view:records_by_grp"
+        assert result.rows == ((4,),)
+
+    def test_absent_group_counts_zero(self, db, catalog):
+        result = db.execute("SELECT COUNT(*) FROM records WHERE grp = 99")
+        assert result.stats.plan == "view:records_by_grp"
+        assert result.rows == ((0,),)
+
+    def test_in_list_probe_per_key(self, db, catalog):
+        result = db.execute("SELECT COUNT(*) FROM records WHERE grp IN (0, 2)")
+        assert result.stats.plan == "view:records_by_grp"
+        assert result.rows == ((4,), (4,))
+        assert result.stats.rows_examined == 2
+
+    def test_full_grouped_read_sorted(self, db, catalog):
+        result = db.execute("SELECT grp, COUNT(*) FROM records GROUP BY grp")
+        assert result.stats.plan == "view:records_by_grp"
+        assert result.rows == ((0, 4), (1, 4), (2, 4))
+        assert result.columns == ("grp", "count")
+
+    def test_non_matching_select_falls_through(self, db, catalog):
+        result = db.execute("SELECT val FROM records WHERE grp = 1")
+        assert not result.stats.plan.startswith("view:")
+        assert len(result.rows) == 4
+
+    def test_different_aggregate_falls_through(self, db, catalog):
+        result = db.execute("SELECT SUM(val) FROM records WHERE grp = 1")
+        assert not result.stats.plan.startswith("view:")
+
+    def test_hits_counted(self, db, catalog):
+        db.execute("SELECT COUNT(*) FROM records WHERE grp = 0")
+        db.execute("SELECT COUNT(*) FROM records WHERE grp = 1")
+        assert catalog.metrics.counter("db.view.hits") == 2
+
+
+class TestInvalidation:
+    def test_write_marks_dirty_and_next_read_refreshes(self, db, catalog):
+        view = catalog.views[0]
+        db.execute("SELECT COUNT(*) FROM records WHERE grp = 0")
+        assert not view.dirty
+        refreshes = view.refreshes
+        db.execute("INSERT INTO records (id, grp, val) VALUES (100, 0, 0)")
+        assert view.dirty
+        assert catalog.metrics.counter("db.view.invalidations") == 1
+        result = db.execute("SELECT COUNT(*) FROM records WHERE grp = 0")
+        assert result.rows == ((5,),)
+        assert view.refreshes == refreshes + 1
+
+    def test_lazy_refresh_amortized_over_reads(self, db, catalog):
+        view = catalog.views[0]
+        db.execute("UPDATE records SET val = 1 WHERE id = 0")
+        db.execute("SELECT COUNT(*) FROM records WHERE grp = 0")
+        db.execute("SELECT COUNT(*) FROM records WHERE grp = 1")
+        db.execute("SELECT COUNT(*) FROM records WHERE grp = 2")
+        assert view.refreshes == 1
+
+    def test_repeat_writes_invalidate_once(self, db, catalog):
+        db.execute("SELECT COUNT(*) FROM records WHERE grp = 0")
+        db.execute("DELETE FROM records WHERE id = 0")
+        db.execute("DELETE FROM records WHERE id = 1")
+        assert catalog.metrics.counter("db.view.invalidations") == 1
+
+    def test_write_to_other_table_ignored(self, db, catalog):
+        other = db.create_table("other", [("id", int)])
+        other.insert((1,))
+        db.execute("SELECT COUNT(*) FROM records WHERE grp = 0")
+        db.execute("DELETE FROM other WHERE id = 1")
+        assert catalog.views[0].dirty is False
+
+
+class TestCatalog:
+    def test_uninstalled_database_unaffected(self, db):
+        result = db.execute("SELECT COUNT(*) FROM records WHERE grp = 1")
+        assert not result.stats.plan.startswith("view:")
+
+    def test_catalog_without_matching_table_falls_through(self, db):
+        catalog = ViewCatalog()
+        db.install_views(catalog)
+        result = db.execute("SELECT COUNT(*) FROM records WHERE grp = 1")
+        assert not result.stats.plan.startswith("view:")

@@ -266,3 +266,61 @@ class TestCommands:
         main(["fig7", "--degrees", "2", "--seed", "11"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestCacheCommand:
+    def test_cache_defaults(self):
+        args = build_parser().parse_args(["cache"])
+        assert args.command == "cache"
+        assert not args.describe and not args.quick
+        assert args.clients == 600
+        assert args.brokers == 4
+        assert args.duration == 30.0
+        assert args.ttl == 2.0
+        assert not args.no_views
+        assert args.summary_out is None
+        assert args.seed == 2026
+
+    def test_cache_flags(self):
+        args = build_parser().parse_args(
+            ["cache", "--quick", "--clients", "40", "--brokers", "2",
+             "--duration", "4", "--ttl", "1.5", "--no-views",
+             "--summary-out", "c.json", "--seed", "7"]
+        )
+        assert args.quick
+        assert args.clients == 40 and args.brokers == 2
+        assert args.duration == 4.0 and args.ttl == 1.5
+        assert args.no_views
+        assert args.summary_out == "c.json"
+        assert args.seed == 7
+
+    def test_cache_describe(self, capsys):
+        assert main(["cache", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "Cache-tier broker pipeline" in out
+        assert "cache-tier" in out and "query-combine" in out
+        assert "write-through" in out
+        assert "broker.cachetier" in out
+
+    def test_pipeline_describes_cache_tier_model(self, capsys):
+        assert main(["pipeline", "--describe", "--model", "cache-tier"]) == 0
+        out = capsys.readouterr().out
+        assert "cache-tier broker pipeline (12 stages)" in out
+        assert "query-combine" in out
+
+    def test_cache_small_run_with_summary(self, capsys, tmp_path):
+        import json
+
+        summary = tmp_path / "CACHE_tier.json"
+        assert main([
+            "cache", "--clients", "24", "--brokers", "2", "--duration", "2",
+            "--summary-out", str(summary), "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Cross-request optimization tier" in out
+        assert "local-caches" in out and "shared-tier" in out
+        assert "backend-load reduction" in out
+        payload = json.loads(summary.read_text())
+        assert payload["reduction"] > 1.0
+        assert payload["modes"]["shared-tier"]["tier_hits"] > 0
+        assert payload["modes"]["local-caches"]["tier_hits"] == 0

@@ -23,7 +23,7 @@ IGNORED_MODULES = {"repro.__main__"}
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/operations.md")
 
 
 def _walk_modules():
@@ -130,12 +130,46 @@ class TestDocsReferenceCode:
         missing = referenced - known
         assert not missing, f"docs reference unknown CLI subcommands: {missing}"
 
+    def test_documented_cli_invocations_parse(self):
+        """Every full `python -m repro ...` line in the docs must be
+        accepted by the real argument parser, flags and all."""
+        import shlex
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        invocations = []
+        for doc in DOC_FILES:
+            # Capture through end-of-line but stop at backticks and
+            # comments; require a subcommand-shaped first token so
+            # placeholders like `python -m repro <artifact>` are skipped.
+            for argv in re.findall(
+                r"python -m repro ([a-z0-9]+(?: [^`\n#]*)?)", _read_doc(doc)
+            ):
+                if "|" in argv or "..." in argv:
+                    continue  # usage summary, not an invocation
+                invocations.append((doc, argv.strip()))
+        assert invocations, "docs no longer show any CLI invocations"
+        rejected = []
+        for doc, argv in invocations:
+            try:
+                parser.parse_args(shlex.split(argv))
+            except SystemExit:
+                rejected.append(f"{doc}: python -m repro {argv}")
+        assert not rejected, f"docs show invocations the CLI rejects: {rejected}"
+
     def test_every_pipeline_stage_is_documented(self):
         from repro.core.pipeline import stage_plan
 
         design = _read_doc("DESIGN.md")
         missing = set()
-        for model in ("distributed", "centralized", "fault-tolerant", "sharded"):
+        for model in (
+            "distributed",
+            "centralized",
+            "fault-tolerant",
+            "sharded",
+            "cache-tier",
+        ):
             for stage in stage_plan(model):
                 if stage.name not in design:
                     missing.add(stage.name)
@@ -146,7 +180,13 @@ class TestDocsReferenceCode:
 
         known = {
             stage.name
-            for model in ("distributed", "centralized", "fault-tolerant", "sharded")
+            for model in (
+                "distributed",
+                "centralized",
+                "fault-tolerant",
+                "sharded",
+                "cache-tier",
+            )
             for stage in stage_plan(model)
         }
         readme = _read_doc("README.md")
@@ -164,8 +204,8 @@ class TestDocsReferenceCode:
         for doc in DOC_FILES:
             referenced.update(
                 re.findall(
-                    r"broker\.(?:fault|retry|breaker|degraded_replies)"
-                    r"(?:\.[a-z_]+)*",
+                    r"broker\.(?:fault|retry|breaker|degraded_replies"
+                    r"|cachetier|cache)(?:\.[a-z_]+)*",
                     _read_doc(doc),
                 )
             )
@@ -203,8 +243,12 @@ class TestDocLinks:
             if target.startswith(("http://", "https://", "mailto:")):
                 continue
             path_part, _, anchor = target.partition("#")
+            # Relative links resolve against the doc's own directory so
+            # that `../DESIGN.md` from docs/operations.md works.
             base = (
-                REPO_ROOT / doc if not path_part else REPO_ROOT / path_part
+                REPO_ROOT / doc
+                if not path_part
+                else ((REPO_ROOT / doc).parent / path_part).resolve()
             )
             if path_part and not base.exists():
                 broken.append(target)
@@ -221,7 +265,8 @@ class TestDocLinks:
         text = _read_doc(doc)
         missing = []
         for path in re.findall(
-            r"`((?:src|tests|benchmarks|examples)/[\w./-]+\.(?:py|md))`", text
+            r"`((?:src|tests|benchmarks|examples|docs)/[\w./-]+\.(?:py|md))`",
+            text,
         ):
             if not (REPO_ROOT / path).exists():
                 missing.append(path)

@@ -110,3 +110,50 @@ class TestCentralizedQosScenario:
         served_c = sum(centralized.full_fidelity.values())
         served_b = sum(broker.full_fidelity.values())
         assert served_c > 0.5 * served_b
+
+
+class TestCacheTierScenario:
+    def test_tier_reduces_backend_load(self):
+        from repro.workload import run_cache_tier_experiment
+
+        base = run_cache_tier_experiment(
+            n_clients=30, brokers=3, duration=3.0, tier=False, seed=7
+        )
+        tier = run_cache_tier_experiment(
+            n_clients=30, brokers=3, duration=3.0, tier=True, seed=7
+        )
+        assert base.errors == 0 and tier.errors == 0
+        assert not base.tier_enabled and tier.tier_enabled
+        # The headline effect: the shared tier absorbs backend refetches
+        # that per-broker caches each pay for separately.
+        assert tier.backend_queries < base.backend_queries
+        assert tier.tier_hits > 0
+        assert tier.view_hits > 0
+        assert base.tier_hits == 0 and base.view_hits == 0
+        # Write-behind ran and the flush queue drained cleanly.
+        assert tier.write_behind_flushed > 0
+        assert 0.0 < tier.tier_hit_ratio <= 1.0
+
+    def test_accounting_is_consistent(self):
+        from repro.workload import run_cache_tier_experiment
+
+        result = run_cache_tier_experiment(
+            n_clients=20, brokers=2, duration=2.0, tier=True, seed=5
+        )
+        assert result.requests >= result.ok
+        assert result.from_cache <= result.ok
+        assert result.local_hits + result.local_misses > 0
+        assert result.latency.count == result.ok
+
+    def test_deterministic_at_fixed_seed(self):
+        from repro.workload import run_cache_tier_experiment
+
+        first = run_cache_tier_experiment(
+            n_clients=20, brokers=2, duration=2.0, tier=True, seed=9
+        )
+        second = run_cache_tier_experiment(
+            n_clients=20, brokers=2, duration=2.0, tier=True, seed=9
+        )
+        assert first.backend_queries == second.backend_queries
+        assert first.requests == second.requests
+        assert first.latency.mean == second.latency.mean
