@@ -1,28 +1,38 @@
 """Hot-path performance benchmarks and the regression harness.
 
-Three benchmarks, exposed through ``python -m repro bench``:
+Four benchmarks, exposed through ``python -m repro bench`` and selected
+with ``--suite``:
 
 * ``kernel`` — a pure event-kernel micro-benchmark: many concurrent
   processes each yielding a long chain of timeouts, measured in
-  simulator events per wall-clock second. Exercises the heap loop,
+  simulator events per wall-clock second. The primary number uses the
+  kernel-native float-yield idiom (``yield 0.001``, see DESIGN.md §14);
+  ``timeout_events_per_sec`` tracks the classic
+  ``yield sim.timeout(...)`` spelling. Exercises the batched heap loop,
   the :class:`~repro.sim.core.Timeout` pool, and process resumption
   with no networking or broker code at all.
-* ``pipeline`` — a small broker scenario (10 closed-loop clients
-  against the distributed stage plan) measured in completed requests
-  per wall-clock second. Exercises the full ingress/dispatch pipeline,
-  the net layer, and the metrics registry.
+* ``pipeline`` — a small broker scenario (closed-loop clients against
+  the distributed stage plan) measured in completed requests per
+  wall-clock second. Exercises the full ingress/dispatch pipeline, the
+  net layer, and the metrics registry.
 * ``macro`` — the §V.B QoS testbed at full size
   (``run_qos_experiment(60, mode="broker", duration=120.0)``),
   repeated several times; reports requests per wall-clock second plus
   the p50/p99 of the per-repetition wall times.
+* ``parallel`` — the sharded §V.B testbed under
+  :class:`~repro.sim.parallel.ParallelSimulation`, swept over worker
+  counts; reports per-point wall times and the speedup relative to
+  ``workers=1``. Scaling is bounded by the cores actually available
+  (the result records ``cores``); on a single-core host the sweep
+  measures synchronization overhead, not speedup.
 
-Results are written as JSON (default ``BENCH_pipeline.json``) and
-compared against a committed baseline
-(``benchmarks/perf/baseline.json``): a throughput drop beyond the
-allowed regression fraction raises :class:`BenchRegression`, which the
-CLI turns into a non-zero exit code. Throughput numbers are
-machine-dependent — the committed baseline tracks relative regressions
-in CI, not absolute performance.
+Results are written as JSON (``BENCH_pipeline.json``, or
+``BENCH_parallel.json`` for the parallel-only suite) and compared
+against a committed baseline (``benchmarks/perf/baseline.json``): a
+throughput drop beyond the allowed regression fraction raises
+:class:`BenchRegression`, which the CLI turns into a non-zero exit
+code. Throughput numbers are machine-dependent — the committed baseline
+tracks relative regressions in CI, not absolute performance.
 """
 
 from __future__ import annotations
@@ -33,20 +43,24 @@ import json
 import pstats
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from .sim.core import Simulation
-from .workload.scenarios import run_qos_experiment
+from .sim.parallel import available_workers
+from .workload.scenarios import run_qos_experiment, run_sharded_qos_experiment
 
 __all__ = [
     "BenchRegression",
     "bench_kernel",
     "bench_pipeline",
     "bench_macro",
+    "bench_parallel",
     "run_suite",
     "compare_to_baseline",
     "render_report",
     "DEFAULT_BASELINE",
+    "DEFAULT_PROFILE_OUT",
+    "SUITES",
 ]
 
 #: Seed shared by every benchmark run (results are fully deterministic).
@@ -55,11 +69,29 @@ SEED = 2026
 #: Default location of the committed baseline, relative to the repo root.
 DEFAULT_BASELINE = Path("benchmarks") / "perf" / "baseline.json"
 
+#: Default file the ``--profile`` pstats dump is written to.
+DEFAULT_PROFILE_OUT = "BENCH_profile.pstats"
+
+#: ``--suite`` names -> benchmarks run. ``default`` is the historical
+#: trio; ``parallel`` is split out because it forks worker processes.
+SUITES: Dict[str, Sequence[str]] = {
+    "default": ("kernel", "pipeline", "macro"),
+    "kernel": ("kernel",),
+    "pipeline": ("pipeline",),
+    "macro": ("macro",),
+    "parallel": ("parallel",),
+    "all": ("kernel", "pipeline", "macro", "parallel"),
+}
+
 #: Throughput keys checked against the baseline, per benchmark.
+#: Benchmarks absent from the result document are skipped; benchmarks
+#: present in the results but absent from the baseline section are
+#: reported as uncompared rather than failing.
 _COMPARED = (
     ("kernel", "events_per_sec"),
     ("pipeline", "requests_per_sec"),
     ("macro", "requests_per_sec"),
+    ("parallel", "pages_per_sec_w1"),
 )
 
 
@@ -83,25 +115,44 @@ def _percentile(values: List[float], fraction: float) -> float:
 
 
 def bench_kernel(events: int = 500_000, processes: int = 100) -> Dict[str, Any]:
-    """Measure raw kernel throughput in events per wall-clock second."""
-    sim = Simulation(seed=SEED)
+    """Measure raw kernel throughput in events per wall-clock second.
+
+    Runs the same timer-chain workload twice: once with the
+    kernel-native float-yield idiom (the primary ``events_per_sec``)
+    and once with explicit :meth:`~repro.sim.core.Simulation.timeout`
+    events (``timeout_events_per_sec``), so both hot paths stay on the
+    regression radar.
+    """
     per_process = events // processes
-
-    def chain(step: float):
-        timeout = sim.timeout
-        for _ in range(per_process):
-            yield timeout(step)
-
-    for index in range(processes):
-        sim.process(chain(0.001 * (index + 1)), name=f"bench{index}")
-    started = time.perf_counter()
-    sim.run()
-    wall = time.perf_counter() - started
     total = per_process * processes
+
+    def measure(float_idiom: bool) -> float:
+        sim = Simulation(seed=SEED)
+
+        def float_chain(step: float):
+            for _ in range(per_process):
+                yield step
+
+        def timeout_chain(step: float):
+            timeout = sim.timeout
+            for _ in range(per_process):
+                yield timeout(step)
+
+        chain = float_chain if float_idiom else timeout_chain
+        for index in range(processes):
+            sim.process(chain(0.001 * (index + 1)), name=f"bench{index}")
+        started = time.perf_counter()
+        sim.run()
+        return time.perf_counter() - started
+
+    wall = measure(float_idiom=True)
+    timeout_wall = measure(float_idiom=False)
     return {
         "events": total,
         "wall_s": wall,
         "events_per_sec": total / wall,
+        "timeout_wall_s": timeout_wall,
+        "timeout_events_per_sec": total / timeout_wall,
     }
 
 
@@ -156,43 +207,129 @@ def bench_macro(
     }
 
 
-def run_suite(quick: bool = False) -> Dict[str, Any]:
-    """Run all three benchmarks and return the result document.
+def bench_parallel(
+    clients: int = 48,
+    shards: int = 16,
+    duration: float = 60.0,
+    workers_list: Sequence[int] = (1, 2, 4, 8),
+    repeats: int = 2,
+) -> Dict[str, Any]:
+    """Sweep the sharded §V.B testbed over worker counts.
+
+    The ``workers=1`` point is the exact serial code path (the golden
+    baseline users run by default); every ``workers>=2`` point runs
+    the per-shard partitioned topology on a process pool. Wall times
+    are best-of-*repeats*; ``speedup_vs_w1`` is relative to the
+    ``workers=1`` point of the same invocation — i.e. the speedup a
+    caller actually gets over the serial experiment.
+    """
+    points: List[Dict[str, Any]] = []
+    pages = 0
+    for workers in workers_list:
+        walls: List[float] = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = run_sharded_qos_experiment(
+                clients,
+                shards=shards,
+                replicas=1,
+                duration=duration,
+                seed=SEED,
+                workers=workers,
+            )
+            walls.append(time.perf_counter() - started)
+            pages = sum(result.completions.values())
+        points.append(
+            {"workers": workers, "wall_s": min(walls), "pages": pages}
+        )
+    wall_w1 = points[0]["wall_s"]
+    for point in points:
+        point["speedup_vs_w1"] = wall_w1 / point["wall_s"]
+    return {
+        "clients": clients,
+        "shards": shards,
+        "duration_virtual_s": duration,
+        "repeats": repeats,
+        "cores": available_workers(),
+        "points": points,
+        "wall_w1_s": wall_w1,
+        "pages_per_sec_w1": points[0]["pages"] / wall_w1,
+        "best_speedup": max(p["speedup_vs_w1"] for p in points),
+    }
+
+
+def run_suite(quick: bool = False, suite: str = "default") -> Dict[str, Any]:
+    """Run the benchmarks named by *suite*; return the result document.
 
     ``quick`` shrinks every benchmark (~3 s total instead of ~20 s);
     quick and full results are never compared to each other — the
     baseline file keeps one section per mode.
     """
+    try:
+        benches = SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r} (choose from {sorted(SUITES)})"
+        ) from None
+    results: Dict[str, Any] = {
+        "schema": 2,
+        "mode": "quick" if quick else "full",
+        "suite": suite,
+        "seed": SEED,
+    }
     if quick:
         # Walls below ~0.2 s are startup-jitter dominated, so even the
         # quick points stay big enough to give a stable throughput.
-        kernel = bench_kernel(events=100_000, processes=50)
-        pipeline = bench_pipeline(duration=120.0, clients=30, repeats=2)
-        macro = bench_macro(duration=20.0, repeats=2)
+        runners = {
+            "kernel": lambda: bench_kernel(events=100_000, processes=50),
+            "pipeline": lambda: bench_pipeline(
+                duration=120.0, clients=30, repeats=2
+            ),
+            "macro": lambda: bench_macro(duration=20.0, repeats=2),
+            # Kept big enough that the workers=1 wall clears startup
+            # jitter; the gated pages_per_sec_w1 needs a stable wall.
+            "parallel": lambda: bench_parallel(
+                clients=24,
+                shards=4,
+                duration=60.0,
+                workers_list=(1, 2),
+                repeats=1,
+            ),
+        }
     else:
-        kernel = bench_kernel()
-        pipeline = bench_pipeline()
-        macro = bench_macro()
-    return {
-        "schema": 1,
-        "mode": "quick" if quick else "full",
-        "seed": SEED,
-        "kernel": kernel,
-        "pipeline": pipeline,
-        "macro": macro,
-    }
+        runners = {
+            "kernel": bench_kernel,
+            "pipeline": bench_pipeline,
+            "macro": bench_macro,
+            "parallel": bench_parallel,
+        }
+    for bench in benches:
+        results[bench] = runners[bench]()
+    return results
 
 
-def profile_macro(top: int = 25) -> str:
-    """Run one macro repetition under cProfile; return the top-N table."""
+def profile_macro(
+    out: str = DEFAULT_PROFILE_OUT, top: int = 10
+) -> str:
+    """Run one macro repetition under cProfile.
+
+    The full stats are dumped to *out* in the binary ``pstats`` format
+    (load with ``python -m pstats`` or ``snakeviz``); the returned
+    string is only a short top-*top* cumulative-time summary for the
+    report, so the stats no longer flood stdout.
+    """
     profiler = cProfile.Profile()
     profiler.enable()
     run_qos_experiment(60, mode="broker", duration=120.0, seed=SEED)
     profiler.disable()
+    profiler.dump_stats(out)
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("cumulative").print_stats(top)
-    return buffer.getvalue()
+    return (
+        f"cProfile stats written to {out} "
+        f"(load with: python -m pstats {out})\n" + buffer.getvalue()
+    )
 
 
 def compare_to_baseline(
@@ -204,7 +341,9 @@ def compare_to_baseline(
 
     Returns one human-readable line per compared metric; raises
     :class:`ValueError` when the baseline has no section for this mode.
-    Lines for metrics that regressed beyond *max_regression* start with
+    Benchmarks the suite did not run are skipped; benchmarks missing
+    from the baseline section are reported but not failed. Lines for
+    metrics that regressed beyond *max_regression* start with
     ``REGRESSION``.
     """
     section = baseline.get(results["mode"])
@@ -215,7 +354,15 @@ def compare_to_baseline(
         )
     lines = []
     for bench, key in _COMPARED:
+        if bench not in results:
+            continue
         current = results[bench][key]
+        if bench not in section:
+            lines.append(
+                f"{'no-base':>10}  {bench}.{key}: {current:,.0f} "
+                f"(baseline has no {bench!r} entry; not compared)"
+            )
+            continue
         reference = section[bench][key]
         floor = reference * (1.0 - max_regression)
         ratio = current / reference if reference else float("inf")
@@ -230,37 +377,69 @@ def compare_to_baseline(
 
 def render_report(results: Dict[str, Any]) -> str:
     """Render the result document as an aligned text summary."""
-    kernel = results["kernel"]
-    pipeline = results["pipeline"]
-    macro = results["macro"]
-    return "\n".join(
-        [
-            f"bench ({results['mode']} mode, seed {results['seed']})",
+    lines = [
+        f"bench ({results['mode']} mode, suite "
+        f"{results.get('suite', 'default')}, seed {results['seed']})"
+    ]
+    kernel = results.get("kernel")
+    if kernel is not None:
+        lines.append(
             f"  kernel:   {kernel['events_per_sec']:>12,.0f} events/s "
-            f"({kernel['events']:,} events in {kernel['wall_s']:.3f}s)",
+            f"({kernel['events']:,} events in {kernel['wall_s']:.3f}s; "
+            f"timeout idiom {kernel['timeout_events_per_sec']:,.0f}/s)"
+        )
+    pipeline = results.get("pipeline")
+    if pipeline is not None:
+        lines.append(
             f"  pipeline: {pipeline['requests_per_sec']:>12,.0f} requests/s "
-            f"({pipeline['requests']:,} requests in {pipeline['wall_s']:.3f}s)",
+            f"({pipeline['requests']:,} requests in {pipeline['wall_s']:.3f}s)"
+        )
+    macro = results.get("macro")
+    if macro is not None:
+        lines.append(
             f"  macro:    {macro['requests_per_sec']:>12,.0f} requests/s "
             f"({macro['requests']:,} requests, best of {macro['repeats']} "
             f"wall {macro['wall_best_s']:.3f}s, "
-            f"p50 {macro['wall_p50_s']:.3f}s, p99 {macro['wall_p99_s']:.3f}s)",
-        ]
-    )
+            f"p50 {macro['wall_p50_s']:.3f}s, p99 {macro['wall_p99_s']:.3f}s)"
+        )
+    parallel = results.get("parallel")
+    if parallel is not None:
+        lines.append(
+            f"  parallel: {parallel['shards']} shards, "
+            f"{parallel['clients']} clients, {parallel['cores']} core(s):"
+        )
+        for point in parallel["points"]:
+            lines.append(
+                f"    workers={point['workers']}: "
+                f"wall {point['wall_s']:.3f}s "
+                f"({point['speedup_vs_w1']:.2f}x vs workers=1, "
+                f"{point['pages']:,} pages)"
+            )
+    return "\n".join(lines)
 
 
 def run_bench_command(
     quick: bool = False,
     profile: bool = False,
-    out: Optional[str] = "BENCH_pipeline.json",
+    out: Optional[str] = None,
     baseline_path: Optional[str] = None,
     max_regression: float = 0.30,
+    suite: str = "default",
+    profile_out: str = DEFAULT_PROFILE_OUT,
 ) -> str:
     """The ``repro bench`` implementation; returns the printed report.
 
-    Raises :class:`BenchRegression` when a compared throughput falls
-    more than *max_regression* below the baseline.
+    ``out=None`` picks ``BENCH_parallel.json`` for the parallel-only
+    suite and ``BENCH_pipeline.json`` otherwise; pass ``""`` to skip
+    writing. Raises :class:`BenchRegression` when a compared throughput
+    falls more than *max_regression* below the baseline.
     """
-    results = run_suite(quick=quick)
+    results = run_suite(quick=quick, suite=suite)
+    if out is None:
+        out = (
+            "BENCH_parallel.json" if suite == "parallel"
+            else "BENCH_pipeline.json"
+        )
     parts = [render_report(results)]
     if out:
         Path(out).write_text(
@@ -287,6 +466,5 @@ def run_bench_command(
         parts.append(f"no baseline at {path}; comparison skipped")
     if profile:
         parts.append("")
-        parts.append("cProfile (macro scenario, top 25 by cumulative time):")
-        parts.append(profile_macro())
+        parts.append(profile_macro(out=profile_out))
     return "\n".join(parts)

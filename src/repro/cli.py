@@ -208,12 +208,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--profile", action="store_true",
-        help="also run the macro scenario under cProfile (top 25)",
+        help="also run the macro scenario under cProfile; full stats go "
+        "to --profile-out, the report shows a short summary",
     )
     bench.add_argument(
-        "--out", default="BENCH_pipeline.json",
-        help="write results JSON here (default BENCH_pipeline.json; "
-        "pass an empty string to skip)",
+        "--profile-out", default="BENCH_profile.pstats",
+        help="file for the --profile pstats dump "
+        "(default BENCH_profile.pstats)",
+    )
+    bench.add_argument(
+        "--suite", default="default",
+        choices=["default", "kernel", "pipeline", "macro", "parallel", "all"],
+        help="which benchmarks to run (default: kernel+pipeline+macro; "
+        "'parallel' sweeps the sharded testbed over worker counts)",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="write results JSON here (default BENCH_pipeline.json, or "
+        "BENCH_parallel.json for --suite parallel; pass an empty string "
+        "to skip)",
     )
     bench.add_argument(
         "--baseline", default=None,
@@ -935,9 +948,11 @@ def run_bench(args) -> str:
     return run_bench_command(
         quick=args.quick,
         profile=args.profile,
-        out=args.out or None,
+        out=args.out,
         baseline_path=args.baseline,
         max_regression=args.max_regression,
+        suite=args.suite,
+        profile_out=args.profile_out,
     )
 
 

@@ -432,7 +432,7 @@ class ServiceBroker:
                 address,
             )
             seq += 1
-            yield self.sim.timeout(interval)
+            yield interval
 
     # -- replies and load reports -----------------------------------------
 

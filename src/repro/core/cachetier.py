@@ -281,7 +281,7 @@ class SharedCacheTier:
 
     def _flush_loop(self):
         while True:
-            yield self.sim.timeout(self.flush_interval)
+            yield self.flush_interval
             drained = 0
             while self._flush_queue and drained < self.flush_batch:
                 yield from self._flush_one(self._flush_queue.popleft())

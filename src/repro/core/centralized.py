@@ -117,7 +117,7 @@ class LoadListener:
                 self.metrics.increment("listener.malformed")
                 continue
             # The single listener thread serializes update processing.
-            yield self.sim.timeout(self.process_time)
+            yield self.process_time
             self.table[report.service] = report
             self._applied[report.service] = self.sim.now
             self.metrics.increment("listener.updates")

@@ -111,7 +111,7 @@ class HotSpotMonitor:
 
     def _watch(self):
         while True:
-            yield self.sim.timeout(self.poll_interval)
+            yield self.poll_interval
             load = self.broker.outstanding
             if not self.hot and load >= self.onset:
                 self.hot = True

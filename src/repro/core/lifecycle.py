@@ -285,7 +285,7 @@ class BrokerSupervisor:
         sim = self.sim
         miss_timeout = watch.interval * watch.miss_factor
         while True:
-            yield sim.timeout(watch.interval)
+            yield watch.interval
             if watch.up and sim.now - watch.last_heard > miss_timeout:
                 watch.up = False
                 watch.down_since = sim.now

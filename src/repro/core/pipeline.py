@@ -1478,7 +1478,7 @@ class RetryStage(BrokerStage):
             broker.metrics.increment("broker.retry.attempts")
             broker.metrics.observe("broker.retry.backoff", delay)
             if delay > 0:
-                yield sim.timeout(delay)
+                yield delay
             candidates = available_backends(broker.backends)
             if not candidates:
                 batch.failure = "all backends circuit-open"

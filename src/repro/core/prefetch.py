@@ -65,11 +65,11 @@ class Prefetcher:
 
     def _run_rule(self, rule: PrefetchRule):
         while True:
-            yield self.sim.timeout(rule.period)
+            yield rule.period
             # Wait for an idle moment; a busy broker postpones prefetch.
             deferred = 0.0
             while self.broker.outstanding > self.idle_threshold:
-                yield self.sim.timeout(self.backoff)
+                yield self.backoff
                 deferred += self.backoff
                 if deferred >= rule.period:
                     self.metrics.increment("prefetch.skipped_busy")

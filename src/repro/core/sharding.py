@@ -142,6 +142,20 @@ class HashRing:
                     break
         return found
 
+    def partition(self, keys: Sequence[str]) -> Dict[str, List[str]]:
+        """Group *keys* by owning node: ``{node: [keys...]}``.
+
+        Every member node appears in the result (possibly with an empty
+        list), in insertion order; within a node, keys keep their input
+        order. This is the partitioning primitive the parallel scenario
+        driver uses to split a workload's key space into per-shard
+        slices whose union is exactly the original key population.
+        """
+        buckets: Dict[str, List[str]] = {node: [] for node in self._nodes}
+        for key in keys:
+            buckets[self.owner(key)].append(key)
+        return buckets
+
     def __repr__(self) -> str:
         return (
             f"<HashRing seed={self.seed} vnodes={self.vnodes} "
@@ -342,14 +356,34 @@ class ShardDirectory:
         groups: Sequence[ShardGroup],
         seed: int = 0,
         vnodes: int = 64,
+        universe: Optional[Sequence[int]] = None,
     ) -> HashRing:
-        """Register *service* with its shard *groups*; returns the ring."""
+        """Register *service* with its shard *groups*; returns the ring.
+
+        *universe* names every shard index that exists in the logical
+        topology; it defaults to the indices of *groups*. A parallel
+        partition slice (see :mod:`repro.sim.parallel`) instantiates
+        brokers for only its own shard but must build the ring over the
+        **full** universe so ``key -> shard`` placement is identical to
+        the unpartitioned topology; routing a key owned by an
+        uninstantiated shard then fails loudly rather than silently
+        rehashing onto the local one.
+        """
         if service in self._rings:
             raise BrokerError(f"service {service!r} already registered")
         if not groups:
             raise BrokerError(f"service {service!r} needs at least one shard")
+        indices = [g.index for g in groups]
+        if universe is None:
+            universe = indices
+        missing = set(indices) - set(universe)
+        if missing:
+            raise BrokerError(
+                f"groups {sorted(missing)} not in the ring universe "
+                f"{sorted(universe)} for service {service!r}"
+            )
         ring = HashRing(
-            seed=seed, vnodes=vnodes, nodes=[str(g.index) for g in groups]
+            seed=seed, vnodes=vnodes, nodes=[str(i) for i in universe]
         )
         self._rings[service] = ring
         self._groups[service] = {g.index: g for g in groups}
@@ -365,7 +399,14 @@ class ShardDirectory:
 
     def group(self, service: str, shard: int) -> ShardGroup:
         """The :class:`ShardGroup` serving (*service*, *shard*)."""
-        return self._groups[service][shard]
+        try:
+            return self._groups[service][shard]
+        except KeyError:
+            raise BrokerError(
+                f"shard {shard} of service {service!r} is not instantiated "
+                f"in this partition (ring universe is wider than the local "
+                f"groups)"
+            ) from None
 
     def shard_of(self, service: str, key: str) -> int:
         """The shard index owning *key* for *service*."""

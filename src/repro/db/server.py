@@ -102,7 +102,7 @@ class DatabaseServer:
             connection.send(("error", "expected hello"))
             connection.close()
             return
-        yield self.sim.timeout(self.auth_time)
+        yield self.auth_time
         connection.send(("welcome", self.database.name))
 
         while True:
@@ -130,13 +130,13 @@ class DatabaseServer:
             try:
                 result = self.database.execute(sql)
             except QueryError as exc:
-                yield self.sim.timeout(self.cost_model.base)
+                yield self.cost_model.base
                 self.metrics.increment("db.errors")
                 if not connection.closed:
                     connection.send(("error", str(exc)))
                 return
             service_time = self.cost_model.service_time(result.stats)
-            yield self.sim.timeout(service_time)
+            yield service_time
             self.metrics.observe("db.service_time", service_time)
             self.metrics.increment("db.rows_examined", result.stats.rows_examined)
             if not connection.closed:

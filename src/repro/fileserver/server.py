@@ -116,7 +116,7 @@ class FileServer:
             for extent in extents:
                 service = self.disk.access(extent.start, extent.length)
                 total_time += service
-                yield self.sim.timeout(service)
+                yield service
             self.metrics.increment("file.reads")
             self.metrics.observe("file.read_time", total_time)
             item.done.succeed(
@@ -166,7 +166,7 @@ class FileServer:
                 continue
             command = message[0]
             if command == "mount":
-                yield self.sim.timeout(self.mount_time)
+                yield self.mount_time
                 mounted = True
                 connection.send(("mounted",))
                 continue

@@ -240,7 +240,7 @@ class FrontendWebServer:
         if app is None:
             self.metrics.increment("frontend.errors")
             return HttpResponse.error(404, f"no application at {request.path!r}")
-        yield self.sim.timeout(app.parse_time)
+        yield app.parse_time
         try:
             outcome = app.handler(self, request)
             if hasattr(outcome, "send"):

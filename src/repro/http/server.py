@@ -168,7 +168,7 @@ class BackendWebServer:
             return HttpResponse.text(str(outcome))
         body = self._static.get(request.path)
         if body is not None:
-            yield self.sim.timeout(self.static_service_time * self.service_time_scale)
+            yield self.static_service_time * self.service_time_scale
             return HttpResponse.text(body)
         self.metrics.increment("http.errors")
         return HttpResponse.error(404, f"no resource at {request.path!r}")

@@ -97,7 +97,7 @@ class DirectoryServer:
                 continue
             command = message[0]
             if command == "bind":
-                yield self.sim.timeout(self.cost_model.bind_time)
+                yield self.cost_model.bind_time
                 bound = True
                 connection.send(("bound",))
                 continue
@@ -119,7 +119,7 @@ class DirectoryServer:
                     _, base, scope, filter_expr = message
                     matches, examined = self.tree.search(base, scope, filter_expr)
                     service = self.cost_model.search_time(examined, len(matches))
-                    yield self.sim.timeout(service)
+                    yield service
                     self.metrics.increment("ldap.searches")
                     self.metrics.observe("ldap.entries_examined", examined)
                     payload = [(str(e.dn), e.to_dict()) for e in matches]
@@ -127,19 +127,19 @@ class DirectoryServer:
                 elif command == "add":
                     _, dn, attributes = message
                     self.tree.add(dn, attributes)
-                    yield self.sim.timeout(self.cost_model.write_time())
+                    yield self.cost_model.write_time()
                     self.metrics.increment("ldap.writes")
                     reply = ("ok",)
                 elif command == "modify":
                     _, dn, changes = message
                     self.tree.modify(dn, changes)
-                    yield self.sim.timeout(self.cost_model.write_time())
+                    yield self.cost_model.write_time()
                     self.metrics.increment("ldap.writes")
                     reply = ("ok",)
                 elif command == "delete":
                     _, dn = message
                     self.tree.delete(dn)
-                    yield self.sim.timeout(self.cost_model.write_time())
+                    yield self.cost_model.write_time()
                     self.metrics.increment("ldap.writes")
                     reply = ("ok",)
                 else:

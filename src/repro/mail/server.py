@@ -97,7 +97,7 @@ class MailServer:
                 continue
             command = message[0]
             if command == "helo":
-                yield self.sim.timeout(self.cost_model.helo_time)
+                yield self.cost_model.helo_time
                 greeted = True
                 connection.send(("hi",))
                 continue
@@ -131,7 +131,7 @@ class MailServer:
         if command == "send":
             _, sender, recipient, subject, body = message
             stored = self.store.deliver(sender, recipient, subject, body, self.sim.now)
-            yield self.sim.timeout(self.cost_model.send_time(stored.size))
+            yield self.cost_model.send_time(stored.size)
             self.metrics.increment("mail.delivered")
             return ("ok", stored.message_id)
         if command == "list":
@@ -142,7 +142,7 @@ class MailServer:
         if command == "retr":
             _, owner, message_id = message
             stored = self.store.mailbox(owner).get(message_id)
-            yield self.sim.timeout(self.cost_model.retr_time(stored.size))
+            yield self.cost_model.retr_time(stored.size)
             self.metrics.increment("mail.retrieved")
             return (
                 "ok",
@@ -158,7 +158,7 @@ class MailServer:
         if command == "dele":
             _, owner, message_id = message
             self.store.mailbox(owner).delete(message_id)
-            yield self.sim.timeout(self.cost_model.base)
+            yield self.cost_model.base
             return ("ok",)
         return ("error", f"unknown command: {command!r}")
 

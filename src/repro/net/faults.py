@@ -353,7 +353,7 @@ class FaultInjector:
 
     def _drive(self, index: int, fault: object):
         if fault.at > 0:
-            yield self.sim.timeout(fault.at)
+            yield fault.at
         self._apply(fault)
         self._open[index] = self.sim.now
         self.metrics.increment("faults.injected")
@@ -361,7 +361,7 @@ class FaultInjector:
             "fault", "inject", kind=fault.kind, key=fault.key(),
             until=self.sim.now + fault.duration,
         )
-        yield self.sim.timeout(fault.duration)
+        yield fault.duration
         self._revert(fault)
         started = self._open.pop(index)
         self._windows.setdefault(fault.key(), []).append((started, self.sim.now))

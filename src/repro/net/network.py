@@ -106,7 +106,7 @@ class Node:
         link = network.link_between(name, host)
         rng = network.link_rng(name, host)
         round_trip = link.delay(HEADER_BYTES, rng) + link.delay(HEADER_BYTES, rng)
-        yield self.sim.timeout(round_trip)
+        yield round_trip
 
         if network.link_severed(name, host):
             raise NoRouteError(f"link {name!r}<->{host!r} is down")

@@ -54,6 +54,7 @@ class _InboxGet(Event):
         self._value = _PENDING
         self._ok = None
         self.defused = False
+        self._waiter = None
         self.cancelled = False
 
 

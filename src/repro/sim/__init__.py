@@ -18,6 +18,14 @@ from .core import (
     Timeout,
 )
 from .cpu import HostCpu
+from .parallel import (
+    ParallelSimulation,
+    PartitionResult,
+    PartitionSpec,
+    RemoteEnvelope,
+    RemoteGateway,
+    available_workers,
+)
 from .resources import PriorityResource, Request, Resource, Store, StoreGet, StorePut
 from .rng import RngRegistry, derive_rng
 from .trace import TraceRecord, Tracer
@@ -44,4 +52,10 @@ __all__ = [
     "derive_rng",
     "URGENT",
     "NORMAL",
+    "ParallelSimulation",
+    "PartitionSpec",
+    "PartitionResult",
+    "RemoteGateway",
+    "RemoteEnvelope",
+    "available_workers",
 ]

@@ -11,6 +11,33 @@ The design follows the well-known SimPy architecture but is implemented
 from scratch, exposing only what this project needs: events, timeouts,
 processes (with interrupts), and the ``AnyOf`` / ``AllOf`` combinators.
 
+Two wait idioms are supported. The classic one yields an event::
+
+    yield sim.timeout(3.0)
+
+The kernel-native fast idiom yields a bare delay (``float`` or ``int``
+seconds) and the dispatcher parks the process on a private, reusable
+"tick" event — no :class:`Timeout` object, no pool traffic, no
+allocation::
+
+    yield 3.0
+
+Both resume the process with ``None`` after the delay and consume one
+scheduling sequence number at the yield point, so converting a direct
+``yield sim.timeout(d)`` into ``yield d`` leaves seeded trajectories
+byte-identical (DESIGN.md §14).
+
+Scheduling internals (the "batched dispatch" layout, DESIGN.md §14):
+entries are ``(when, key, event)`` 3-tuples where ``key`` is a global
+monotonic sequence number, biased negative for :data:`URGENT` entries so
+urgent bookkeeping still dispatches first at equal times. New entries
+are not pushed onto the heap eagerly; they collect in a small pending
+batch and the run loop merges batch and heap by ``(when, key)``. The
+overwhelmingly common single-successor case then costs one
+``heappushpop`` (one sift) instead of a push+pop pair — and when the
+new entry is already the earliest (zero-delay wakes), no heap traffic
+at all.
+
 Example::
 
     sim = Simulation(seed=1)
@@ -62,6 +89,13 @@ URGENT = 0
 #: Default scheduling priority for model events.
 NORMAL = 1
 
+#: Key bias applied to URGENT entries: at equal times an urgent entry
+#: always sorts before every normal entry (whose keys are the raw,
+#: non-negative sequence numbers), while urgent entries keep sequence
+#: order among themselves. This reproduces the old ``(when, priority,
+#: seq)`` total order with one fewer tuple slot to compare.
+_URGENT_BIAS = 1 << 62
+
 #: Sentinel marking an event that has not triggered yet.
 _PENDING = object()
 
@@ -73,6 +107,7 @@ _TIMEOUT_POOL_CAP = 1024
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_heappushpop = heapq.heappushpop
 
 
 class Event:
@@ -82,9 +117,16 @@ class Event:
     *triggers* it, which schedules it on the simulation heap. When the
     heap pops it, the event is *processed*: its callbacks run and any
     waiting processes resume.
+
+    The first process to wait on an event occupies the ``_waiter`` fast
+    slot instead of the ``callbacks`` list; the dispatcher resumes it
+    inline without a callback call. Later subscribers (more processes,
+    conditions, transport deliveries) append to ``callbacks`` as
+    always, and dispatch order is waiter first, then callbacks — i.e.
+    subscription order, exactly as before the slot existed.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused", "_waiter")
 
     def __init__(self, sim: "Simulation") -> None:
         self.sim = sim
@@ -95,6 +137,8 @@ class Event:
         self._ok: Optional[bool] = None
         #: ``True`` if a failure has been handled and must not crash the run.
         self.defused = False
+        #: First waiting process (dispatch fast path), if any.
+        self._waiter: Optional["Process"] = None
 
     @property
     def triggered(self) -> bool:
@@ -127,9 +171,7 @@ class Event:
         self._ok = True
         self._value = value
         if delay == 0.0:
-            # Inlined immediate schedule — the overwhelmingly common case.
-            sim = self.sim
-            _heappush(sim._heap, (sim._now, NORMAL, next(sim._counter), self))
+            self.sim.wake(self)
         else:
             self.sim._schedule(self, delay)
         return self
@@ -149,8 +191,7 @@ class Event:
         self._ok = False
         self._value = exception
         if delay == 0.0:
-            sim = self.sim
-            _heappush(sim._heap, (sim._now, NORMAL, next(sim._counter), self))
+            self.sim.wake(self)
         else:
             self.sim._schedule(self, delay)
         return self
@@ -180,6 +221,28 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay!r}>"
 
 
+class _Tick(Event):
+    """A process's private, reusable delay event (the ``yield 3.0`` idiom).
+
+    A tick is never handed to model code: it exists only between the
+    dispatcher scheduling it and the dispatcher resuming its owner, so
+    it needs no value plumbing, never fails, and is reused for every
+    bare-delay wait of its process. An interrupted wait orphans the
+    in-flight tick (the owner allocates a fresh one next time) so a
+    stale heap entry can never resume the process early.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulation") -> None:
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+
+    def __repr__(self) -> str:
+        return f"<_Tick at {id(self):#x}>"
+
+
 class _Interruption(Event):
     """Urgent bookkeeping event carrying an :class:`Interrupt` to a process."""
 
@@ -190,7 +253,7 @@ class _Interruption(Event):
         self._ok = False
         self._value = Interrupt(cause)
         self.defused = True
-        self.callbacks = [process._resume]
+        self._waiter = process
         self.sim._schedule(self, 0.0, priority=URGENT)
 
 
@@ -201,7 +264,7 @@ class Process(Event):
     with any exception the generator raises.
     """
 
-    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name", "_rcb", "_tick")
 
     def __init__(
         self, sim: "Simulation", generator: ProcessGenerator, name: str = ""
@@ -213,12 +276,17 @@ class Process(Event):
         self._send = generator.send
         self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
+        #: Cached bound resume callback — one allocation per process
+        #: instead of one per wait.
+        self._rcb = self._resume
+        #: Reusable bare-delay tick event (created on first float wait).
+        self._tick: Optional[_Tick] = None
         #: The event the generator currently waits on.
         self._target: Optional[Event] = None
         init = Event(sim)
         init._ok = True
         init._value = None
-        init.callbacks = [self._resume]
+        init._waiter = self
         sim._schedule(init, 0.0, priority=URGENT)
         self._target = init
 
@@ -232,65 +300,54 @@ class Process(Event):
 
         The process is detached from whatever event it was waiting on;
         that event stays valid and may trigger later without affecting
-        the process (its callback has been removed).
+        the process (its subscription has been removed).
         """
         if self._value is not _PENDING:
             raise SimError("cannot interrupt a terminated process")
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        target = self._target
+        if target is not None:
+            if target._waiter is self:
+                target._waiter = None
+                if target is self._tick:
+                    # The tick stays scheduled; orphan it so the next
+                    # bare-delay wait cannot alias the stale heap entry.
+                    self._tick = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._rcb)
+                except ValueError:
+                    pass
         _Interruption(self, cause)
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the outcome of *event*."""
+        """Advance the generator with the outcome of *event*.
+
+        This is the out-of-line twin of the dispatch fast paths inlined
+        in :meth:`Simulation.run`; it serves waits that went through the
+        ``callbacks`` list (second and later subscribers, conditions)
+        and the :meth:`Simulation._step` slow path. The two must stay
+        behaviourally identical.
+        """
         sim = self.sim
         sim._active_process = self
-        send = self._send
-        while True:
-            try:
-                if event._ok:
-                    target = send(event._value)
-                else:
-                    # The failure is being delivered, hence handled.
-                    event.defused = True
-                    target = self._throw(event._value)
-            except StopIteration as exc:
-                sim._active_process = None
-                self._ok = True
-                self._value = exc.value
-                _heappush(sim._heap, (sim._now, NORMAL, next(sim._counter), self))
-                return
-            except BaseException as exc:  # noqa: BLE001 - propagate via event
-                sim._active_process = None
-                self._ok = False
-                self._value = exc
-                _heappush(sim._heap, (sim._now, NORMAL, next(sim._counter), self))
-                return
-
-            if not isinstance(target, Event):
-                sim._active_process = None
-                exc = SimError(
-                    f"process {self.name!r} yielded {target!r}, expected an Event"
-                )
-                self._generator.close()
-                self._ok = False
-                self._value = exc
-                sim._schedule(self, 0.0)
-                return
-            if target.sim is not sim:
-                raise SimError("event belongs to a different Simulation")
-
-            callbacks = target.callbacks
-            if callbacks is None:
-                # Already processed: consume its outcome immediately.
-                event = target
-                continue
-            callbacks.append(self._resume)
-            self._target = target
-            sim._active_process = None
-            return
+        try:
+            if event._ok:
+                target = self._send(event._value)
+            else:
+                # The failure is being delivered, hence handled.
+                event.defused = True
+                target = self._throw(event._value)
+        except StopIteration as exc:
+            self._ok = True
+            self._value = exc.value
+            sim.wake(self)
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self._ok = False
+            self._value = exc
+            sim.wake(self)
+        else:
+            sim._advance(self, target)
+        sim._active_process = None
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
@@ -391,9 +448,29 @@ class Simulation:
         same model code produce identical trajectories.
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_pending",
+        "_pending_append",
+        "_counter",
+        "_rngs",
+        "seed",
+        "_active_process",
+        "_timeout_pool",
+        "tracer",
+        "obs",
+    )
+
     def __init__(self, seed: int = 0, tracer: Optional[Any] = None) -> None:
         self._now = 0.0
         self._heap: List[Any] = []
+        #: Entries scheduled since the dispatcher last chose an event.
+        #: The run loop merges this batch against the heap by
+        #: ``(when, key)`` — see the module docstring. The list object's
+        #: identity is load-bearing (``_pending_append`` is bound once).
+        self._pending: List[Any] = []
+        self._pending_append = self._pending.append
         self._counter = count()
         self._rngs = RngRegistry(seed)
         self.seed = seed
@@ -438,7 +515,9 @@ class Simulation:
         Retired timeouts are pooled: the run loop recycles a processed
         :class:`Timeout` when nothing else references it (verified via
         the interpreter refcount), so steady-state runs allocate almost
-        no timeout objects.
+        no timeout objects. Processes that just need to sleep should
+        prefer the bare-delay idiom (``yield delay``), which skips this
+        factory entirely.
         """
         pool = self._timeout_pool
         if not pool:
@@ -447,13 +526,8 @@ class Simulation:
             raise ValueError(f"negative timeout delay: {delay!r}")
         timeout = pool.pop()
         timeout.delay = delay
-        timeout._ok = True
         timeout._value = value
-        timeout.defused = False
-        timeout.callbacks = []
-        _heappush(
-            self._heap, (self._now + delay, NORMAL, next(self._counter), timeout)
-        )
+        self._pending_append((self._now + delay, next(self._counter), timeout))
         return timeout
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
@@ -476,30 +550,130 @@ class Simulation:
     # Scheduling and execution
     # ------------------------------------------------------------------
 
+    def wake(self, event: Event) -> None:
+        """Schedule *event* for dispatch at the current instant.
+
+        The single zero-delay fast path behind :meth:`Event.succeed`,
+        :meth:`Event.fail` and process termination — previously five
+        hand-inlined heap pushes. Entries land in the pending batch, so
+        a wake costs a tuple append; the dispatcher usually consumes it
+        without any heap traffic.
+        """
+        self._pending_append((self._now, next(self._counter), event))
+
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        _heappush(
-            self._heap, (self._now + delay, priority, next(self._counter), event)
-        )
+        key = next(self._counter)
+        if priority == URGENT:
+            key -= _URGENT_BIAS
+        self._pending_append((self._now + delay, key, event))
 
-    def _step(self) -> None:
-        """Pop and process one event; used by tests and the run loop's
-        slow path (the main loop inlines this body for speed)."""
-        when, _prio, _seq, event = _heappop(self._heap)
-        self._now = when
+    def _flush_pending(self) -> None:
+        """Move the pending batch onto the heap (slow-path bookkeeping)."""
+        pending = self._pending
+        if pending:
+            heap = self._heap
+            for item in pending:
+                _heappush(heap, item)
+            del pending[:]
+
+    def _dispatch(self, event: Event) -> None:
+        """Process one popped event — the out-of-line dispatch used by
+        :meth:`_step`; the run loop inlines the same logic for speed."""
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter._resume(event)
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
         if event._ok is False and not event.defused:
             # An unhandled failure: abort the run loudly rather than
             # letting errors pass silently.
             raise event._value
 
+    def _advance(self, waiter: Process, target: Any) -> None:
+        """Park *waiter* on the *target* its generator just yielded.
+
+        Handles every wait shape: bare delays (arming the process's
+        reusable tick), pending events (subscribe via the ``_waiter``
+        slot or the callbacks list), already-processed events (their
+        outcome is delivered immediately and the generator advances
+        again), and invalid yields (the generator is closed and the
+        process fails). The run loop inlines the hot cases of this
+        logic — keep the two in sync. The caller manages
+        ``_active_process``.
+        """
+        while True:
+            cls = target.__class__
+            if cls is float or cls is int:
+                if target >= 0:
+                    tick = waiter._tick
+                    if tick is None:
+                        tick = waiter._tick = _Tick(self)
+                    tick._waiter = waiter
+                    waiter._target = tick
+                    self._pending_append(
+                        (self._now + target, next(self._counter), tick)
+                    )
+                    return
+                ok = False
+                value: Any = ValueError(f"negative timeout delay: {target!r}")
+            elif isinstance(target, Event):
+                if target.sim is not self:
+                    raise SimError("event belongs to a different Simulation")
+                tcbs = target.callbacks
+                if tcbs is not None:
+                    if target._waiter is None and not tcbs:
+                        target._waiter = waiter
+                    else:
+                        tcbs.append(waiter._rcb)
+                    waiter._target = target
+                    return
+                # Already processed: consume its outcome immediately.
+                ok = target._ok
+                value = target._value
+                if not ok:
+                    target.defused = True
+            else:
+                exc = SimError(
+                    f"process {waiter.name!r} yielded {target!r}, expected an Event"
+                )
+                waiter._generator.close()
+                waiter._ok = False
+                waiter._value = exc
+                self.wake(waiter)
+                return
+            try:
+                if ok:
+                    target = waiter._send(value)
+                else:
+                    target = waiter._throw(value)
+            except StopIteration as stop:
+                waiter._ok = True
+                waiter._value = stop.value
+                self.wake(waiter)
+                return
+            except BaseException as failure:  # noqa: BLE001 - propagate via event
+                waiter._ok = False
+                waiter._value = failure
+                self.wake(waiter)
+                return
+
+    def _step(self) -> None:
+        """Pop and process one event; used by tests and the run loop's
+        slow path (the main loop inlines this body for speed)."""
+        self._flush_pending()
+        when, _key, event = _heappop(self._heap)
+        self._now = when
+        self._dispatch(event)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        self._flush_pending()
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(self, until: Any = None) -> Any:
@@ -524,53 +698,159 @@ class Simulation:
         else:
             raise TypeError(f"until must be None, a number, or an Event: {until!r}")
 
-        # The loop below is `_step` inlined, with heapq and the heap
-        # bound to locals and retired Timeout objects recycled into the
-        # pool when the refcount proves nothing else can observe them
-        # (the two references are the `event` local and getrefcount's
-        # argument; a Condition, a waiting process `_target`, or model
-        # code holding the timeout keeps the count higher).
+        # The dispatch below is `_step` batched and inlined: heapq, the
+        # heap, and the pending batch are bound to locals; the next
+        # entry is chosen by merging the pending batch against the heap
+        # (one `heappushpop`, or no heap traffic when the batch entry is
+        # already the earliest); tick and timeout events resume their
+        # waiting process without a callback call; and retired Timeout
+        # objects are recycled into the pool when the refcount proves
+        # nothing else can observe them (the two references are the
+        # `event` local and getrefcount's argument — a Condition, a
+        # waiting process `_target`, or model code holding the timeout
+        # keeps the count higher).
         heap = self._heap
+        pending = self._pending
+        pending_append = self._pending_append
         pop = _heappop
+        push = _heappush
+        pushpop = _heappushpop
+        counter = self._counter
         getrefcount = sys.getrefcount
         pool = self._timeout_pool
         pool_cap = _TIMEOUT_POOL_CAP
+        horizon = float("inf") if stop_at is None else stop_at
+        target = None
         try:
-            if stop_at is None:
-                while heap:
-                    when, _prio, _seq, event = pop(heap)
-                    self._now = when
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    for callback in callbacks:
+            while True:
+                # ---- select the next entry (exact (when, key) merge) --
+                if pending:
+                    if len(pending) == 1:
+                        item = pending.pop()
+                        if heap:
+                            # heappushpop returns `item` untouched when it
+                            # is already <= heap[0] — the exact merge.
+                            item = pushpop(heap, item)
+                    else:
+                        # Burst of schedules: fall back to the heap.
+                        for it in pending:
+                            push(heap, it)
+                        del pending[:]
+                        item = pop(heap)
+                elif heap:
+                    item = pop(heap)
+                else:
+                    break
+                when, _key, event = item
+                if when > horizon:
+                    push(heap, item)
+                    break
+                item = None  # drop the tuple's reference for pool recycling
+                self._now = when
+                # ---- dispatch ----------------------------------------
+                cls = event.__class__
+                if cls is _Tick:
+                    # Bare-delay wake: resume the owner directly; the
+                    # sleep-loop continuation (yield another delay)
+                    # re-arms this very tick with zero object traffic.
+                    waiter = event._waiter
+                    if waiter is None:
+                        continue  # orphaned by an interrupt
+                    event._waiter = None
+                    self._active_process = waiter
+                    try:
+                        target = waiter._send(None)
+                    except StopIteration as exc:
+                        waiter._ok = True
+                        waiter._value = exc.value
+                        pending_append((when, next(counter), waiter))
+                    except BaseException as exc:  # noqa: BLE001
+                        waiter._ok = False
+                        waiter._value = exc
+                        pending_append((when, next(counter), waiter))
+                    else:
+                        tcls = target.__class__
+                        if (tcls is float or tcls is int) and target >= 0:
+                            # waiter._target is already this tick.
+                            event._waiter = waiter
+                            pending_append((when + target, next(counter), event))
+                        else:
+                            self._advance(waiter, target)
+                    self._active_process = None
+                    continue
+                cbs = event.callbacks
+                event.callbacks = None
+                waiter = event._waiter
+                if waiter is not None:
+                    # Inline twin of Process._resume/_advance — keep in sync.
+                    event._waiter = None
+                    self._active_process = waiter
+                    deliver = event
+                    while True:
+                        try:
+                            if deliver._ok:
+                                target = waiter._send(deliver._value)
+                            else:
+                                deliver.defused = True
+                                target = waiter._throw(deliver._value)
+                        except StopIteration as exc:
+                            waiter._ok = True
+                            waiter._value = exc.value
+                            pending_append((when, next(counter), waiter))
+                            break
+                        except BaseException as exc:  # noqa: BLE001
+                            waiter._ok = False
+                            waiter._value = exc
+                            pending_append((when, next(counter), waiter))
+                            break
+                        tcls = target.__class__
+                        if tcls is float or tcls is int:
+                            if target < 0:
+                                self._advance(waiter, target)
+                                break
+                            tick = waiter._tick
+                            if tick is None:
+                                tick = waiter._tick = _Tick(self)
+                            tick._waiter = waiter
+                            waiter._target = tick
+                            pending_append((when + target, next(counter), tick))
+                            break
+                        if not isinstance(target, Event):
+                            self._advance(waiter, target)
+                            break
+                        if target.sim is not self:
+                            raise SimError("event belongs to a different Simulation")
+                        tcbs = target.callbacks
+                        if tcbs is None:
+                            # Already processed: consume it immediately.
+                            deliver = target
+                            continue
+                        if target._waiter is None and not tcbs:
+                            target._waiter = waiter
+                        else:
+                            tcbs.append(waiter._rcb)
+                        waiter._target = target
+                        break
+                    self._active_process = None
+                if cbs:
+                    for callback in cbs:
                         callback(event)
-                    if event._ok is False and not event.defused:
-                        raise event._value
-                    if (
-                        type(event) is Timeout
-                        and len(pool) < pool_cap
-                        and getrefcount(event) == 2
-                    ):
+                if cls is Timeout:
+                    # `deliver`/`target` may still alias this event (or a
+                    # pooled-timeout candidate) from a waiter resume; drop
+                    # them so the refcount check below can prove exclusivity.
+                    deliver = target = None
+                    if len(pool) < pool_cap and getrefcount(event) == 2:
+                        # Reuse the (empty) callbacks list as well.
+                        event.callbacks = cbs if not cbs else []
                         pool.append(event)
-            else:
-                while heap and heap[0][0] <= stop_at:
-                    when, _prio, _seq, event = pop(heap)
-                    self._now = when
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    for callback in callbacks:
-                        callback(event)
-                    if event._ok is False and not event.defused:
-                        raise event._value
-                    if (
-                        type(event) is Timeout
-                        and len(pool) < pool_cap
-                        and getrefcount(event) == 2
-                    ):
-                        pool.append(event)
+                elif event._ok is False and not event.defused:
+                    raise event._value
         except StopSimulation as stop:
             stopper: Event = stop.value
             return stopper.value if stopper.ok else self._raise(stopper)
+        finally:
+            self._flush_pending()
         if stop_at is not None:
             self._now = max(self._now, stop_at)
         if isinstance(until, Event) and not until.triggered:
@@ -589,4 +869,5 @@ class Simulation:
         raise StopSimulation(event)
 
     def __repr__(self) -> str:
-        return f"<Simulation t={self._now:.6g} pending={len(self._heap)}>"
+        pending = len(self._heap) + len(self._pending)
+        return f"<Simulation t={self._now:.6g} pending={pending}>"

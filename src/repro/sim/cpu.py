@@ -64,10 +64,10 @@ class HostCpu:
             if self._last_task is not None and self._last_task != task_id:
                 self.switches += 1
                 self.busy_time += self.context_switch_cost
-                yield self.sim.timeout(self.context_switch_cost)
+                yield self.context_switch_cost
             self._last_task = task_id
             self.busy_time += duration
-            yield self.sim.timeout(duration)
+            yield duration
         finally:
             self._core.release(grant)
 

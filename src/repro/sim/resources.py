@@ -11,7 +11,7 @@ Usage pattern (inside a process generator)::
     req = resource.request()
     yield req
     try:
-        yield sim.timeout(service_time)
+        yield service_time
     finally:
         resource.release(req)
 

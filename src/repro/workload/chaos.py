@@ -608,7 +608,7 @@ def run_chaos_experiment(
         spike_at = spike_every / 2.0
         count = 0
         while spike_at < duration:
-            yield sim.timeout(spike_at - sim.now)
+            yield spike_at - sim.now
             count += 1
             end = min(spike_at + spike_duration, duration)
             sim.trace("chaos", "spike", at=sim.now, until=end, rate=spike_rate)
@@ -932,14 +932,14 @@ def run_shard_chaos_experiment(
     kills = {"count": 0}
 
     def resurrect(victim: ServiceBroker):
-        yield sim.timeout(mttr)
+        yield mttr
         if not victim.alive:
             victim.restart()
 
     def leader_killer():
         target = 0
         while True:
-            yield sim.timeout(leader_kill_every)
+            yield leader_kill_every
             if sim.now >= duration:
                 return
             group = groups[target % len(groups)]

@@ -69,7 +69,7 @@ class ClosedLoopClient:
 
     def _run(self, until: Optional[float]):
         if self.start_delay:
-            yield self.sim.timeout(self.start_delay)
+            yield self.start_delay
         iteration = 0
         sim = self.sim
         while until is None or sim._now < until:
@@ -86,7 +86,7 @@ class ClosedLoopClient:
                 self._response_time.add(elapsed)
             iteration += 1
             if self.think_time:
-                yield sim.timeout(self.think_time)
+                yield self.think_time
 
     def __repr__(self) -> str:
         return f"<ClosedLoopClient {self.name} completed={self.completed}>"
@@ -174,7 +174,7 @@ class OpenLoopGenerator:
 
     def _run(self, until: Optional[float]):
         while until is None or self.sim.now < until:
-            yield self.sim.timeout(self.rng.expovariate(self.rate))
+            yield self.rng.expovariate(self.rate)
             if until is not None and self.sim.now >= until:
                 return
             self.issued += 1

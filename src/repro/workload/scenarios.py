@@ -35,6 +35,7 @@ the paper's tables/series.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -59,7 +60,7 @@ from ..core.pipeline import (
 )
 from ..core.protocol import ReplyStatus
 from ..core.qos import QoSPolicy
-from ..core.sharding import ShardDirectory, ShardGroup
+from ..core.sharding import HashRing, ShardDirectory, ShardGroup
 from ..core.transactions import TransactionTracker
 from ..errors import BrokerTimeout
 from ..db.client import DatabaseClient
@@ -76,6 +77,7 @@ from ..net.faults import FaultInjector, FaultPlan
 from ..net.link import Link
 from ..net.network import Network
 from ..sim.core import Simulation
+from ..sim.parallel import ParallelSimulation, PartitionSpec
 from .clients import ClosedLoopClient, zipf_sampler
 
 __all__ = [
@@ -862,6 +864,8 @@ def run_sharded_qos_experiment(
     fractions: Optional[Dict[int, float]] = None,
     seed: int = 0,
     obs=None,
+    workers: int = 1,
+    lookahead: Optional[float] = None,
 ) -> ShardedQosResult:
     """Run the §V.B testbed with every service sharded N × R ways.
 
@@ -888,6 +892,24 @@ def run_sharded_qos_experiment(
     shards deterministically. ``shards=1, replicas=1`` is the
     degenerate configuration — one broker per service, every route
     local, exactly the classic topology.
+
+    ``workers`` selects the execution strategy. ``workers=1`` (the
+    default) runs the exact serial code path — its seeded output is
+    byte-identical across releases and covered by the golden
+    determinism test. ``workers>=2`` partitions the topology **by
+    shard** and runs the slices under
+    :class:`~repro.sim.parallel.ParallelSimulation`: every service's
+    ring is seeded identically, so a page's item key owns the same
+    shard index for all services and each shard slice (its brokers,
+    backends, and the clients pinned to its key range) is an
+    independent partition. Partitioned results are deterministic in
+    ``(seed, shards)`` — identical for every ``workers >= 2`` — but
+    they are a *partitioned workload*, not a replay of the serial
+    interleaving: clients are pinned to shards instead of re-drawing a
+    global key stream per page. ``lookahead`` overrides the
+    synchronization window width (shard slices exchange no messages,
+    so it only sets the barrier cadence). The parallel path supports
+    ``mode="broker"`` only.
     """
     if mode not in ("broker", "centralized"):
         raise ValueError(f"mode must be 'broker' or 'centralized': {mode!r}")
@@ -897,6 +919,36 @@ def run_sharded_qos_experiment(
         )
     if n_clients < levels:
         raise ValueError(f"need at least {levels} clients, got {n_clients}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers!r}")
+    if workers > 1:
+        if mode != "broker":
+            raise ValueError(
+                "parallel execution (workers > 1) partitions by shard and "
+                "cannot model the global centralized listener; use "
+                "mode='broker' or workers=1"
+            )
+        if obs is not None:
+            raise ValueError(
+                "parallel execution cannot aggregate an obs collector "
+                "across worker processes; use workers=1"
+            )
+        return _run_sharded_parallel(
+            n_clients=n_clients,
+            shards=shards,
+            replicas=replicas,
+            duration=duration,
+            service_times=service_times,
+            threshold=threshold,
+            backend_capacity=backend_capacity,
+            levels=levels,
+            think_time=think_time,
+            key_pool=key_pool,
+            fractions=fractions,
+            seed=seed,
+            workers=workers,
+            lookahead=lookahead,
+        )
     sim = Simulation(seed=seed)
     if obs is not None:
         obs.attach(sim)
@@ -1097,6 +1149,302 @@ def run_sharded_qos_experiment(
         result.leader_failovers = listener.leader_failovers
         result.listener_updates = int(metrics.counter("listener.updates"))
     result.topology = directory.describe()
+    return result
+
+
+def _slice_seed(seed: int, shard: int) -> int:
+    """Derive shard *shard*'s partition seed from the experiment seed.
+
+    The derivation depends only on ``(seed, shard)`` — never on the
+    worker count or worker assignment — so partitioned results are
+    identical for every ``workers >= 2``.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}:slice{shard}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _run_sharded_parallel(
+    n_clients: int,
+    shards: int,
+    replicas: int,
+    duration: float,
+    service_times: Tuple[float, ...],
+    threshold: int,
+    backend_capacity: int,
+    levels: int,
+    think_time: float,
+    key_pool: int,
+    fractions: Optional[Dict[int, float]],
+    seed: int,
+    workers: int,
+    lookahead: Optional[float],
+) -> ShardedQosResult:
+    """Parallel (per-shard partitioned) form of the sharded testbed.
+
+    Every service's ring is built with the same seed over node names
+    ``"0" .. "N-1"``, so one item key owns the same shard index for all
+    three services; a page request therefore touches exactly one shard
+    and the topology decomposes into *shards* independent slices with
+    zero cross-partition traffic. Each slice instantiates that shard's
+    brokers, backend, frontend, and the clients pinned to its key
+    range, with rings registered over the **full** shard universe so
+    key placement matches the unpartitioned topology (a mis-routed key
+    fails loudly in :meth:`~repro.core.sharding.ShardDirectory.group`
+    instead of silently rehashing).
+
+    Because the slices exchange no messages, the lookahead only sets
+    the barrier cadence; the default covers the whole horizon in one
+    window. Pass ``lookahead`` to force finer windows (the benchmark
+    sweep does, to measure synchronization overhead honestly).
+    """
+    drain = 200.0
+    horizon = duration + drain
+    if lookahead is None:
+        lookahead = horizon
+
+    # Partition the key population exactly as every slice's directory
+    # will: same seed, same node names, same vnode count.
+    ring = HashRing(seed=seed, nodes=[str(i) for i in range(shards)])
+    by_shard = ring.partition([f"item{k}" for k in range(key_pool)])
+    items_by_shard: Dict[int, List[int]] = {
+        int(node): [int(key[4:]) for key in keys]
+        for node, keys in by_shard.items()
+    }
+
+    if fractions is None and levels == 3:
+        fractions = {1: 1.0, 2: 5.0 / 6.0, 3: 2.0 / 3.0}
+
+    per_class = n_clients // levels
+    extra = n_clients - per_class * levels
+    stages = len(service_times)
+
+    def make_builder(shard: int):
+        items = items_by_shard[shard]
+
+        def build(sim: Simulation, gateway) -> "Callable[[], dict]":
+            from ..http.server import BackendWebServer
+
+            metrics = MetricsRegistry()
+            net = Network(sim, default_link=Link.lan())
+            web_node = net.node("web")
+            frontend = FrontendWebServer(sim, web_node, name="frontend")
+            qos_policy = QoSPolicy(
+                levels=levels, threshold=threshold, fractions=fractions
+            )
+            directory = ShardDirectory(metrics=metrics)
+            groups: List[ShardGroup] = []
+            brokers: List[ServiceBroker] = []
+            next_port = 7101
+            for index, service_time in enumerate(service_times, 1):
+                service = f"svc{index}"
+                backend_name = f"backend{index}s{shard}"
+                backend = BackendWebServer(
+                    sim,
+                    net.node(backend_name),
+                    max_clients=backend_capacity,
+                    name=backend_name,
+                )
+
+                def bounded_cgi(server, request, _t=service_time):
+                    yield _t
+                    return HttpResponse.text("served")
+
+                backend.add_cgi("/service", bounded_cgi)
+                group = ShardGroup(service, shard, metrics=metrics)
+                peer = ShardPeerGroup(group)
+                service_brokers: List[ServiceBroker] = []
+                for replica in range(replicas):
+                    broker = ServiceBroker(
+                        sim,
+                        web_node,
+                        service=service,
+                        port=next_port,
+                        adapters=[
+                            HttpAdapter(
+                                sim,
+                                web_node,
+                                backend.address,
+                                name=backend_name,
+                            )
+                        ],
+                        qos=qos_policy,
+                        pool_size=backend_capacity,
+                        dispatchers=backend_capacity,
+                        priority_queueing=False,
+                        metrics=metrics,
+                        name=f"broker{index}s{shard}r{replica}",
+                        stages=sharded_stage_plan(
+                            directory, shard=shard, base="distributed"
+                        ),
+                    )
+                    next_port += 1
+                    group.add(broker)
+                    peer.join(broker)
+                    service_brokers.append(broker)
+                peer.set_roster(service_brokers)
+                directory.register(
+                    service, [group], seed=seed, universe=range(shards)
+                )
+                groups.append(group)
+                brokers.extend(service_brokers)
+
+            broker_client = BrokerClient(sim, web_node, {})
+            broker_client.use_directory(directory)
+
+            service_names = [f"svc{s}" for s in range(stages + 1)]
+            full_fidelity = HttpResponse.text("full-fidelity")
+            low_fidelity = [
+                HttpResponse.text(f"low-fidelity (stage {s})")
+                for s in range(stages + 1)
+            ]
+            key_rng = sim.rng("shard.keys")
+
+            def page_app(frontend_server, request):
+                level = qos_of(request)
+                item = items[key_rng.randrange(len(items))]
+                for stage in range(1, stages + 1):
+                    reply = yield from broker_client.call(
+                        service_names[stage],
+                        "get",
+                        ("/service", {"item": item}),
+                        qos_level=level,
+                        cacheable=False,
+                        cache_key=f"item{item}",
+                        parent=request.context,
+                    )
+                    if reply.status is not ReplyStatus.OK:
+                        frontend_server.metrics.increment(
+                            f"app.lowfid.qos{level}"
+                        )
+                        return low_fidelity[stage]
+                frontend_server.metrics.increment(f"app.fullfid.qos{level}")
+                return full_fidelity
+
+            frontend.register_app(
+                WebApplication(path="/page", handler=page_app)
+            )
+
+            clients_by_class: Dict[int, List[ClosedLoopClient]] = {}
+            stagger_rng = sim.rng("qos.stagger")
+            for level in range(1, levels + 1):
+                workstation = net.node(f"workstation{level}")
+                count_for_class = per_class + (1 if level <= extra else 0)
+                class_clients: List[ClosedLoopClient] = []
+                page_request = HttpRequest(
+                    method="GET",
+                    path="/page",
+                    headers={QOS_HEADER: str(level)},
+                )
+                for index in range(count_for_class):
+                    if index % shards != shard:
+                        continue
+
+                    def one_request(
+                        _client, _iteration, _level=level, _request=page_request
+                    ):
+                        response = yield from HttpClient.fetch(
+                            sim,
+                            workstation,
+                            frontend.address,
+                            _request,
+                        )
+                        if response.status == 500:
+                            raise RuntimeError(
+                                f"server error {response.status}"
+                            )
+
+                    client = ClosedLoopClient(
+                        sim,
+                        name=f"shard-qos{level}-{index}",
+                        request_factory=one_request,
+                        think_time=think_time,
+                        start_delay=stagger_rng.uniform(
+                            0.0, sum(service_times)
+                        ),
+                    )
+                    client.start(until=duration)
+                    class_clients.append(client)
+                clients_by_class[level] = class_clients
+
+            def finalize() -> dict:
+                per_level: Dict[int, dict] = {}
+                for level, class_clients in clients_by_class.items():
+                    merged = SummaryStats()
+                    completed = 0
+                    for client in class_clients:
+                        completed += client.completed
+                        for value in client.response_times.values():
+                            merged.add(value)
+                    per_level[level] = {
+                        "stats": merged,
+                        "completed": completed,
+                        "fullfid": int(
+                            frontend.metrics.counter(f"app.fullfid.qos{level}")
+                        ),
+                        "rejected": int(
+                            frontend.metrics.counter(
+                                f"frontend.rejected.qos{level}"
+                            )
+                        ),
+                    }
+                return {
+                    "levels": per_level,
+                    "forwards": int(metrics.counter("broker.shard.forwarded")),
+                    "local": int(metrics.counter("broker.shard.local")),
+                    "elections": sum(group.elections for group in groups),
+                    "brokers": len(brokers),
+                    "topology": directory.describe(),
+                }
+
+            return finalize
+
+        return build
+
+    specs = [
+        PartitionSpec(
+            name=f"shard{shard}",
+            builder=make_builder(shard),
+            seed=_slice_seed(seed, shard),
+        )
+        for shard in range(shards)
+    ]
+    driver = ParallelSimulation(specs, lookahead=lookahead, workers=workers)
+    partitions = driver.run(until=horizon)
+
+    result = ShardedQosResult(
+        mode="broker",
+        n_clients=n_clients,
+        shards=shards,
+        replicas=replicas,
+        duration=duration,
+    )
+    topology_lines: List[str] = []
+    for shard in range(shards):
+        value = partitions[f"shard{shard}"].value
+        result.brokers += value["brokers"]
+        result.forwards += value["forwards"]
+        result.local_routes += value["local"]
+        result.elections += value["elections"]
+        topology_lines.append(f"[shard{shard}] {value['topology']}")
+        for level, bundle in value["levels"].items():
+            if level in result.response_times:
+                result.response_times[level] = result.response_times[
+                    level
+                ].merge(bundle["stats"])
+            else:
+                result.response_times[level] = bundle["stats"]
+            result.completions[level] = (
+                result.completions.get(level, 0) + bundle["completed"]
+            )
+            result.full_fidelity[level] = (
+                result.full_fidelity.get(level, 0) + bundle["fullfid"]
+            )
+            result.frontend_rejections[level] = (
+                result.frontend_rejections.get(level, 0) + bundle["rejected"]
+            )
+    result.topology = "\n".join(topology_lines)
     return result
 
 
@@ -1304,7 +1652,7 @@ def run_cache_tier_experiment(
     def client_loop(index: int):
         broker = broker_list[index % brokers]
         broker_client = broker_clients[index % brokers]
-        yield sim.timeout(stagger_rng.uniform(0.0, think_time + 0.5))
+        yield stagger_rng.uniform(0.0, think_time + 0.5)
         while True:
             grp = sampler()
             roll = op_rng.random()
@@ -1323,7 +1671,7 @@ def run_cache_tier_experiment(
                     broker, "query", update, keys=stale_keys
                 ):
                     counts["wb_accepted"] += 1
-                    yield sim.timeout(think_time)
+                    yield think_time
                     continue
                 sql, cacheable = update, False
             elif roll < write_fraction + count_fraction:
@@ -1346,7 +1694,7 @@ def run_cache_tier_experiment(
                         counts["from_cache"] += 1
                 else:
                     counts["errors"] += 1
-            yield sim.timeout(think_time)
+            yield think_time
 
     for index in range(n_clients):
         sim.process(client_loop(index), name=f"cache-client:{index}")

@@ -288,6 +288,52 @@ class TestShardDirectory:
         assert "leader=s0r0" in text and "s0r0*" in text
         assert "leader=s1r0" in text
 
+    def test_partition_covers_every_key_exactly_once(self):
+        ring = HashRing(seed=11, nodes=["0", "1", "2"])
+        keys = [f"item{i}" for i in range(200)]
+        buckets = ring.partition(keys)
+        assert sorted(buckets) == ["0", "1", "2"]
+        scattered = [key for node in buckets for key in buckets[node]]
+        assert sorted(scattered) == sorted(keys)
+        for node, owned in buckets.items():
+            assert all(ring.owner(key) == node for key in owned)
+
+    def test_partition_slice_ring_matches_full_directory(self):
+        """A slice registered over the full universe places keys like
+        the unpartitioned directory does."""
+        full, _groups = self.make_directory(shards=3, seed=11)
+        sliced = ShardDirectory()
+        group = ShardGroup("items", 1, MetricsRegistry())
+        group.add(FakeReplica("s1r0"))
+        sliced.register("items", [group], seed=11, universe=range(3))
+        for i in range(100):
+            assert sliced.shard_of("items", f"item{i}") == full.shard_of(
+                "items", f"item{i}"
+            )
+
+    def test_universe_must_cover_instantiated_groups(self):
+        group = ShardGroup("items", 5, MetricsRegistry())
+        group.add(FakeReplica("s5r0"))
+        with pytest.raises(BrokerError, match="not in the ring universe"):
+            ShardDirectory().register(
+                "items", [group], seed=11, universe=range(3)
+            )
+
+    def test_uninstantiated_shard_fails_loudly(self):
+        """A key owned by a shard outside this partition must not
+        silently rehash onto a local group."""
+        sliced = ShardDirectory()
+        group = ShardGroup("items", 1, MetricsRegistry())
+        group.add(FakeReplica("s1r0"))
+        sliced.register("items", [group], seed=11, universe=range(3))
+        foreign = next(
+            key
+            for key in (f"item{i}" for i in range(200))
+            if sliced.shard_of("items", key) != 1
+        )
+        with pytest.raises(BrokerError, match="not instantiated"):
+            sliced.route("items", foreign)
+
 
 # ---------------------------------------------------------------------------
 # ShardRouteStage + peering integration (real brokers)
@@ -594,6 +640,39 @@ class TestShardedWorkloads:
         assert first.local_routes > 0
         assert first.completions == second.completions
         assert first.full_fidelity == second.full_fidelity
+
+    def test_parallel_workers_match_each_other_and_do_real_work(self):
+        """The partitioned path is worker-count invariant and sane."""
+        serial = run_sharded_qos_experiment(
+            6, shards=2, replicas=1, duration=10.0, seed=5
+        )
+        two = run_sharded_qos_experiment(
+            6, shards=2, replicas=1, duration=10.0, seed=5, workers=2
+        )
+        # Partitioned workload != serial replay, but it is the same
+        # topology doing comparable work: all pages full-fidelity in
+        # this unloaded configuration, zero cross-shard forwards (one
+        # item key drives all three services), same broker count.
+        assert two.brokers == serial.brokers
+        assert two.forwards == 0
+        assert sum(two.completions.values()) > 0
+        assert two.full_fidelity == two.completions
+
+    def test_parallel_rejects_centralized_mode(self):
+        with pytest.raises(ValueError, match="centralized"):
+            run_sharded_qos_experiment(
+                6, shards=2, mode="centralized", duration=5.0, workers=2
+            )
+
+    def test_parallel_rejects_obs_collector(self):
+        with pytest.raises(ValueError, match="obs"):
+            run_sharded_qos_experiment(
+                6, shards=2, duration=5.0, workers=2, obs=object()
+            )
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_sharded_qos_experiment(6, shards=2, duration=5.0, workers=0)
 
     def test_leader_only_reporting_is_replica_count_invariant(self):
         """The listener's load tracks shards, not replicas — the knob

@@ -28,6 +28,7 @@ from repro.workload.scenarios import (
     run_clustering_experiment,
     run_failure_recovery_experiment,
     run_qos_experiment,
+    run_sharded_qos_experiment,
 )
 
 GOLDEN = Path(__file__).resolve().parent / "golden_determinism.json"
@@ -92,6 +93,41 @@ def snapshot():
         "breaker_opens": fr.breaker_opens,
         "fault_replies": fr.fault_replies,
     }
+
+    def sharded_section(result):
+        return {
+            "completions": {
+                str(k): v for k, v in sorted(result.completions.items())
+            },
+            "full_fidelity": {
+                str(k): v for k, v in sorted(result.full_fidelity.items())
+            },
+            "mean_response": {
+                str(k): repr(v.mean)
+                for k, v in sorted(result.response_times.items())
+            },
+            "p99_response": {
+                str(k): repr(v.p99)
+                for k, v in sorted(result.response_times.items())
+            },
+            "forwards": result.forwards,
+            "local_routes": result.local_routes,
+            "elections": result.elections,
+        }
+
+    # The degenerate single-shard topology and the multi-shard serial
+    # (workers=1) path both ride the exact classic code path; their
+    # seeded outputs are part of the byte-identical contract.
+    snap["sharded_single_shard"] = sharded_section(
+        run_sharded_qos_experiment(
+            12, shards=1, replicas=1, duration=30.0, seed=2026
+        )
+    )
+    snap["sharded_workers1"] = sharded_section(
+        run_sharded_qos_experiment(
+            12, shards=2, replicas=2, duration=30.0, seed=2026, workers=1
+        )
+    )
     return snap
 
 
@@ -104,6 +140,27 @@ def test_experiments_match_golden_snapshot():
         "see the module docstring before even thinking about "
         "regenerating it"
     )
+
+
+def test_partitioned_results_are_worker_count_invariant():
+    """workers=2 and workers=3 agree exactly on the partitioned run.
+
+    The parallel path is deterministic in ``(seed, shards)`` — never in
+    the worker count or scheduling; see DESIGN.md §14.
+    """
+    runs = [
+        run_sharded_qos_experiment(
+            12, shards=3, replicas=1, duration=20.0, seed=2026, workers=w
+        )
+        for w in (2, 3)
+    ]
+    first, second = runs
+    assert first.completions == second.completions
+    assert first.full_fidelity == second.full_fidelity
+    assert first.local_routes == second.local_routes
+    assert {
+        k: repr(v.mean) for k, v in first.response_times.items()
+    } == {k: repr(v.mean) for k, v in second.response_times.items()}
 
 
 def test_snapshot_is_itself_deterministic():

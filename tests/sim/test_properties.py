@@ -115,6 +115,85 @@ class TestStoreProperties:
         assert received == items
 
 
+class TestSameTimestampOrdering:
+    """Batched dispatch must preserve FIFO order within a timestamp.
+
+    The batched run loop merges pending events against the heap and
+    specializes several event types (DESIGN.md §14); none of that may
+    reorder events scheduled for the same instant. The kernel's
+    contract is a stable sort: dispatch order equals schedule order
+    within each ``(when, priority)`` bucket, for every seed.
+    """
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(
+            st.sampled_from([0.0, 1.0, 2.0, 3.0]),
+            min_size=2,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=60)
+    def test_dispatch_is_a_stable_sort_of_schedule_order(self, seed, delays):
+        sim = Simulation(seed=seed)
+        fired = []
+        for index, delay in enumerate(delays):
+            timeout = sim.timeout(delay)
+            timeout.callbacks.append(
+                lambda event, _i=index: fired.append(_i)
+            )
+        sim.run()
+        expected = sorted(
+            range(len(delays)), key=lambda i: (delays[i], i)
+        )
+        assert fired == expected
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(st.booleans(), min_size=2, max_size=30),
+    )
+    @settings(max_examples=60)
+    def test_zero_delay_wakes_keep_schedule_order(self, seed, use_wake):
+        """Mixing wake() fast-path events with timeout(0) stays FIFO."""
+        sim = Simulation(seed=seed)
+        fired = []
+        for index, wake in enumerate(use_wake):
+            if wake:
+                event = sim.event()
+                event.callbacks.append(
+                    lambda e, _i=index: fired.append(_i)
+                )
+                event.succeed(index)
+            else:
+                timeout = sim.timeout(0.0)
+                timeout.callbacks.append(
+                    lambda e, _i=index: fired.append(_i)
+                )
+        sim.run()
+        assert fired == list(range(len(use_wake)))
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=40)
+    def test_processes_resuming_at_one_instant_keep_schedule_order(
+        self, seed, count
+    ):
+        """Float-yield ticks landing on one timestamp dispatch FIFO."""
+        sim = Simulation(seed=seed)
+        fired = []
+
+        def sleeper(index):
+            yield 5.0
+            fired.append(index)
+
+        for index in range(count):
+            sim.process(sleeper(index))
+        sim.run()
+        assert fired == list(range(count))
+
+
 class TestRngProperties:
     @given(st.integers(), st.text(min_size=0, max_size=30))
     def test_derivation_is_deterministic(self, seed, name):

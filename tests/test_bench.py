@@ -24,13 +24,16 @@ from repro.bench import (
 
 def _fake_results(macro_rps: float = 8000.0) -> dict:
     return {
-        "schema": 1,
+        "schema": 2,
         "mode": "quick",
+        "suite": "default",
         "seed": 2026,
         "kernel": {
             "events": 1000,
             "wall_s": 0.001,
             "events_per_sec": 1_000_000.0,
+            "timeout_wall_s": 0.002,
+            "timeout_events_per_sec": 500_000.0,
         },
         "pipeline": {
             "clients": 30,
@@ -94,7 +97,11 @@ class TestRunBenchCommand:
     @pytest.fixture
     def fake_suite(self, monkeypatch):
         results = _fake_results()
-        monkeypatch.setattr(bench, "run_suite", lambda quick=False: results)
+        monkeypatch.setattr(
+            bench,
+            "run_suite",
+            lambda quick=False, suite="default": results,
+        )
         return results
 
     def test_writes_json_artifact(self, fake_suite, tmp_path, monkeypatch):
@@ -116,7 +123,7 @@ class TestRunBenchCommand:
         baseline.write_text(json.dumps(inflated))
         with pytest.raises(BenchRegression) as excinfo:
             run_bench_command(
-                quick=True, out=None, baseline_path=str(baseline)
+                quick=True, out="", baseline_path=str(baseline)
             )
         assert "REGRESSION" in excinfo.value.report
 
@@ -124,7 +131,7 @@ class TestRunBenchCommand:
         with pytest.raises(FileNotFoundError):
             run_bench_command(
                 quick=True,
-                out=None,
+                out="",
                 baseline_path=str(tmp_path / "nope.json"),
             )
 
@@ -132,8 +139,17 @@ class TestRunBenchCommand:
         self, fake_suite, tmp_path, monkeypatch
     ):
         monkeypatch.chdir(tmp_path)
-        report = run_bench_command(quick=True, out=None, baseline_path=None)
+        report = run_bench_command(quick=True, out="", baseline_path=None)
         assert "comparison skipped" in report
+
+    def test_default_out_is_suite_dependent(
+        self, fake_suite, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        run_bench_command(quick=True, baseline_path=None)
+        assert (tmp_path / "BENCH_pipeline.json").exists()
+        run_bench_command(quick=True, baseline_path=None, suite="parallel")
+        assert (tmp_path / "BENCH_parallel.json").exists()
 
 
 class TestCliIntegration:
@@ -143,7 +159,9 @@ class TestCliIntegration:
         from repro.cli import main
 
         monkeypatch.setattr(
-            bench, "run_suite", lambda quick=False: _fake_results()
+            bench,
+            "run_suite",
+            lambda quick=False, suite="default": _fake_results(),
         )
         baseline = tmp_path / "baseline.json"
         baseline.write_text(
@@ -176,3 +194,77 @@ class TestReport:
         assert bench._percentile(walls, 0.50) == 2.0
         assert bench._percentile(walls, 0.99) == 3.0
         assert bench._percentile([5.0], 0.99) == 5.0
+
+
+def _fake_parallel_results() -> dict:
+    return {
+        "schema": 2,
+        "mode": "quick",
+        "suite": "parallel",
+        "seed": 2026,
+        "parallel": {
+            "clients": 12,
+            "shards": 4,
+            "duration_virtual_s": 10.0,
+            "repeats": 1,
+            "cores": 8,
+            "points": [
+                {"workers": 1, "wall_s": 2.0, "pages": 600,
+                 "speedup_vs_w1": 1.0},
+                {"workers": 2, "wall_s": 1.1, "pages": 600,
+                 "speedup_vs_w1": 2.0 / 1.1},
+            ],
+            "wall_w1_s": 2.0,
+            "pages_per_sec_w1": 300.0,
+            "best_speedup": 2.0 / 1.1,
+        },
+    }
+
+
+class TestSuites:
+    def test_unknown_suite_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            bench.run_suite(suite="nope")
+
+    def test_suite_names_cover_all_benchmarks(self):
+        assert set(bench.SUITES["all"]) == {
+            "kernel", "pipeline", "macro", "parallel"
+        }
+        assert bench.SUITES["parallel"] == ("parallel",)
+
+    def test_render_report_parallel_section(self):
+        report = render_report(_fake_parallel_results())
+        assert "parallel" in report
+        assert "workers=2" in report
+        assert "kernel" not in report
+
+    def test_compare_skips_missing_benchmarks(self):
+        results = _fake_parallel_results()
+        baseline = {"quick": {"parallel": {"pages_per_sec_w1": 290.0}}}
+        lines = compare_to_baseline(results, baseline)
+        assert len(lines) == 1
+        assert "parallel.pages_per_sec_w1" in lines[0]
+        assert lines[0].lstrip().startswith("ok")
+
+    def test_compare_reports_uncompared_benchmarks(self):
+        results = _fake_parallel_results()
+        lines = compare_to_baseline(results, {"quick": {}})
+        assert len(lines) == 1
+        assert "not compared" in lines[0]
+
+
+class TestProfile:
+    def test_profile_macro_writes_pstats_file(self, tmp_path, monkeypatch):
+        import pstats
+
+        def tiny_macro(*args, **kwargs):
+            sum(range(1000))
+
+        monkeypatch.setattr(bench, "run_qos_experiment", tiny_macro)
+        out = tmp_path / "BENCH_profile.pstats"
+        summary = bench.profile_macro(out=str(out))
+        assert out.exists()
+        # The dump must be loadable by the stdlib pstats reader.
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+        assert "BENCH_profile.pstats" in summary

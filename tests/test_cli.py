@@ -35,19 +35,24 @@ class TestParser:
         assert args.command == "bench"
         assert not args.quick
         assert not args.profile
-        assert args.out == "BENCH_pipeline.json"
+        assert args.out is None  # auto-named per suite
+        assert args.suite == "default"
+        assert args.profile_out == "BENCH_profile.pstats"
         assert args.baseline is None
         assert args.max_regression == 0.30
 
     def test_bench_flags(self):
         args = build_parser().parse_args(
             ["bench", "--quick", "--profile", "--out", "x.json",
-             "--baseline", "b.json", "--max-regression", "0.5"]
+             "--baseline", "b.json", "--max-regression", "0.5",
+             "--suite", "parallel", "--profile-out", "p.pstats"]
         )
         assert args.quick and args.profile
         assert args.out == "x.json"
         assert args.baseline == "b.json"
         assert args.max_regression == 0.5
+        assert args.suite == "parallel"
+        assert args.profile_out == "p.pstats"
 
     def test_obs_defaults(self):
         args = build_parser().parse_args(["obs"])
