@@ -90,3 +90,25 @@ def test_parallel_sweep_within_regression_budget():
     # speedup floor applies there — see EXPERIMENTS.md PERF2.
     if available_workers() >= 4:
         assert parallel["best_speedup"] >= 1.0, parallel
+
+
+def test_telemetry_overhead_under_two_percent():
+    """In-flight scraping must cost <2% of the macro scenario's wall.
+
+    Gates ``scrape_frac`` — the summed ``perf_counter`` wall of every
+    ``scrape()`` call divided by the run's wall, min over repeats —
+    because differencing two full-run walls (``overhead_frac``) is
+    dominated by run-to-run jitter larger than the true overhead. The
+    differenced number is still recorded and only sanity-checked
+    against gross blowups.
+    """
+    results = run_suite(quick=True, suite="telemetry")
+    print()
+    print(render_report(results))
+    telemetry = results["telemetry"]
+    assert telemetry["scrapes"] > 0
+    assert telemetry["scrape_frac"] < 0.02, telemetry
+    # Machine-noise tolerance, not the real gate: a quick-mode macro
+    # wall is ~0.5 s, so 25% is a few jitter standard deviations while
+    # still catching an accidentally quadratic scrape path.
+    assert telemetry["overhead_frac"] < 0.25, telemetry

@@ -1,6 +1,6 @@
 """Hot-path performance benchmarks and the regression harness.
 
-Four benchmarks, exposed through ``python -m repro bench`` and selected
+Five benchmarks, exposed through ``python -m repro bench`` and selected
 with ``--suite``:
 
 * ``kernel`` — a pure event-kernel micro-benchmark: many concurrent
@@ -25,6 +25,10 @@ with ``--suite``:
   ``workers=1``. Scaling is bounded by the cores actually available
   (the result records ``cores``); on a single-core host the sweep
   measures synchronization overhead, not speedup.
+* ``telemetry`` — the macro scenario run back-to-back with the
+  :class:`~repro.obs.telemetry.TelemetryScraper` disabled and enabled;
+  reports the fractional wall-time overhead of in-flight scraping
+  (gated under 2% by ``benchmarks/perf/test_perf_regression.py``).
 
 Results are written as JSON (``BENCH_pipeline.json``, or
 ``BENCH_parallel.json`` for the parallel-only suite) and compared
@@ -55,6 +59,7 @@ __all__ = [
     "bench_pipeline",
     "bench_macro",
     "bench_parallel",
+    "bench_telemetry",
     "run_suite",
     "compare_to_baseline",
     "render_report",
@@ -80,7 +85,8 @@ SUITES: Dict[str, Sequence[str]] = {
     "pipeline": ("pipeline",),
     "macro": ("macro",),
     "parallel": ("parallel",),
-    "all": ("kernel", "pipeline", "macro", "parallel"),
+    "telemetry": ("telemetry",),
+    "all": ("kernel", "pipeline", "macro", "parallel", "telemetry"),
 }
 
 #: Throughput keys checked against the baseline, per benchmark.
@@ -258,6 +264,79 @@ def bench_parallel(
     }
 
 
+def bench_telemetry(
+    duration: float = 120.0,
+    clients: int = 60,
+    repeats: int = 3,
+    interval: float = 1.0,
+) -> Dict[str, Any]:
+    """Measure the scraper's overhead on the §V.B macro scenario.
+
+    Runs the macro twice per repetition — telemetry disabled, then with a
+    :class:`~repro.obs.telemetry.TelemetryScraper` watching every
+    registry and broker at *interval* — with the same
+    :class:`~repro.obs.spans.TraceCollector` configuration in both arms,
+    so the wall-time delta isolates the scrape loop and windowed
+    percentiles rather than histogram feeding.
+
+    Two overhead numbers come back:
+
+    * ``overhead_frac`` — ``max(0, wall_on - wall_off) / wall_off`` on
+      best-of-*repeats* walls. Honest but noisy: macro wall times jitter
+      several percent run-to-run, more than the true overhead.
+    * ``scrape_frac`` — every ``scrape()`` call wrapped in
+      ``perf_counter``, summed, divided by that run's wall; min over
+      repeats. This measures the scraper's wall share directly instead
+      of differencing two noisy totals, so it is the number the perf
+      gate holds under 2% (see ``benchmarks/perf/test_perf_regression.py``).
+    """
+    from .obs import TelemetryScraper, TraceCollector
+
+    class TimedScraper(TelemetryScraper):
+        scrape_wall = 0.0
+
+        def scrape(self):
+            started = time.perf_counter()
+            record = super().scrape()
+            self.scrape_wall += time.perf_counter() - started
+            return record
+
+    def measure(with_telemetry: bool):
+        obs = TraceCollector(sample=1000, limit=64)
+        telemetry = TimedScraper(interval=interval) if with_telemetry else None
+        started = time.perf_counter()
+        run_qos_experiment(
+            clients, mode="broker", duration=duration, seed=SEED,
+            obs=obs, telemetry=telemetry,
+        )
+        return time.perf_counter() - started, telemetry
+
+    base_walls: List[float] = []
+    scraped_walls: List[float] = []
+    scrape_fracs: List[float] = []
+    scrapes = 0
+    for _ in range(repeats):
+        wall, _none = measure(with_telemetry=False)
+        base_walls.append(wall)
+        wall, scraper = measure(with_telemetry=True)
+        scraped_walls.append(wall)
+        scrape_fracs.append(scraper.scrape_wall / wall)
+        scrapes = scraper.scrapes
+    base = min(base_walls)
+    scraped = min(scraped_walls)
+    return {
+        "clients": clients,
+        "duration_virtual_s": duration,
+        "repeats": repeats,
+        "interval_s": interval,
+        "scrapes": scrapes,
+        "wall_base_s": base,
+        "wall_telemetry_s": scraped,
+        "overhead_frac": max(0.0, scraped - base) / base,
+        "scrape_frac": min(scrape_fracs),
+    }
+
+
 def run_suite(quick: bool = False, suite: str = "default") -> Dict[str, Any]:
     """Run the benchmarks named by *suite*; return the result document.
 
@@ -295,6 +374,7 @@ def run_suite(quick: bool = False, suite: str = "default") -> Dict[str, Any]:
                 workers_list=(1, 2),
                 repeats=1,
             ),
+            "telemetry": lambda: bench_telemetry(duration=20.0, repeats=2),
         }
     else:
         runners = {
@@ -302,6 +382,7 @@ def run_suite(quick: bool = False, suite: str = "default") -> Dict[str, Any]:
             "pipeline": bench_pipeline,
             "macro": bench_macro,
             "parallel": bench_parallel,
+            "telemetry": bench_telemetry,
         }
     for bench in benches:
         results[bench] = runners[bench]()
@@ -401,6 +482,15 @@ def render_report(results: Dict[str, Any]) -> str:
             f"({macro['requests']:,} requests, best of {macro['repeats']} "
             f"wall {macro['wall_best_s']:.3f}s, "
             f"p50 {macro['wall_p50_s']:.3f}s, p99 {macro['wall_p99_s']:.3f}s)"
+        )
+    telemetry = results.get("telemetry")
+    if telemetry is not None:
+        lines.append(
+            f"  telemetry: {telemetry['scrape_frac']:.2%} scrape wall share "
+            f"(differenced {telemetry['overhead_frac']:.2%}; "
+            f"base {telemetry['wall_base_s']:.3f}s vs "
+            f"scraped {telemetry['wall_telemetry_s']:.3f}s, "
+            f"{telemetry['scrapes']} scrapes @ {telemetry['interval_s']:g}s)"
         )
     parallel = results.get("parallel")
     if parallel is not None:

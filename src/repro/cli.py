@@ -27,6 +27,9 @@ Usage::
     python -m repro cache  --describe
     python -m repro cache  [--clients N] [--brokers B] [--duration S]
                            [--ttl S] [--no-views] [--quick] [--summary-out FILE]
+    python -m repro telemetry --describe
+    python -m repro telemetry [--scenario qos|chaos|shard] [--interval S]
+                           [--slo] [--dashboard] [--export FILE] [--quick]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -218,9 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite", default="default",
-        choices=["default", "kernel", "pipeline", "macro", "parallel", "all"],
+        choices=[
+            "default", "kernel", "pipeline", "macro", "parallel",
+            "telemetry", "all",
+        ],
         help="which benchmarks to run (default: kernel+pipeline+macro; "
-        "'parallel' sweeps the sharded testbed over worker counts)",
+        "'parallel' sweeps the sharded testbed over worker counts; "
+        "'telemetry' measures scraper overhead on the macro scenario)",
     )
     bench.add_argument(
         "--out", default=None,
@@ -389,6 +396,58 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--summary-out", dest="summary_out", default=None,
         help="write both runs' counters and the reduction factor as JSON",
+    )
+
+    telemetry = sub.add_parser(
+        "telemetry", parents=[common],
+        help="in-flight time-series telemetry, SLO burn-rate alerts, and "
+        "the live operator dashboard",
+    )
+    telemetry.add_argument(
+        "--describe", action="store_true",
+        help="print the scrape model, SLO engine, and exporter formats "
+        "without running anything",
+    )
+    telemetry.add_argument(
+        "--scenario", choices=("qos", "chaos", "shard"), default="qos",
+        help="which testbed to scrape (default: qos, the §V.B macro)",
+    )
+    telemetry.add_argument(
+        "--clients", type=int, default=60,
+        help="client count for qos/shard scenarios (default 60)",
+    )
+    telemetry.add_argument(
+        "--duration", type=float, default=120.0,
+        help="virtual seconds to run and scrape (default 120)",
+    )
+    telemetry.add_argument(
+        "--interval", type=float, default=1.0,
+        help="scrape interval in virtual seconds (default 1.0)",
+    )
+    telemetry.add_argument(
+        "--shards", type=int, default=4,
+        help="shard groups for the shard scenario (default 4)",
+    )
+    telemetry.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica brokers per shard group (default 2)",
+    )
+    telemetry.add_argument(
+        "--slo", action="store_true",
+        help="print the SLO table and the burn-rate alert timeline",
+    )
+    telemetry.add_argument(
+        "--dashboard", action="store_true",
+        help="render the terminal sparkline dashboard after the run",
+    )
+    telemetry.add_argument(
+        "--export", default=None,
+        help="write per-scrape telemetry JSONL here (a Prometheus text "
+        "snapshot lands next to it with a .prom suffix)",
+    )
+    telemetry.add_argument(
+        "--quick", action="store_true",
+        help="shrunken run (12 clients, 30s) for CI smoke tests",
     )
     return parser
 
@@ -976,6 +1035,30 @@ def run_obs(args) -> str:
     )
 
 
+def run_telemetry(args) -> str:
+    """Run the telemetry tier; see :mod:`repro.obs.telemetry`."""
+    from .obs import describe_telemetry, run_telemetry_command
+
+    if args.describe:
+        return describe_telemetry()
+    lines: list = []
+    run_telemetry_command(
+        scenario=args.scenario,
+        clients=args.clients,
+        duration=args.duration,
+        interval=args.interval,
+        seed=args.seed,
+        shards=args.shards,
+        replicas=args.replicas,
+        slo=args.slo,
+        dashboard=args.dashboard,
+        export=args.export,
+        quick=args.quick,
+        emit=lines.append,
+    )
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "fig7": run_fig7,
     "fig9": run_fig9,
@@ -989,6 +1072,7 @@ _COMMANDS = {
     "obs": run_obs,
     "chaos": run_chaos,
     "cache": run_cache,
+    "telemetry": run_telemetry,
 }
 
 

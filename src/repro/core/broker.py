@@ -243,6 +243,24 @@ class ServiceBroker:
         metrics.increment(f"broker.shed.{reason}")
         metrics.increment(f"broker.shed.qos{level}")
 
+    def load_gauges(self) -> "dict[str, Any]":
+        """Live load readings keyed exactly like the listener's samples.
+
+        Returns ``name -> zero-argument callable`` for this broker's
+        outstanding count plus every :meth:`BrokerQueue.gauges
+        <repro.core.queueing.BrokerQueue.gauges>` reading, under the
+        ``broker.load.<name>`` / ``broker.load.<name>.queue_depth``
+        names :class:`~repro.core.centralized.LoadListener` already
+        observes from :class:`~repro.core.centralized.LoadReport`
+        datagrams — so scraped gauge series and streamed load reports
+        describe the same quantities under the same keys.
+        """
+        prefix = f"broker.load.{self.name}"
+        gauges: "dict[str, Any]" = {prefix: lambda: float(self.outstanding)}
+        for key, reader in self.queue.gauges().items():
+            gauges[f"{prefix}.{key}"] = reader
+        return gauges
+
     def priority_of(self, request: BrokerRequest) -> int:
         """A request's effective QoS level (transaction escalation aware)."""
         if self.transactions is not None:

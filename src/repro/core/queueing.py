@@ -252,6 +252,24 @@ class BrokerQueue:
                     break
         return taken
 
+    def gauges(self) -> "dict[str, Callable[[], float]]":
+        """Depth and shed readings as named gauge callables.
+
+        The canonical sampling surface for in-flight telemetry: a
+        :class:`~repro.obs.telemetry.TelemetryScraper` registers these
+        once (via :meth:`ServiceBroker.load_gauges
+        <repro.core.broker.ServiceBroker.load_gauges>`) instead of
+        reaching into queue internals at every scrape. ``queue_depth``
+        and ``peak_depth`` are instantaneous readings; ``shed`` is the
+        cumulative shed counter, so its scrape series behaves like any
+        other counter (deltas/rates are meaningful).
+        """
+        return {
+            "queue_depth": lambda: float(len(self)),
+            "peak_depth": lambda: float(self.peak_depth),
+            "shed": lambda: float(self.shed_count),
+        }
+
     def snapshot(self) -> List[QueuedRequest]:
         """The waiting requests in service order (for inspection)."""
         return [

@@ -138,6 +138,38 @@ class LatencyHistogram:
         """99.9th-percentile estimate."""
         return self.percentile(99.9)
 
+    # -- combination ---------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """A new histogram holding this one's observations plus *other*'s.
+
+        Both histograms must share the exact same bucket edges — merged
+        counts are meaningless otherwise, so a mismatch raises
+        :class:`ValueError` instead of silently re-bucketing. Neither
+        operand is mutated; the parallel experiment driver uses this to
+        combine per-worker-slice histograms into fleet-wide percentiles
+        (mirroring :meth:`SummaryStats.merge
+        <repro.metrics.stats.SummaryStats.merge>`).
+        """
+        if self.edges != other.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{len(self.edges)} vs {len(other.edges)} buckets"
+            )
+        merged = LatencyHistogram(self.edges)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.overflow = self.overflow + other.overflow
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        for value in (self._min, other._min):
+            # Skip NaN (an empty operand) without poisoning the result.
+            if value == value and not (merged._min <= value):
+                merged._min = value
+        for value in (self._max, other._max):
+            if value == value and not (merged._max >= value):
+                merged._max = value
+        return merged
+
     # -- inspection ----------------------------------------------------
 
     def buckets(self) -> List[Tuple[float, int]]:

@@ -1,4 +1,4 @@
-"""Observability: request tracing, latency histograms, exporters.
+"""Observability: tracing, histograms, in-flight telemetry, exporters.
 
 The obs package rides the existing per-request timeline
 (:class:`~repro.core.pipeline.RequestContext`) to give every request a
@@ -7,18 +7,51 @@ trace of nested spans, feeds fixed-bucket latency histograms per stage
 span dumps, and terminal waterfalls. ``python -m repro obs`` is the
 CLI; DESIGN.md §10 documents the span model and the
 one-attribute-check overhead contract.
+
+On top of that post-hoc layer sits the in-flight telemetry tier
+(``python -m repro telemetry``): a
+:class:`~repro.obs.telemetry.TelemetryScraper` sampling registries and
+gauges into ring-buffer :class:`~repro.obs.telemetry.TimeSeries`, a
+declarative :class:`~repro.obs.slo.SloEngine` with multi-window
+burn-rate alerts, a terminal sparkline dashboard, and telemetry
+JSONL / Prometheus exporters. DESIGN.md §15 documents the scrape
+model and its determinism contract.
 """
 
+from .dashboard import Panel, default_panels, live_panel, render_dashboard, sparkline
 from .export import (
+    telemetry_to_jsonl,
     to_chrome_trace,
     to_jsonl,
+    to_prometheus,
     validate_chrome_trace,
+    validate_prometheus,
+    validate_telemetry_jsonl,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
+    write_telemetry_jsonl,
 )
 from .histogram import DEFAULT_LATENCY_EDGES, LatencyHistogram
 from .inspect import describe_obs, run_obs_command
+from .slo import (
+    BurnAlert,
+    SloEngine,
+    SloSpec,
+    chaos_slos,
+    qos_slos,
+    render_alert_timeline,
+    render_slo_table,
+    shard_slos,
+)
 from .spans import Hop, Span, SpanEvent, Trace, TraceCollector, trace_from_context
+from .telemetry import (
+    ScrapeRecord,
+    TelemetryScraper,
+    TimeSeries,
+    describe_telemetry,
+    run_telemetry_command,
+)
 from .timeline import (
     critical_path,
     render_attribution,
@@ -46,4 +79,28 @@ __all__ = [
     "validate_chrome_trace",
     "describe_obs",
     "run_obs_command",
+    "TimeSeries",
+    "ScrapeRecord",
+    "TelemetryScraper",
+    "describe_telemetry",
+    "run_telemetry_command",
+    "SloSpec",
+    "BurnAlert",
+    "SloEngine",
+    "qos_slos",
+    "chaos_slos",
+    "shard_slos",
+    "render_slo_table",
+    "render_alert_timeline",
+    "sparkline",
+    "Panel",
+    "default_panels",
+    "render_dashboard",
+    "live_panel",
+    "telemetry_to_jsonl",
+    "write_telemetry_jsonl",
+    "validate_telemetry_jsonl",
+    "to_prometheus",
+    "write_prometheus",
+    "validate_prometheus",
 ]

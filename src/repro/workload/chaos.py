@@ -403,7 +403,9 @@ def run_chaos_experiment(
     service_time: float = 0.1,
     backend_capacity: int = 5,
     availability_floor: float = 0.99,
+    fast_threshold: float = 0.5,
     seed: int = 0,
+    telemetry=None,
 ) -> ChaosResult:
     """A seeded chaos soak over two replica brokers.
 
@@ -540,6 +542,33 @@ def run_chaos_experiment(
     )
     injector.start()
 
+    # Always-on workload outcome counters. Pure counting with no
+    # scheduling or RNG impact, so seeded outputs are unchanged; the
+    # telemetry scraper reads these for the chaos SLOs ("workload.done"
+    # counts every terminal outcome including spike traffic, which the
+    # availability-floor invariant deliberately excludes). The sample
+    # lists below stay the source of truth for the result dataclass.
+    _ok = ReplyStatus.OK.value
+    _degraded = ReplyStatus.DEGRADED.value
+    _dropped = ReplyStatus.DROPPED.value
+
+    def count_outcome(status: str, elapsed: Optional[float]) -> None:
+        metrics.increment("workload.done")
+        if status == _ok:
+            metrics.increment("workload.ok")
+        elif status == _degraded:
+            metrics.increment("workload.degraded")
+        elif status == _dropped:
+            metrics.increment("workload.dropped")
+        elif status == "timeout":
+            metrics.increment("workload.timeout")
+        else:
+            metrics.increment("workload.error")
+        if status in (_ok, _degraded):
+            metrics.increment("workload.answered")
+            if elapsed is not None and elapsed <= fast_threshold:
+                metrics.increment("workload.fast")
+
     # Steady closed-loop workload with one-hop failover.
     samples: List[Tuple[float, str, float, bool]] = []
     key_rng = sim.rng("chaos.keys")
@@ -574,7 +603,9 @@ def run_chaos_experiment(
                 if reply.status in (ReplyStatus.OK, ReplyStatus.DEGRADED):
                     failed_over = attempt > 0
                     break
-            samples.append((issued, status, sim.now - issued, failed_over))
+            elapsed = sim.now - issued
+            samples.append((issued, status, elapsed, failed_over))
+            count_outcome(status, elapsed)
 
         ClosedLoopClient(
             sim,
@@ -589,6 +620,7 @@ def run_chaos_experiment(
     spike_rng = sim.rng("chaos.spike.keys")
 
     def spike_request(_generator, index):
+        issued = sim.now
         service = services[index % len(services)]
         item = spike_rng.randrange(key_pool)
         try:
@@ -601,8 +633,10 @@ def run_chaos_experiment(
             )
         except BrokerTimeout:
             spike_samples.append("timeout")
+            count_outcome("timeout", None)
             return
         spike_samples.append(reply.status.value)
+        count_outcome(reply.status.value, sim.now - issued)
 
     def spike_driver():
         spike_at = spike_every / 2.0
@@ -623,6 +657,17 @@ def run_chaos_experiment(
 
     if spike_rate > 0 and spike_every > 0:
         sim.process(spike_driver(), name="chaos:spikes")
+
+    if telemetry is not None:
+        # Purely observational (no RNG, no messages): the soak below is
+        # identical with or without the scraper.
+        telemetry.attach(sim)
+        telemetry.watch_registry(metrics, prefix="workload.")
+        telemetry.watch_registry(metrics, prefix="broker.")
+        telemetry.watch_registry(metrics, prefix="lifecycle.")
+        for broker in brokers.values():
+            telemetry.watch_broker(broker)
+        telemetry.start(until=duration)
 
     sim.run(until=duration)
     # Drain: open fault windows heal, restarts replay, replies land.

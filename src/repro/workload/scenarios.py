@@ -72,7 +72,7 @@ from ..frontend.api_access import ApiBackendGateway
 from ..frontend.server import FrontendWebServer
 from ..http.client import HttpClient
 from ..http.messages import HttpRequest, HttpResponse
-from ..metrics import MetricsRegistry, SummaryStats
+from ..metrics import LatencyHistogram, MetricsRegistry, SummaryStats
 from ..net.faults import FaultInjector, FaultPlan
 from ..net.link import Link
 from ..net.network import Network
@@ -296,6 +296,7 @@ def run_qos_experiment(
     fractions: Optional[Dict[int, float]] = None,
     seed: int = 0,
     obs=None,
+    telemetry=None,
 ) -> QosResult:
     """Run the §V.B testbed with *n_clients* split evenly over QoS classes.
 
@@ -495,6 +496,25 @@ def run_qos_experiment(
             client.start(until=duration)
             class_clients.append(client)
         clients_by_class[level] = class_clients
+
+    if telemetry is not None:
+        # Purely observational: the scraper reads registries and gauges
+        # at fixed instants, draws no RNG, and sends no messages, so
+        # the workload below is identical with or without it.
+        telemetry.attach(sim)
+        telemetry.watch_registry(frontend.metrics, prefix="app.")
+        telemetry.watch_registry(frontend.metrics, prefix="frontend.")
+        for broker in brokers:
+            telemetry.watch_broker(broker)
+            # Broker registries reuse names across brokers; a label
+            # keeps their series distinct.
+            telemetry.watch_registry(
+                broker.metrics, prefix="broker.", label=f"{broker.name}:"
+            )
+        obs_metrics = getattr(obs, "metrics", None)
+        if obs_metrics is not None:
+            telemetry.watch_registry(obs_metrics, prefix="obs.latency.")
+        telemetry.start(until=duration)
 
     sim.run(until=duration + 0.0)
     # Let in-flight requests finish so their metrics are counted.
@@ -821,6 +841,21 @@ class ShardedQosResult:
     listener_updates: int = 0
     #: ``ShardDirectory.describe()`` at end of run.
     topology: str = ""
+    #: QoS class -> fixed-bucket latency histogram of client response
+    #: times. Parallel runs merge the per-shard-slice histograms via
+    #: :meth:`LatencyHistogram.merge
+    #: <repro.metrics.histogram.LatencyHistogram.merge>`, so
+    #: ``workers=N`` reports correct fleet-wide percentiles.
+    latency_histograms: Dict[int, LatencyHistogram] = field(
+        default_factory=dict
+    )
+
+    def histogram_p99(self, level: int) -> float:
+        """Bucket-estimated p99 response time of QoS class *level*."""
+        histogram = self.latency_histograms.get(level)
+        if histogram is None or not histogram.count:
+            return float("nan")
+        return histogram.percentile(99.0)
 
     @property
     def throughput(self) -> float:
@@ -864,6 +899,7 @@ def run_sharded_qos_experiment(
     fractions: Optional[Dict[int, float]] = None,
     seed: int = 0,
     obs=None,
+    telemetry=None,
     workers: int = 1,
     lookahead: Optional[float] = None,
 ) -> ShardedQosResult:
@@ -932,6 +968,11 @@ def run_sharded_qos_experiment(
             raise ValueError(
                 "parallel execution cannot aggregate an obs collector "
                 "across worker processes; use workers=1"
+            )
+        if telemetry is not None:
+            raise ValueError(
+                "parallel execution cannot scrape live telemetry across "
+                "worker processes; use workers=1"
             )
         return _run_sharded_parallel(
             n_clients=n_clients,
@@ -1116,6 +1157,27 @@ def run_sharded_qos_experiment(
             class_clients.append(client)
         clients_by_class[level] = class_clients
 
+    if telemetry is not None:
+        # Purely observational (no RNG, no messages): the workload is
+        # identical with or without the scraper.
+        telemetry.attach(sim)
+        telemetry.watch_registry(frontend.metrics, prefix="app.")
+        telemetry.watch_registry(frontend.metrics, prefix="frontend.")
+        # All brokers share one registry here, so no label is needed.
+        telemetry.watch_registry(metrics, prefix="broker.")
+        telemetry.watch_registry(metrics, prefix="listener.")
+        for broker in all_brokers:
+            telemetry.watch_broker(broker)
+        if listener is not None:
+            # Leader-only shard aggregation rides the ShardLoadReport
+            # path: only group leaders report, so this gauge table is
+            # already the per-shard leader view.
+            telemetry.watch_listener(listener)
+        obs_metrics = getattr(obs, "metrics", None)
+        if obs_metrics is not None:
+            telemetry.watch_registry(obs_metrics, prefix="obs.latency.")
+        telemetry.start(until=duration)
+
     sim.run(until=duration)
     sim.run(until=duration + 200.0)  # drain in-flight pages
 
@@ -1129,12 +1191,15 @@ def run_sharded_qos_experiment(
     )
     for level, class_clients in clients_by_class.items():
         merged = SummaryStats()
+        histogram = LatencyHistogram()
         completed = 0
         for client in class_clients:
             completed += client.completed
             for value in client.response_times.values():
                 merged.add(value)
+                histogram.add(value)
         result.response_times[level] = merged
+        result.latency_histograms[level] = histogram
         result.completions[level] = completed
         result.full_fidelity[level] = int(
             frontend.metrics.counter(f"app.fullfid.qos{level}")
@@ -1372,13 +1437,16 @@ def _run_sharded_parallel(
                 per_level: Dict[int, dict] = {}
                 for level, class_clients in clients_by_class.items():
                     merged = SummaryStats()
+                    histogram = LatencyHistogram()
                     completed = 0
                     for client in class_clients:
                         completed += client.completed
                         for value in client.response_times.values():
                             merged.add(value)
+                            histogram.add(value)
                     per_level[level] = {
                         "stats": merged,
+                        "hist": histogram,
                         "completed": completed,
                         "fullfid": int(
                             frontend.metrics.counter(f"app.fullfid.qos{level}")
@@ -1433,8 +1501,12 @@ def _run_sharded_parallel(
                 result.response_times[level] = result.response_times[
                     level
                 ].merge(bundle["stats"])
+                result.latency_histograms[level] = result.latency_histograms[
+                    level
+                ].merge(bundle["hist"])
             else:
                 result.response_times[level] = bundle["stats"]
+                result.latency_histograms[level] = bundle["hist"]
             result.completions[level] = (
                 result.completions.get(level, 0) + bundle["completed"]
             )

@@ -129,3 +129,158 @@ class TestTimeline:
         text = render_trace(collector.traces[0], events=True)
         assert "critical path:" in text
         assert "sum" in text
+
+
+def _telemetry_scraper():
+    """A scraper with counters, a gauge, and a watched histogram."""
+    from repro.metrics import MetricsRegistry
+    from repro.obs import TelemetryScraper
+    from repro.sim import Simulation
+
+    sim = Simulation(seed=9)
+    registry = MetricsRegistry()
+    hist = registry.histogram_handle("app.latency", edges=(0.01, 0.1, 1.0))
+
+    def ticker():
+        while True:
+            yield 0.5
+            registry.increment("app.requests")
+            hist.add(0.05)
+
+    sim.process(ticker(), name="ticker")
+    scraper = TelemetryScraper(interval=1.0).attach(sim)
+    scraper.watch_registry(registry, prefix="app.")
+    scraper.add_gauge("depth", lambda: 3.0)
+    scraper.start(until=5.0)
+    sim.run(until=5.0)
+    return scraper
+
+
+class TestTelemetryJsonl:
+    def test_round_trip_validates_clean(self):
+        from repro.obs import telemetry_to_jsonl, validate_telemetry_jsonl
+
+        lines = telemetry_to_jsonl(_telemetry_scraper())
+        assert validate_telemetry_jsonl(lines) == []
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["schema"] == 1
+        assert header["retained"] == len(lines) - 1
+
+    def test_scrape_lines_carry_all_sections(self):
+        from repro.obs import telemetry_to_jsonl
+
+        lines = telemetry_to_jsonl(_telemetry_scraper())
+        record = json.loads(lines[1])
+        assert record["kind"] == "scrape"
+        assert "app.requests" in record["counters"]
+        assert "depth" in record["gauges"]
+        assert any(".p99." in k for k in record["percentiles"])
+
+    def test_write_creates_file_and_returns_line_count(self, tmp_path):
+        from repro.obs import validate_telemetry_jsonl, write_telemetry_jsonl
+
+        path = tmp_path / "t.jsonl"
+        written = write_telemetry_jsonl(_telemetry_scraper(), path)
+        lines = path.read_text().splitlines()
+        assert written == len(lines)
+        assert validate_telemetry_jsonl(lines) == []
+
+    def test_validator_rejects_missing_header(self):
+        from repro.obs import validate_telemetry_jsonl
+
+        problems = validate_telemetry_jsonl(
+            ['{"kind": "scrape", "t": 1, "counters": {}, '
+             '"gauges": {}, "percentiles": {}}']
+        )
+        assert any("header" in p for p in problems)
+
+    def test_validator_rejects_unknown_schema(self):
+        from repro.obs import validate_telemetry_jsonl
+
+        problems = validate_telemetry_jsonl(
+            ['{"kind": "header", "schema": 99, "interval": 1.0}']
+        )
+        assert any("schema" in p for p in problems)
+
+    def test_validator_rejects_non_increasing_t(self):
+        from repro.obs import validate_telemetry_jsonl
+
+        scrape = (
+            '{"kind": "scrape", "t": %d, "counters": {}, '
+            '"gauges": {}, "percentiles": {}}'
+        )
+        problems = validate_telemetry_jsonl(
+            [
+                '{"kind": "header", "schema": 1, "interval": 1.0}',
+                scrape % 2,
+                scrape % 1,
+            ]
+        )
+        assert any("does not increase" in p for p in problems)
+
+    def test_validator_rejects_null_counter_and_bad_json(self):
+        from repro.obs import validate_telemetry_jsonl
+
+        problems = validate_telemetry_jsonl(
+            [
+                '{"kind": "header", "schema": 1, "interval": 1.0}',
+                '{"kind": "scrape", "t": 1, "counters": {"x": null}, '
+                '"gauges": {}, "percentiles": {"p": null}}',
+                "not json",
+            ]
+        )
+        assert any("is null" in p for p in problems)
+        assert any("invalid JSON" in p for p in problems)
+        # A percentile null is legal, so exactly those two problems.
+        assert len(problems) == 2
+
+
+class TestPrometheus:
+    def test_snapshot_validates_clean(self):
+        from repro.obs import to_prometheus, validate_prometheus
+
+        text = to_prometheus(_telemetry_scraper())
+        assert validate_prometheus(text) == []
+
+    def test_names_are_sanitized_under_repro_prefix(self):
+        from repro.obs import to_prometheus
+
+        text = to_prometheus(_telemetry_scraper())
+        assert "repro_app_requests" in text
+        assert "# TYPE repro_app_requests counter" in text
+        assert "# TYPE repro_depth gauge" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        from repro.obs import to_prometheus
+
+        text = to_prometheus(_telemetry_scraper())
+        buckets = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_app_latency_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert 'le="+Inf"' in text
+        count = next(
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_app_latency_count")
+        )
+        assert buckets[-1] == count
+
+    def test_write_prometheus_creates_file(self, tmp_path):
+        from repro.obs import validate_prometheus, write_prometheus
+
+        path = tmp_path / "snap.prom"
+        text = write_prometheus(_telemetry_scraper(), path)
+        assert path.read_text() == text
+        assert validate_prometheus(text) == []
+
+    def test_validator_rejects_malformed_lines(self):
+        from repro.obs import validate_prometheus
+
+        problems = validate_prometheus(
+            "# TYPE bad kind\n9metric 1.0\ngood_metric notanumber\n"
+        )
+        assert len(problems) >= 3

@@ -138,3 +138,71 @@ class TestRendering:
 
     def test_render_empty_histogram(self):
         assert "empty" in render_histogram(LatencyHistogram())
+
+
+class TestMerge:
+    def test_merge_sums_counts_overflow_and_total(self):
+        a = LatencyHistogram(edges=(1.0, 2.0))
+        b = LatencyHistogram(edges=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            a.add(v)
+        for v in (0.6, 9.5):
+            b.add(v)
+        merged = a.merge(b)
+        assert merged.count == 5
+        assert merged.overflow == 2
+        assert merged.total == pytest.approx(0.5 + 1.5 + 9.0 + 0.6 + 9.5)
+        assert merged.minimum == 0.5
+        assert merged.maximum == 9.5
+
+    def test_merge_requires_identical_edges(self):
+        a = LatencyHistogram(edges=(1.0, 2.0))
+        b = LatencyHistogram(edges=(1.0, 3.0))
+        with pytest.raises(ValueError, match="edges"):
+            a.merge(b)
+
+    def test_merge_with_empty_operand_keeps_min_max(self):
+        a = LatencyHistogram(edges=(1.0, 2.0))
+        a.add(0.5)
+        empty = LatencyHistogram(edges=(1.0, 2.0))
+        merged = a.merge(empty)
+        assert merged.minimum == 0.5
+        assert merged.maximum == 0.5
+        both_empty = empty.merge(LatencyHistogram(edges=(1.0, 2.0)))
+        assert both_empty.count == 0
+        assert math.isnan(both_empty.percentile(50))
+
+    def test_merge_does_not_mutate_operands(self):
+        a = LatencyHistogram(edges=(1.0,))
+        b = LatencyHistogram(edges=(1.0,))
+        a.add(0.5)
+        b.add(0.6)
+        a.merge(b)
+        assert a.count == 1 and b.count == 1
+
+    def test_merge_equals_adding_all_values_to_one(self):
+        import random
+
+        rng = random.Random(4)
+        values_a = [rng.uniform(0.0001, 50.0) for _ in range(200)]
+        values_b = [rng.uniform(0.0001, 200.0) for _ in range(150)]
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        combined = LatencyHistogram()
+        for v in values_a:
+            a.add(v)
+            combined.add(v)
+        for v in values_b:
+            b.add(v)
+            combined.add(v)
+        merged = a.merge(b)
+        assert list(merged.counts) == list(combined.counts)
+        assert merged.overflow == combined.overflow
+        assert merged.count == combined.count
+        assert merged.total == pytest.approx(combined.total)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+        for q in (50, 90, 99):
+            assert merged.percentile(q) == pytest.approx(
+                combined.percentile(q)
+            )

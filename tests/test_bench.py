@@ -228,9 +228,10 @@ class TestSuites:
 
     def test_suite_names_cover_all_benchmarks(self):
         assert set(bench.SUITES["all"]) == {
-            "kernel", "pipeline", "macro", "parallel"
+            "kernel", "pipeline", "macro", "parallel", "telemetry"
         }
         assert bench.SUITES["parallel"] == ("parallel",)
+        assert bench.SUITES["telemetry"] == ("telemetry",)
 
     def test_render_report_parallel_section(self):
         report = render_report(_fake_parallel_results())

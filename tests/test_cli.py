@@ -329,3 +329,69 @@ class TestCacheCommand:
         assert payload["reduction"] > 1.0
         assert payload["modes"]["shared-tier"]["tier_hits"] > 0
         assert payload["modes"]["local-caches"]["tier_hits"] == 0
+
+
+class TestTelemetryCommand:
+    def test_telemetry_defaults(self):
+        args = build_parser().parse_args(["telemetry"])
+        assert args.command == "telemetry"
+        assert args.scenario == "qos"
+        assert args.clients == 60
+        assert args.duration == 120.0
+        assert args.interval == 1.0
+        assert args.shards == 4 and args.replicas == 2
+        assert args.export is None
+        assert not args.slo and not args.dashboard
+        assert not args.quick and not args.describe
+        assert args.seed == 2026
+
+    def test_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["telemetry", "--scenario", "chaos", "--interval", "0.5",
+             "--slo", "--dashboard", "--export", "t.jsonl", "--quick",
+             "--seed", "7"]
+        )
+        assert args.scenario == "chaos"
+        assert args.interval == 0.5
+        assert args.slo and args.dashboard and args.quick
+        assert args.export == "t.jsonl"
+        assert args.seed == 7
+
+    def test_telemetry_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry", "--scenario", "nope"])
+
+    def test_telemetry_describe(self, capsys):
+        assert main(["telemetry", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "TelemetryScraper" in out
+        assert "SLO engine" in out
+        assert "Determinism" in out
+
+    def test_telemetry_quick_run_with_export(self, capsys, tmp_path):
+        from repro.obs import validate_prometheus, validate_telemetry_jsonl
+
+        jsonl = tmp_path / "TELEMETRY_qos.jsonl"
+        assert main([
+            "telemetry", "--quick", "--slo", "--export", str(jsonl),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scrapes=30" in out
+        assert "alert timeline" in out
+        lines = jsonl.read_text().splitlines()
+        assert validate_telemetry_jsonl(lines) == []
+        prom = tmp_path / "TELEMETRY_qos.prom"
+        assert validate_prometheus(prom.read_text()) == []
+
+    def test_telemetry_deterministic_across_invocations(self, capsys, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main([
+                "telemetry", "--quick", "--export", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_bench_accepts_telemetry_suite(self):
+        args = build_parser().parse_args(["bench", "--suite", "telemetry"])
+        assert args.suite == "telemetry"

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.workload import run_clustering_experiment, run_qos_experiment
+from repro.workload.scenarios import run_sharded_qos_experiment
 
 
 class TestClusteringScenario:
@@ -157,3 +158,71 @@ class TestCacheTierScenario:
         assert first.backend_queries == second.backend_queries
         assert first.requests == second.requests
         assert first.latency.mean == second.latency.mean
+
+
+class TestFleetWideHistograms:
+    """Satellite: LatencyHistogram.merge() through the parallel driver."""
+
+    KW = dict(shards=4, replicas=1, duration=30.0, seed=11)
+
+    def test_serial_run_populates_per_class_histograms(self):
+        result = run_sharded_qos_experiment(12, workers=1, **self.KW)
+        assert set(result.latency_histograms) == set(result.completions)
+        for level, histogram in result.latency_histograms.items():
+            assert histogram.count == result.response_times[level].count
+
+    def test_parallel_merge_is_consistent_with_own_stats(self):
+        # The partitioned run is not a serial replay (see DESIGN.md
+        # §14), so the fleet-wide merged histogram is checked against
+        # the same run's SummaryStats, not the serial histograms.
+        parallel = run_sharded_qos_experiment(12, workers=2, **self.KW)
+        assert set(parallel.latency_histograms) == set(parallel.completions)
+        for level, histogram in parallel.latency_histograms.items():
+            stats = parallel.response_times[level]
+            assert histogram.count == stats.count
+            assert histogram.minimum == pytest.approx(stats.minimum)
+            assert histogram.maximum == pytest.approx(stats.maximum)
+
+    def test_histogram_p99_tracks_summary_stats(self):
+        result = run_sharded_qos_experiment(12, workers=1, **self.KW)
+        for level, stats in result.response_times.items():
+            p99 = result.histogram_p99(level)
+            # Bucket-interpolated p99 must bracket the exact range.
+            assert stats.minimum <= p99 <= stats.maximum * 1.01
+
+    def test_worker_count_does_not_change_histogram(self):
+        two = run_sharded_qos_experiment(12, workers=2, **self.KW)
+        three = run_sharded_qos_experiment(12, workers=3, **self.KW)
+        for level in two.latency_histograms:
+            assert list(two.latency_histograms[level].counts) == list(
+                three.latency_histograms[level].counts
+            )
+
+
+class TestTelemetryWiring:
+    def test_parallel_run_with_telemetry_rejected(self):
+        from repro.obs import TelemetryScraper
+
+        with pytest.raises(ValueError, match="workers=1"):
+            run_sharded_qos_experiment(
+                12,
+                workers=2,
+                telemetry=TelemetryScraper(),
+                **TestFleetWideHistograms.KW,
+            )
+
+    def test_serial_sharded_run_scrapes_broker_and_listener(self):
+        from repro.obs import TelemetryScraper
+
+        scraper = TelemetryScraper(interval=1.0)
+        run_sharded_qos_experiment(
+            12,
+            mode="centralized",
+            workers=1,
+            telemetry=scraper,
+            **TestFleetWideHistograms.KW,
+        )
+        names = sorted(scraper.series)
+        assert any(n.startswith("broker.load.") for n in names)
+        assert any(n.startswith("shard.load.") for n in names)
+        assert scraper.scrapes == 30
