@@ -60,6 +60,7 @@ __all__ = [
     "bench_macro",
     "bench_parallel",
     "bench_telemetry",
+    "bench_autoscale",
     "run_suite",
     "compare_to_baseline",
     "render_report",
@@ -86,7 +87,10 @@ SUITES: Dict[str, Sequence[str]] = {
     "macro": ("macro",),
     "parallel": ("parallel",),
     "telemetry": ("telemetry",),
-    "all": ("kernel", "pipeline", "macro", "parallel", "telemetry"),
+    "autoscale": ("autoscale",),
+    "all": (
+        "kernel", "pipeline", "macro", "parallel", "telemetry", "autoscale",
+    ),
 }
 
 #: Throughput keys checked against the baseline, per benchmark.
@@ -337,6 +341,43 @@ def bench_telemetry(
     }
 
 
+def bench_autoscale(
+    duration: float = 240.0,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Time the elastic-pool headline experiment end to end.
+
+    The autoscale experiment is the heaviest composed scenario in the
+    repo — diurnal generators, an elastic broker pool, the telemetry
+    scraper, the SLO engine, and the drain protocol all at once — so
+    its wall time is a good canary for cross-subsystem slowdowns that
+    the isolated kernel/pipeline benchmarks miss. Reports best-of-
+    *repeats* wall and requests per wall-clock second, and carries the
+    invariant verdict so a perf run that silently breaks correctness
+    is visible in the results document.
+    """
+    from .workload.chaos import run_autoscale_experiment
+
+    walls: List[float] = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_autoscale_experiment(duration=duration, seed=SEED)
+        walls.append(time.perf_counter() - started)
+    best = min(walls)
+    return {
+        "duration_virtual_s": duration,
+        "repeats": repeats,
+        "requests": result.requests,
+        "scale_events": result.scale_outs + result.scale_ins,
+        "drains_completed": result.drains_completed,
+        "wall_best_s": best,
+        "wall_p50_s": _percentile(walls, 0.50),
+        "requests_per_sec": result.requests / best,
+        "invariants_hold": result.all_invariants_hold,
+    }
+
+
 def run_suite(quick: bool = False, suite: str = "default") -> Dict[str, Any]:
     """Run the benchmarks named by *suite*; return the result document.
 
@@ -375,6 +416,7 @@ def run_suite(quick: bool = False, suite: str = "default") -> Dict[str, Any]:
                 repeats=1,
             ),
             "telemetry": lambda: bench_telemetry(duration=20.0, repeats=2),
+            "autoscale": lambda: bench_autoscale(duration=120.0, repeats=2),
         }
     else:
         runners = {
@@ -383,6 +425,7 @@ def run_suite(quick: bool = False, suite: str = "default") -> Dict[str, Any]:
             "macro": bench_macro,
             "parallel": bench_parallel,
             "telemetry": bench_telemetry,
+            "autoscale": bench_autoscale,
         }
     for bench in benches:
         results[bench] = runners[bench]()
@@ -491,6 +534,17 @@ def render_report(results: Dict[str, Any]) -> str:
             f"base {telemetry['wall_base_s']:.3f}s vs "
             f"scraped {telemetry['wall_telemetry_s']:.3f}s, "
             f"{telemetry['scrapes']} scrapes @ {telemetry['interval_s']:g}s)"
+        )
+    autoscale = results.get("autoscale")
+    if autoscale is not None:
+        verdict = "hold" if autoscale["invariants_hold"] else "VIOLATED"
+        lines.append(
+            f"  autoscale: {autoscale['requests_per_sec']:>11,.0f} requests/s "
+            f"({autoscale['requests']:,} requests, "
+            f"{autoscale['scale_events']} scale events, "
+            f"{autoscale['drains_completed']} drains, best of "
+            f"{autoscale['repeats']} wall {autoscale['wall_best_s']:.3f}s; "
+            f"invariants {verdict})"
         )
     parallel = results.get("parallel")
     if parallel is not None:

@@ -30,6 +30,12 @@ Usage::
     python -m repro telemetry --describe
     python -m repro telemetry [--scenario qos|chaos|shard] [--interval S]
                            [--slo] [--dashboard] [--export FILE] [--quick]
+    python -m repro autoscale --describe
+    python -m repro autoscale [--quick] [--duration S] [--period S]
+                           [--swing X] [--target T] [--summary-out FILE]
+    python -m repro autoscale --soak [--quick] [--duration S]
+                           [--wave-period S] [--min-scale-ins N]
+                           [--summary-out FILE]
 
 Each subcommand regenerates one of the paper's evaluation artifacts and
 prints it as an aligned text table. For the benchmark-grade runs with
@@ -45,11 +51,13 @@ from typing import List, Optional, Sequence
 
 from .metrics import render_table
 from .workload import (
+    run_autoscale_experiment,
     run_cache_tier_experiment,
     run_chaos_experiment,
     run_clustering_experiment,
     run_failure_recovery_experiment,
     run_qos_experiment,
+    run_scale_chaos_experiment,
     run_shard_chaos_experiment,
     run_sharded_qos_experiment,
 )
@@ -223,11 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite", default="default",
         choices=[
             "default", "kernel", "pipeline", "macro", "parallel",
-            "telemetry", "all",
+            "telemetry", "autoscale", "all",
         ],
         help="which benchmarks to run (default: kernel+pipeline+macro; "
         "'parallel' sweeps the sharded testbed over worker counts; "
-        "'telemetry' measures scraper overhead on the macro scenario)",
+        "'telemetry' measures scraper overhead on the macro scenario; "
+        "'autoscale' times the elastic-pool experiment end to end)",
     )
     bench.add_argument(
         "--out", default=None,
@@ -448,6 +457,61 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--quick", action="store_true",
         help="shrunken run (12 clients, 30s) for CI smoke tests",
+    )
+
+    autoscale = sub.add_parser(
+        "autoscale", parents=[common],
+        help="elastic broker pool: target-tracking autoscaler, graceful "
+        "drain, per-tenant throttling, and the scale-chaos soak",
+    )
+    autoscale.add_argument(
+        "--describe", action="store_true",
+        help="print the control loop, drain protocol, and invariants "
+        "without running anything",
+    )
+    autoscale.add_argument(
+        "--soak", action="store_true",
+        help="run the scale-chaos soak (square-wave load plus a drain "
+        "sniper crashing brokers mid-drain) instead of the diurnal "
+        "headline experiment",
+    )
+    autoscale.add_argument(
+        "--quick", action="store_true",
+        help="shrunken run for CI smoke tests (headline: 120s; "
+        "soak: 120s with proportionally lower event floors)",
+    )
+    autoscale.add_argument(
+        "--duration", type=float, default=None,
+        help="virtual seconds to run (default 240 headline, 264 soak)",
+    )
+    autoscale.add_argument(
+        "--period", type=float, default=120.0,
+        help="diurnal period in virtual seconds, headline only "
+        "(default 120)",
+    )
+    autoscale.add_argument(
+        "--swing", type=float, default=10.0,
+        help="peak-to-base arrival-rate ratio for the diurnal wave, "
+        "headline only (default 10)",
+    )
+    autoscale.add_argument(
+        "--target", type=float, default=None,
+        help="target outstanding requests per broker for the "
+        "target-tracking policy (default 3.0 headline, 2.5 soak)",
+    )
+    autoscale.add_argument(
+        "--wave-period", dest="wave_period", type=float, default=24.0,
+        help="square-wave period in virtual seconds, soak only "
+        "(default 24)",
+    )
+    autoscale.add_argument(
+        "--min-scale-ins", dest="min_scale_ins", type=int, default=None,
+        help="soak invariant floor on completed scale-in events "
+        "(default 20, or 8 with --quick)",
+    )
+    autoscale.add_argument(
+        "--summary-out", dest="summary_out", default=None,
+        help="write the experiment summary and invariant verdicts as JSON",
     )
     return parser
 
@@ -868,6 +932,183 @@ def _run_shard_chaos(args, duration: float) -> str:
     return report
 
 
+def _describe_autoscale() -> str:
+    from .core.autoscale import AutoscalerPolicy
+
+    policy = AutoscalerPolicy(target=3.0)
+    lines = [
+        "Elastic autoscaling (repro.core.autoscale + run_autoscale_experiment):",
+        "",
+        "Control loop: every interval the Autoscaler averages per-broker",
+        "outstanding load (TelemetryScraper 'broker.load.<name>' series,",
+        "falling back to live broker gauges) and target-tracks it:",
+        f"  desired = ceil(size * signal / target), hysteresis band ±{policy.hysteresis:g},",
+        f"  step-limited to ±{policy.max_step} units, clamped to "
+        f"[{policy.min_size}, {policy.max_size}] by default,",
+        f"  cooldowns {policy.scale_out_cooldown:g}s out / "
+        f"{policy.scale_in_cooldown:g}s in; an active SLO fast-burn",
+        "  alert vetoes scale-in (never scale-out).",
+        "",
+        "Graceful drain (scale-in, newest unit first):",
+        "  1. leave the consistent-hash ring — no new work routes here",
+        "  2. begin_drain — the broker refuses fresh rx as DROPPED/draining",
+        "  3. quiesce — wait for queue + admissions + journal to empty",
+        "  4. on grace expiry, hand leftover journal entries to a live",
+        "     peer (rewritten to the peer's service alias)",
+        "  5. leave the shard group, deregister from the load listener,",
+        "     release supervision, decommission",
+        "A broker crashed mid-drain restarts still draining (the flag",
+        "survives restart) and the coordinator resumes with fresh grace.",
+        "",
+        "Per-tenant throttling: token buckets (rate/burst, overridable per",
+        "tenant) refuse excess as 429 at the front end and as DROPPED/",
+        "throttled at the broker ThrottleStage. A throttle refusal is 'we",
+        "refused', not 'we lost': it is excluded from SLO burn and from",
+        "the availability denominator.",
+        "",
+        "Headline run: three diurnal QoS classes sweep base..base*swing",
+        "once per period plus a flash-crowd tenant ('burst') whose bucket",
+        "is sized so crowds are refused, not absorbed. Invariants:",
+        "  premium-p99             class-1 p99 within the SLO",
+        "  pool-efficiency         time-mean size <= 1.5x steady-state",
+        "  elasticity              the pool actually tracked the swing",
+        "  throttle-containment    burst throttled, premium never",
+        "  no-lost-request         zero residue, all requests terminal",
+        "",
+        "--soak runs the scale-chaos variant instead: a square wave forces",
+        "a scale-out/scale-in cycle per period while a drain sniper",
+        "crashes every 2nd draining broker mid-protocol. Invariants add",
+        "scale-in-coverage, drain-completion, pool-bounds,",
+        "post-crash-consistency, and availability-floor.",
+        "",
+        "Exit status is 1 if any invariant fails. --summary-out writes the",
+        "full counters and verdicts as JSON for CI artifacts.",
+    ]
+    return "\n".join(lines)
+
+
+def run_autoscale(args) -> str:
+    """Run the elastic-pool headline (or the --soak scale-chaos soak)."""
+    if args.describe:
+        return _describe_autoscale()
+    if args.soak:
+        return _run_scale_chaos(args)
+    duration = args.duration
+    period = args.period
+    if duration is None:
+        duration = 120.0 if args.quick else 240.0
+    target = 3.0 if args.target is None else args.target
+    result = run_autoscale_experiment(
+        duration=duration,
+        swing=args.swing,
+        period=period,
+        target=target,
+        seed=args.seed,
+    )
+    premium = result.premium_p99()
+    premium_text = "n/a" if premium != premium else f"{premium * 1000:.1f}ms"
+    lines = [
+        f"Autoscale headline — {duration:g}s virtual, seed={args.seed}, "
+        f"diurnal {result.base_rate:g}..{result.peak_rate:g} req/s "
+        f"(swing {args.swing:g}x, period {period:g}s), target={target:g}",
+        "",
+        f"workload        : {result.requests} requests  ok={result.ok} "
+        f"degraded={result.degraded} throttled={result.throttled} "
+        f"dropped={result.dropped} timeouts={result.timeouts} "
+        f"errors={result.errors}",
+        f"availability    : {100.0 * result.availability:.3f}% of "
+        "non-throttled traffic",
+        f"premium p99     : {premium_text}",
+        "tenants         : "
+        + "  ".join(
+            f"{name}={info.get('requests', 0)}req/"
+            f"{info.get('throttled', 0)}thr"
+            for name, info in sorted(result.tenants.items())
+        ),
+        f"pool economy    : steady={result.steady_size} "
+        f"mean={result.mean_size:.2f} peak={result.peak_size} "
+        f"min={result.min_size} provisioned={result.provisioned}",
+        f"scaling         : outs={result.scale_outs} ins={result.scale_ins} "
+        f"drains={result.drains_completed} handoffs={result.handoffs} "
+        f"drain_refused={result.drain_refused}",
+        f"control loop    : alerts={result.alerts} "
+        f"vetoed_by_alert={result.blocked_by_alert} "
+        f"held_by_cooldown={result.blocked_by_cooldown}",
+        "",
+    ]
+    return _finish_scale_report(args, result, lines)
+
+
+def _run_scale_chaos(args) -> str:
+    """The --soak arm: square-wave load plus the mid-drain sniper."""
+    duration = args.duration
+    min_scale_ins = args.min_scale_ins
+    min_kills = 3
+    if args.quick:
+        duration = 120.0 if duration is None else duration
+        min_scale_ins = 8 if min_scale_ins is None else min_scale_ins
+        min_kills = 1
+    else:
+        duration = 264.0 if duration is None else duration
+        min_scale_ins = 20 if min_scale_ins is None else min_scale_ins
+    target = 2.5 if args.target is None else args.target
+    result = run_scale_chaos_experiment(
+        duration=duration,
+        wave_period=args.wave_period,
+        target=target,
+        min_scale_ins=min_scale_ins,
+        min_mid_drain_kills=min_kills,
+        seed=args.seed,
+    )
+    lines = [
+        f"Scale-chaos soak — {duration:g}s virtual, seed={args.seed}, "
+        f"square wave {result.base_rate:g}/{result.high_rate:g} req/s "
+        f"every {result.wave_period:g}s, target={target:g}, "
+        f"mttr={result.mttr:g}s",
+        "",
+        f"workload        : {result.requests} requests  ok={result.ok} "
+        f"degraded={result.degraded} dropped={result.dropped} "
+        f"timeouts={result.timeouts} errors={result.errors}",
+        f"latency         : "
+        f"p50={result.latency.percentile(50) * 1000:.1f}ms  "
+        f"p99={result.latency.percentile(99) * 1000:.1f}ms",
+        f"availability    : {100.0 * result.availability:.3f}%",
+        f"pool            : provisioned={result.provisioned} "
+        f"peak={result.peak_size} min={result.min_size}",
+        f"scaling         : outs={result.scale_outs} ins={result.scale_ins} "
+        f"drains={result.drains_completed} handoffs={result.handoffs} "
+        f"drain_refused={result.drain_refused}",
+        f"chaos           : mid_drain_kills={result.mid_drain_kills} "
+        f"interrupted={result.drain_interrupted} crashes={result.crashes} "
+        f"restarts={result.restarts}",
+        f"journal         : failed_fast={result.failed_fast} "
+        f"replayed={result.replayed}",
+        "",
+    ]
+    return _finish_scale_report(args, result, lines)
+
+
+def _finish_scale_report(args, result, lines: List[str]) -> str:
+    """Shared invariant/summary tail for both autoscale arms."""
+    failed = []
+    for check in result.invariants:
+        verdict = "PASS" if check.passed else "FAIL"
+        lines.append(f"INVARIANT {check.name:<24} {verdict} — {check.detail}")
+        if not check.passed:
+            failed.append(check.name)
+    report = "\n".join(lines)
+    if args.summary_out:
+        payload = result.to_summary()
+        payload["invariants_hold"] = result.all_invariants_hold
+        with open(args.summary_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        report += f"\n\nsummary written to {args.summary_out}"
+    if failed:
+        raise ChaosInvariantFailure(report, failed)
+    return report
+
+
 def _describe_cache() -> str:
     from .core.pipeline import stage_plan
 
@@ -1073,6 +1314,7 @@ _COMMANDS = {
     "chaos": run_chaos,
     "cache": run_cache,
     "telemetry": run_telemetry,
+    "autoscale": run_autoscale,
 }
 
 

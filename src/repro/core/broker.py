@@ -54,7 +54,7 @@ from .pipeline import (
     distributed_stage_plan,
 )
 from .pool import ConnectionPool
-from .protocol import BrokerReply, BrokerRequest
+from .protocol import BrokerReply, BrokerRequest, ReplyStatus
 from .qos import QoSPolicy
 from .queueing import BrokerQueue, QueuedRequest
 from .transactions import TransactionTracker
@@ -179,6 +179,15 @@ class ServiceBroker:
         self.cache_tier = None
         #: False while crashed (see :meth:`crash` / :meth:`restart`).
         self.alive = True
+        #: True once :meth:`begin_drain` ran: the receive loop refuses
+        #: new requests (raced arrivals get an immediate ``DROPPED``
+        #: reply) while queued/in-flight work finishes. Survives a
+        #: crash/restart cycle so a resurrected mid-drain broker keeps
+        #: refusing work until its drain completes.
+        self.draining = False
+        #: True once :meth:`decommission` ran; a retired broker is
+        #: permanently gone (``restart`` refuses to revive it).
+        self.retired = False
         #: Optional :class:`~repro.core.lifecycle.RecoveryJournal`;
         #: installed by :meth:`BrokerSupervisor.watch` (or directly).
         self.journal = None
@@ -302,6 +311,24 @@ class ServiceBroker:
             if not isinstance(message, BrokerRequest):
                 self.metrics.increment("broker.malformed")
                 continue
+            if self.draining:
+                # Refuse raced arrivals during a graceful drain with an
+                # immediate DROPPED reply, bypassing the pipeline so the
+                # admission ledger and recovery journal never see them.
+                self.metrics.increment("broker.drain.refused")
+                self.socket.sendto(
+                    BrokerReply(
+                        request_id=message.request_id,
+                        status=ReplyStatus.DROPPED,
+                        payload="broker draining",
+                        fidelity=0.0,
+                        error="draining",
+                        broker=name,
+                        context=message.context,
+                    ),
+                    message.reply_to,
+                )
+                continue
             run_ingress(adopt(message, now=sim._now, broker=name))
 
     # -- dispatch path -----------------------------------------------------
@@ -396,7 +423,7 @@ class ServiceBroker:
         installed journal's policy (see
         :class:`~repro.core.lifecycle.RecoveryJournal`).
         """
-        if self.alive:
+        if self.alive or self.retired:
             return
         self.alive = True
         self.metrics.increment("broker.restarts")
@@ -420,6 +447,60 @@ class ServiceBroker:
         self.sim.trace("lifecycle", "restart", broker=self.name)
         if self.journal is not None:
             self.journal.recover(self)
+
+    def begin_drain(self) -> None:
+        """Stop accepting new work ahead of a graceful decommission.
+
+        The receive loop answers raced arrivals with an immediate
+        ``DROPPED`` reply (``error="draining"``); already-queued and
+        in-flight requests keep draining through the dispatchers, and
+        heartbeats keep flowing so the supervisor still covers a crash
+        mid-drain. Idempotent. The pool-level protocol around this —
+        ring removal first, hand-off, deregistration, then
+        :meth:`decommission` — lives in
+        :class:`~repro.core.autoscale.BrokerPool`.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        self.metrics.increment("broker.drain.begin")
+        self.sim.trace(
+            "lifecycle", "drain-begin",
+            broker=self.name, queued=len(self.queue),
+            outstanding=self.outstanding,
+        )
+
+    def decommission(self) -> None:
+        """Terminate a drained broker for good.
+
+        Unlike :meth:`crash` this is an orderly exit — the caller is
+        responsible for having quiesced the queue, ledger, and journal
+        first (see :class:`~repro.core.autoscale.BrokerPool`). Residual
+        state is deliberately left in place (not zeroed) so chaos
+        invariants can audit that the drain really finished clean. A
+        retired broker refuses :meth:`restart`.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.retired = True
+        self.metrics.increment("broker.drained")
+        self.sim.trace(
+            "lifecycle", "decommission",
+            broker=self.name, queued=len(self.queue),
+            outstanding=self.outstanding,
+        )
+        for process in self._processes:
+            if process.is_alive:
+                target = process._target
+                if target is not None:
+                    target.defused = True
+                    if hasattr(target, "cancelled"):
+                        target.cancelled = True
+                process.defused = True
+                process.interrupt("broker-drained")
+        self._processes = []
+        self.socket.close()
 
     def start_heartbeat(self, address: Address, interval: float = 0.05) -> None:
         """Emit liveness heartbeats to *address* every *interval* seconds.

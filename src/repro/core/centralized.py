@@ -170,6 +170,40 @@ class LoadListener:
                 leader=report.broker, previous=previous,
             )
 
+    def deregister(self, broker_name: str) -> None:
+        """Purge every trace of *broker_name* from the routing tables.
+
+        Called when a broker leaves the pool gracefully (scale-in): its
+        service-table entries, per-shard reports, and per-shard leader
+        records go away *immediately* rather than lingering until the
+        staleness threshold trips — a stale entry would keep steering
+        the admit decision by a broker that no longer exists. Service
+        aggregates are recomputed from the surviving shard reports.
+        """
+        affected = set()
+        for service, report in list(self.table.items()):
+            if report.broker == broker_name:
+                del self.table[service]
+                affected.add(service)
+        for key, report in list(self.shards.items()):
+            if report.broker == broker_name:
+                del self.shards[key]
+                affected.add(key[0])
+        for key, leader in list(self.shard_leaders.items()):
+            if leader == broker_name:
+                del self.shard_leaders[key]
+        for service in affected:
+            worst = None
+            for (svc, _), other in self.shards.items():
+                if svc != service:
+                    continue
+                if worst is None or other.outstanding > worst.outstanding:
+                    worst = other
+            if worst is not None:
+                self.table[service] = worst
+        self.metrics.increment("listener.deregistered")
+        self.sim.trace("centralized", "deregister", broker=broker_name)
+
     def load_of(self, service: str) -> Optional[LoadReport]:
         """The most recently applied report for *service*, if any."""
         return self.table.get(service)

@@ -175,7 +175,7 @@ class _Watch:
 
     __slots__ = (
         "broker", "interval", "miss_factor", "last_heard",
-        "up", "down_since", "detected", "recoveries",
+        "up", "down_since", "detected", "recoveries", "released",
     )
 
     def __init__(self, broker: "ServiceBroker", interval: float,
@@ -188,6 +188,7 @@ class _Watch:
         self.down_since = 0.0
         self.detected = 0
         self.recoveries = 0
+        self.released = False
 
 
 class BrokerSupervisor:
@@ -258,6 +259,21 @@ class BrokerSupervisor:
         """The supervisor's current belief about broker *name*."""
         return self._watches[name].up
 
+    def release(self, name: str) -> None:
+        """Stop supervising broker *name* (graceful decommission).
+
+        Marks the watch released so the monitor exits instead of
+        declaring the post-drain heartbeat silence a death — call this
+        *before* :meth:`~repro.core.broker.ServiceBroker.decommission`.
+        Idempotent; unknown names are ignored.
+        """
+        watch = self._watches.get(name)
+        if watch is None or watch.released:
+            return
+        watch.released = True
+        self.metrics.increment("lifecycle.released")
+        self.sim.trace("lifecycle", "released", broker=name)
+
     def _listen(self):
         recv = self.socket.recv
         while True:
@@ -284,8 +300,10 @@ class BrokerSupervisor:
     def _monitor(self, watch: _Watch):
         sim = self.sim
         miss_timeout = watch.interval * watch.miss_factor
-        while True:
+        while not watch.released:
             yield watch.interval
+            if watch.released:
+                return
             if watch.up and sim.now - watch.last_heard > miss_timeout:
                 watch.up = False
                 watch.down_since = sim.now

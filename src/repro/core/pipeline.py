@@ -85,6 +85,7 @@ __all__ = [
     "CacheLookupStage",
     "CacheTierStage",
     "QueryCombineStage",
+    "ThrottleStage",
     "AdmissionStage",
     "FidelityFallbackStage",
     "EnqueueStage",
@@ -739,6 +740,79 @@ class CacheTierStage(BrokerStage):
             payload=value,
             fidelity=1.0,
             from_cache=True,
+            broker=broker.name,
+            context=ctx,
+        )
+        return StageOutcome.REPLY
+
+
+def _request_tenant(request) -> str:
+    """Best-effort tenant extraction from a broker request payload.
+
+    Recognizes a ``{"tenant": ...}`` key in dict payloads and in the
+    params half of ``(path, params)`` tuples; everything else maps to
+    the shared ``"public"`` bucket.
+    """
+    payload = request.payload
+    if isinstance(payload, dict):
+        return str(payload.get("tenant", "public"))
+    if (
+        isinstance(payload, (tuple, list))
+        and len(payload) == 2
+        and isinstance(payload[1], dict)
+    ):
+        return str(payload[1].get("tenant", "public"))
+    return "public"
+
+
+class ThrottleStage(BrokerStage):
+    """Per-tenant token-bucket rate limiting at the broker's front door.
+
+    Placed *before* admission, so a refused request never touches the
+    admission ledger or the recovery journal — it is answered with an
+    immediate ``DROPPED`` reply (``error="throttled"``) and counted
+    under ``broker.throttle.rejected`` / ``.qos<N>`` / ``.<tenant>``,
+    deliberately distinct from admission drops (``broker.drops.*``, we
+    chose not to serve) and backpressure sheds (``broker.shed.*``, we
+    admitted but could not keep). Not part of any default stage plan;
+    insert it explicitly (the front end carries the first-line tenant
+    throttle — see :class:`~repro.frontend.server.FrontendWebServer` —
+    and this stage protects brokers reachable without that front end).
+    """
+
+    name = "throttle"
+
+    def __init__(self, throttle, tenant_of=None) -> None:
+        super().__init__()
+        #: The shared :class:`~repro.core.autoscale.TenantThrottle`.
+        self.throttle = throttle
+        self.tenant_of = tenant_of if tenant_of is not None else _request_tenant
+
+    def on_request(self, ctx: RequestContext) -> StageOutcome:
+        """Refuse the request when its tenant's bucket is empty."""
+        broker = self.broker
+        request = ctx.request
+        tenant = self.tenant_of(request)
+        if self.throttle.allow(tenant, broker.sim._now):
+            return StageOutcome.CONTINUE
+        level = ctx.qos_level
+        metrics = broker.metrics
+        metrics.increment("broker.throttle.rejected")
+        metrics.increment(f"broker.throttle.rejected.qos{level}")
+        metrics.increment(f"broker.throttle.rejected.{tenant}")
+        if broker.sim.tracer is not None:
+            broker.sim.trace(
+                "broker", "throttle",
+                broker=broker.name, request_id=request.request_id,
+                qos=level, tenant=tenant,
+            )
+        ctx.set_decision("throttled")
+        ctx.reply = BrokerReply(
+            request_id=request.request_id,
+            status=ReplyStatus.DROPPED,
+            payload="tenant throttled",
+            fidelity=0.0,
+            error="throttled",
             broker=broker.name,
             context=ctx,
         )

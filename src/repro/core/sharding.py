@@ -239,6 +239,30 @@ class ShardGroup:
         if self._leader is None:
             self.elect()
 
+    def leave(self, name: str) -> None:
+        """Remove member *name* for good (graceful decommission).
+
+        The departing broker is purged from the membership, health, and
+        up-tables; if it led the shard, leadership is handed off by an
+        immediate election among the survivors (firing
+        ``on_leader_change``, so leader-only load reporting follows the
+        hand-off). Unknown names are ignored, making the drain protocol
+        idempotent.
+        """
+        broker = self._by_name.pop(name, None)
+        if broker is None:
+            return
+        self._members.remove(broker)
+        self._health.pop(name, None)
+        self._up.pop(name, None)
+        if broker.shard_group is self:
+            broker.shard_group = None
+        self.metrics.increment("shard.member_left")
+        if self._leader is broker:
+            self._leader = None
+            if self._members:
+                self.elect()
+
     def elect(self) -> Optional["ServiceBroker"]:
         """Run a bully election; return and install the winner.
 

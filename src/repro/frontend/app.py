@@ -15,10 +15,13 @@ from typing import Callable
 
 from ..http.messages import HttpRequest
 
-__all__ = ["WebApplication", "qos_of"]
+__all__ = ["WebApplication", "qos_of", "tenant_of"]
 
 #: Header carrying a request's QoS class (1 = highest priority).
 QOS_HEADER = "x-qos"
+
+#: Header naming the tenant a request bills against (rate limiting).
+TENANT_HEADER = "x-tenant"
 
 
 def qos_of(request: HttpRequest, default: int = 1) -> int:
@@ -27,6 +30,17 @@ def qos_of(request: HttpRequest, default: int = 1) -> int:
         return int(request.headers.get(QOS_HEADER, default))
     except (TypeError, ValueError):
         return default
+
+
+def tenant_of(request: HttpRequest, default: str = "public") -> str:
+    """The tenant of *request*, from its ``x-tenant`` header.
+
+    Requests without the header share the ``"public"`` bucket, so
+    per-tenant throttling degrades gracefully to a global rate limit
+    for untagged traffic.
+    """
+    tenant = request.headers.get(TENANT_HEADER, default)
+    return str(tenant) if tenant else default
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,7 @@ from ..net.transport import StreamConnection
 from ..sim.core import Simulation
 from ..sim.resources import Resource
 from ..http.messages import HttpRequest, HttpResponse
-from .app import WebApplication, qos_of
+from .app import WebApplication, qos_of, tenant_of
 
 __all__ = ["FrontendWebServer"]
 
@@ -50,6 +50,7 @@ class FrontendWebServer:
         max_processes: int = 150,
         admission: Optional[AdmissionHook] = None,
         throttle_level: Optional[int] = None,
+        tenant_throttle=None,
         metrics: Optional[MetricsRegistry] = None,
         name: str = "",
     ) -> None:
@@ -57,6 +58,13 @@ class FrontendWebServer:
         self.node = node
         self.name = name or node.name
         self.admission = admission
+        #: Optional :class:`~repro.core.autoscale.TenantThrottle`: each
+        #: request bills one token against its ``x-tenant`` bucket and
+        #: gets 429 (``frontend.throttle.rejected``) when the bucket is
+        #: empty — "we refused", as opposed to backpressure 503s
+        #: (``frontend.throttled``) and admission 503s
+        #: (``frontend.rejected``).
+        self.tenant_throttle = tenant_throttle
         #: Requests of this QoS class or worse get 503 while any broker
         #: backpressure signal is engaged; ``None`` disables throttling.
         self.throttle_level = throttle_level
@@ -155,6 +163,35 @@ class FrontendWebServer:
                 paths=request.paths,
                 context=ctx,
             )
+
+            if self.tenant_throttle is not None:
+                now = self.sim.now
+                tenant = tenant_of(request)
+                if not self.tenant_throttle.allow(tenant, now):
+                    self.metrics.increment("frontend.throttle.rejected")
+                    self.metrics.increment(
+                        f"frontend.throttle.rejected.qos{qos}"
+                    )
+                    self.metrics.increment(
+                        f"frontend.throttle.rejected.{tenant}"
+                    )
+                    self.sim.trace(
+                        "frontend", "tenant-throttled",
+                        path=request.path, qos=qos, tenant=tenant,
+                    )
+                    ctx.record_stage(
+                        "frontend-tenant-throttle", now, now, "throttled"
+                    )
+                    ctx.completed_at = now
+                    obs = self.sim.obs
+                    if obs is not None:
+                        obs.finish(ctx, status="429")
+                    connection.send(
+                        HttpResponse.error(
+                            429, f"tenant {tenant!r} rate limited"
+                        )
+                    )
+                    continue
 
             if (
                 self._throttled_by

@@ -164,6 +164,55 @@ def default_panels(scraper: Any) -> List[Panel]:
             "value",
             lambda n: n[len("shard.load."):],
         ),
+        # "We refused" (throttle 429s / admission 503s) vs "we lost"
+        # (backpressure sheds, admission drops): one panel so an
+        # operator can tell deliberate refusal from capacity loss.
+        _panel_from(
+            "refused vs shed vs dropped (req/s)",
+            [
+                n
+                for n in names
+                if n in (
+                    "frontend.throttle.rejected",
+                    "frontend.throttled",
+                    "frontend.rejected",
+                    "broker.throttle.rejected",
+                    "broker.shed",
+                    "broker.drops",
+                )
+            ],
+            "rate",
+            lambda n: n,
+        ),
+        _panel_from(
+            "autoscaler pool (units)",
+            [
+                n
+                for n in names
+                if n in (
+                    "autoscaler.pool_size",
+                    "autoscaler.draining",
+                    "autoscaler.retired",
+                )
+            ],
+            "value",
+            tail,
+        ),
+        _panel_from(
+            "autoscaler events (per s)",
+            [
+                n
+                for n in names
+                if n in (
+                    "autoscaler.scale_out",
+                    "autoscaler.scale_in",
+                    "autoscaler.drained",
+                    "autoscaler.drain.handoff",
+                )
+            ],
+            "rate",
+            tail,
+        ),
         _panel_from(
             "SLO error budget remaining",
             [n for n in names if n.startswith("slo.") and n.endswith(".budget")],

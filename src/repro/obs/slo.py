@@ -44,6 +44,7 @@ __all__ = [
     "qos_slos",
     "chaos_slos",
     "shard_slos",
+    "autoscale_slos",
     "render_slo_table",
     "render_alert_timeline",
 ]
@@ -300,6 +301,46 @@ def chaos_slos() -> List[SloSpec]:
 def shard_slos(levels: Sequence[int] = (1, 2, 3)) -> List[SloSpec]:
     """Sharded-scenario SLOs — same front-door counters as QoS."""
     return qos_slos(levels)
+
+
+def autoscale_slos() -> List[SloSpec]:
+    """SLOs for the elastic-pool experiments (autoscale + scale chaos).
+
+    Deliberately *excludes* ``workload.throttled`` from the bad
+    counters: a per-tenant token-bucket refusal is "we refused", not
+    "we lost" — refusing one tenant's flash crowd is the throttle
+    working, and must not burn the error budget (and thereby veto the
+    very scale-in the refusal enabled). Backpressure sheds
+    (``workload.dropped``), timeouts, and errors still burn: those are
+    capacity problems the autoscaler should react to, and an active
+    burn alert vetoes scale-in (see
+    :class:`~repro.core.autoscale.Autoscaler`).
+    """
+    return [
+        SloSpec(
+            name="scale-answered",
+            description="replies not dropped/timed out/errored "
+            "(throttle refusals excluded)",
+            objective=0.98,
+            bad=(
+                "workload.dropped",
+                "workload.timeout",
+                "workload.error",
+            ),
+            total=("workload.done",),
+            fast_burn=2.0,
+            slow_burn=1.0,
+        ),
+        SloSpec(
+            name="scale-fast",
+            description="replies under the fast-reply latency threshold",
+            objective=0.75,
+            good=("workload.fast",),
+            total=("workload.answered",),
+            fast_burn=2.0,
+            slow_burn=1.2,
+        ),
+    ]
 
 
 # ---------------------------------------------------------------------------

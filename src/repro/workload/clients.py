@@ -9,6 +9,13 @@
   requests").
 * :class:`OpenLoopGenerator` — Poisson arrivals at a target rate,
   independent of completions (for overload ablations).
+* :class:`ModulatedOpenLoopGenerator` — non-homogeneous Poisson
+  arrivals whose instantaneous rate follows ``rate_at(t)``, sampled
+  exactly by Lewis-Shedler thinning.
+* :class:`DiurnalLoadGenerator` — a sinusoidal day/night curve (the
+  autoscale experiment's 10× swing).
+* :class:`FlashCrowdGenerator` — a steady base rate with sudden
+  flash-crowd windows multiplying it.
 * :func:`zipf_sampler` — popularity skew for cache experiments.
 """
 
@@ -25,6 +32,9 @@ __all__ = [
     "ClosedLoopClient",
     "BurstClient",
     "OpenLoopGenerator",
+    "ModulatedOpenLoopGenerator",
+    "DiurnalLoadGenerator",
+    "FlashCrowdGenerator",
     "zipf_sampler",
 ]
 
@@ -188,6 +198,138 @@ class OpenLoopGenerator:
             self.errors += 1
         else:
             self.response_times.add(self.sim.now - started)
+
+
+class ModulatedOpenLoopGenerator(OpenLoopGenerator):
+    """Open-loop arrivals whose rate varies over time: ``rate_at(t)``.
+
+    Samples the non-homogeneous Poisson process *exactly* via
+    Lewis-Shedler thinning: candidate arrivals come at the constant
+    envelope *peak_rate* and survive with probability
+    ``rate_at(t) / peak_rate``. Subclasses override :meth:`rate_at`
+    (which must never exceed ``peak_rate``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        request_factory: RequestFactory,
+        peak_rate: float,
+        rng_stream: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            sim, name, request_factory, rate=peak_rate, rng_stream=rng_stream
+        )
+        self.peak_rate = float(peak_rate)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at sim time *t* (<= peak_rate)."""
+        return self.peak_rate
+
+    def _run(self, until: Optional[float]):
+        while until is None or self.sim.now < until:
+            yield self.rng.expovariate(self.peak_rate)
+            if until is not None and self.sim.now >= until:
+                return
+            # Thinning: keep the candidate with probability rate/peak.
+            if self.rng.random() * self.peak_rate > self.rate_at(self.sim.now):
+                continue
+            self.issued += 1
+            self.sim.process(
+                self._one(self.issued), name=f"{self.name}:{self.issued}"
+            )
+
+
+class DiurnalLoadGenerator(ModulatedOpenLoopGenerator):
+    """A sinusoidal day/night load curve between *base_rate* and *peak_rate*.
+
+    The rate starts at *base_rate* (phase 0 = midnight), peaks at
+    ``period/2``, and returns — one full "day" per *period* simulated
+    seconds. ``peak_rate / base_rate`` is the swing the autoscale
+    experiment's headline (10×) is measured over.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        request_factory: RequestFactory,
+        base_rate: float,
+        peak_rate: float,
+        period: float,
+        phase: float = 0.0,
+        rng_stream: Optional[str] = None,
+    ) -> None:
+        if base_rate <= 0 or peak_rate < base_rate:
+            raise ValueError(
+                f"need 0 < base_rate <= peak_rate: {base_rate!r}, {peak_rate!r}"
+            )
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period!r}")
+        super().__init__(
+            sim, name, request_factory, peak_rate, rng_stream=rng_stream
+        )
+        self.base_rate = float(base_rate)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def rate_at(self, t: float) -> float:
+        """base + (peak-base) * half-cosine wave over one period."""
+        cycle = (t / self.period + self.phase) % 1.0
+        swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * cycle))
+        return self.base_rate + (self.peak_rate - self.base_rate) * swing
+
+
+class FlashCrowdGenerator(ModulatedOpenLoopGenerator):
+    """A steady *base_rate* with flash-crowd windows multiplying it.
+
+    *crowds* is a sequence of ``(start, duration, multiplier)`` tuples:
+    within a window the rate jumps to ``base_rate * multiplier``
+    instantly (the defining feature of a flash crowd is its
+    discontinuous onset) and drops back just as sharply when it ends.
+    Overlapping windows take the largest multiplier.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        request_factory: RequestFactory,
+        base_rate: float,
+        crowds,
+        rng_stream: Optional[str] = None,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError(f"base_rate must be positive: {base_rate!r}")
+        self.crowds = []
+        worst = 1.0
+        for start, duration, multiplier in crowds:
+            if duration <= 0 or multiplier < 1.0:
+                raise ValueError(
+                    f"need duration > 0 and multiplier >= 1: "
+                    f"({start!r}, {duration!r}, {multiplier!r})"
+                )
+            self.crowds.append(
+                (float(start), float(duration), float(multiplier))
+            )
+            worst = max(worst, float(multiplier))
+        super().__init__(
+            sim,
+            name,
+            request_factory,
+            base_rate * worst,
+            rng_stream=rng_stream,
+        )
+        self.base_rate = float(base_rate)
+
+    def rate_at(self, t: float) -> float:
+        """Base rate times the largest multiplier of any active crowd."""
+        multiplier = 1.0
+        for start, duration, factor in self.crowds:
+            if start <= t < start + duration and factor > multiplier:
+                multiplier = factor
+        return self.base_rate * multiplier
 
 
 def zipf_sampler(rng, n: int, skew: float = 1.0) -> Callable[[], int]:

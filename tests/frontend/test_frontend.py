@@ -123,6 +123,75 @@ class TestFrontendWebServer:
         assert sum(1 for t in finished if t < 1.5) == 2
         assert sum(1 for t in finished if t > 1.5) == 2
 
+    def test_tenant_throttle_refuses_with_429(self, sim, net):
+        from repro.core.autoscale import TenantThrottle
+        from repro.frontend.app import TENANT_HEADER
+
+        frontend = FrontendWebServer(
+            sim,
+            net.node("web"),
+            tenant_throttle=TenantThrottle(
+                rate=1000.0, burst=1000.0, overrides={"burst": (0.1, 2.0)}
+            ),
+        )
+        frontend.register_app(
+            WebApplication(path="/p", handler=lambda s, r: "ok")
+        )
+        client_node = net.node("client")
+
+        def run(tenant):
+            return (
+                yield from HttpClient.fetch(
+                    sim,
+                    client_node,
+                    frontend.address,
+                    HttpRequest(
+                        method="GET", path="/p",
+                        headers={TENANT_HEADER: tenant},
+                    ),
+                )
+            )
+
+        statuses = {"burst": [], "standard": []}
+        for _ in range(4):
+            for tenant in ("burst", "standard"):
+                statuses[tenant].append(sim.run(sim.process(run(tenant))).status)
+        # The burst tenant exhausts its 2-token bucket and gets 429;
+        # other tenants are untouched. 429s are "we refused": counted
+        # apart from backpressure 503s (frontend.throttled) and
+        # admission 503s (frontend.rejected).
+        assert statuses["burst"].count(429) == 2
+        assert statuses["standard"] == [200, 200, 200, 200]
+        assert frontend.metrics.counter("frontend.throttle.rejected") == 2
+        assert frontend.metrics.counter("frontend.throttle.rejected.burst") == 2
+        assert frontend.metrics.counter("frontend.throttled") == 0
+        assert frontend.metrics.counter("frontend.rejected") == 0
+
+    def test_untagged_requests_share_the_public_bucket(self, sim, net):
+        from repro.core.autoscale import TenantThrottle
+
+        frontend = FrontendWebServer(
+            sim,
+            net.node("web"),
+            tenant_throttle=TenantThrottle(rate=0.1, burst=1.0),
+        )
+        frontend.register_app(
+            WebApplication(path="/p", handler=lambda s, r: "ok")
+        )
+        client_node = net.node("client")
+
+        def run():
+            return (
+                yield from HttpClient.get(
+                    sim, client_node, frontend.address, "/p"
+                )
+            )
+
+        first = sim.run(sim.process(run())).status
+        second = sim.run(sim.process(run())).status
+        assert (first, second) == (200, 429)
+        assert frontend.metrics.counter("frontend.throttle.rejected.public") == 1
+
     def test_per_class_metrics_recorded(self, sim, net):
         frontend = FrontendWebServer(sim, net.node("web"))
         frontend.register_app(

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.workload.chaos import run_autoscale_experiment
 from repro.workload.scenarios import (
     run_clustering_experiment,
     run_failure_recovery_experiment,
@@ -128,6 +129,34 @@ def snapshot():
             12, shards=2, replicas=2, duration=30.0, seed=2026, workers=1
         )
     )
+
+    # One short elastic-pool point: the autoscaler control loop, the
+    # drain protocol, and the tenant throttle all draw from the seeded
+    # streams, so their outputs are part of the byte-identical contract.
+    scale = run_autoscale_experiment(duration=60.0, seed=2026)
+    snap["autoscale"] = {
+        "requests": scale.requests,
+        "ok": scale.ok,
+        "degraded": scale.degraded,
+        "throttled": scale.throttled,
+        "dropped": scale.dropped,
+        "timeouts": scale.timeouts,
+        "errors": scale.errors,
+        "provisioned": scale.provisioned,
+        "scale_outs": scale.scale_outs,
+        "scale_ins": scale.scale_ins,
+        "drains_completed": scale.drains_completed,
+        "handoffs": scale.handoffs,
+        "drain_refused": scale.drain_refused,
+        "mean_size": repr(scale.mean_size),
+        "peak_size": scale.peak_size,
+        "premium_p99": repr(scale.premium_p99()),
+        "tenants": {
+            name: {k: v for k, v in sorted(info.items())}
+            for name, info in sorted(scale.tenants.items())
+        },
+        "timeline_len": len(scale.timeline),
+    }
     return snap
 
 

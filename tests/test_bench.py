@@ -228,10 +228,12 @@ class TestSuites:
 
     def test_suite_names_cover_all_benchmarks(self):
         assert set(bench.SUITES["all"]) == {
-            "kernel", "pipeline", "macro", "parallel", "telemetry"
+            "kernel", "pipeline", "macro", "parallel", "telemetry",
+            "autoscale",
         }
         assert bench.SUITES["parallel"] == ("parallel",)
         assert bench.SUITES["telemetry"] == ("telemetry",)
+        assert bench.SUITES["autoscale"] == ("autoscale",)
 
     def test_render_report_parallel_section(self):
         report = render_report(_fake_parallel_results())

@@ -395,3 +395,99 @@ class TestTelemetryCommand:
     def test_bench_accepts_telemetry_suite(self):
         args = build_parser().parse_args(["bench", "--suite", "telemetry"])
         assert args.suite == "telemetry"
+
+
+class TestAutoscaleCommand:
+    def test_autoscale_defaults(self):
+        args = build_parser().parse_args(["autoscale"])
+        assert args.command == "autoscale"
+        assert args.duration is None
+        assert args.period == 120.0
+        assert args.swing == 10.0
+        assert args.target is None
+        assert args.wave_period == 24.0
+        assert args.min_scale_ins is None
+        assert args.summary_out is None
+        assert not args.soak and not args.quick and not args.describe
+        assert args.seed == 2026
+
+    def test_autoscale_flags(self):
+        args = build_parser().parse_args(
+            ["autoscale", "--soak", "--quick", "--duration", "60",
+             "--wave-period", "12", "--min-scale-ins", "5",
+             "--target", "2.0", "--summary-out", "a.json", "--seed", "7"]
+        )
+        assert args.soak and args.quick
+        assert args.duration == 60.0
+        assert args.wave_period == 12.0
+        assert args.min_scale_ins == 5
+        assert args.target == 2.0
+        assert args.summary_out == "a.json"
+        assert args.seed == 7
+
+    def test_autoscale_describe(self, capsys):
+        assert main(["autoscale", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "Graceful drain" in out
+        assert "no-lost-request" in out
+        assert "pool-efficiency" in out
+        assert "drain sniper" in out
+
+    def test_autoscale_quick_run_with_summary(self, capsys, tmp_path):
+        import json
+
+        summary = tmp_path / "AUTOSCALE_run.json"
+        assert main([
+            "autoscale", "--quick", "--summary-out", str(summary),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Autoscale headline" in out
+        assert out.count("PASS") == 5
+        assert "FAIL" not in out
+        payload = json.loads(summary.read_text())
+        assert payload["invariants_hold"] is True
+        assert payload["scale_ins"] > 0
+        assert len(payload["invariants"]) == 5
+
+    def test_autoscale_soak_quick_run_with_summary(self, capsys, tmp_path):
+        import json
+
+        summary = tmp_path / "AUTOSCALE_soak.json"
+        assert main([
+            "autoscale", "--soak", "--quick",
+            "--summary-out", str(summary),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Scale-chaos soak" in out
+        assert out.count("PASS") == 6
+        assert "FAIL" not in out
+        payload = json.loads(summary.read_text())
+        assert payload["invariants_hold"] is True
+        assert payload["mid_drain_kills"] >= 1
+        assert len(payload["invariants"]) == 6
+
+    def test_autoscale_invariant_failure_exits_nonzero(self, capsys):
+        # An impossible scale-in floor fails scale-in-coverage; the CLI
+        # must still print the full report and exit 1.
+        code = main([
+            "autoscale", "--soak", "--quick",
+            "--min-scale-ins", "100000",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "INVARIANT scale-in-coverage" in captured.out
+        assert "FAIL" in captured.out
+        assert "chaos invariants violated" in captured.err
+
+    def test_autoscale_deterministic_across_invocations(self, capsys, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([
+                "autoscale", "--quick", "--summary-out", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_bench_accepts_autoscale_suite(self):
+        args = build_parser().parse_args(["bench", "--suite", "autoscale"])
+        assert args.suite == "autoscale"

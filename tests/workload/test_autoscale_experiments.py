@@ -1,0 +1,112 @@
+"""Tests for the elastic-pool headline and scale-chaos experiments."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workload import (
+    run_autoscale_experiment,
+    run_scale_chaos_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_headline():
+    return run_autoscale_experiment(duration=120.0, seed=2026)
+
+
+@pytest.fixture(scope="module")
+def quick_soak():
+    return run_scale_chaos_experiment(
+        duration=120.0, min_scale_ins=8, min_mid_drain_kills=1, seed=2026
+    )
+
+
+class TestAutoscaleHeadline:
+    def test_pool_tracked_the_swing(self, quick_headline):
+        result = quick_headline
+        assert result.scale_outs >= 3
+        assert result.scale_ins >= 3
+        assert result.drains_completed == result.scale_ins
+        assert result.peak_size > result.min_size
+        assert result.provisioned == len(result.residue)
+
+    def test_invariants_hold(self, quick_headline):
+        result = quick_headline
+        names = {check.name for check in result.invariants}
+        assert names == {
+            "premium-p99",
+            "pool-efficiency",
+            "elasticity",
+            "throttle-containment",
+            "no-lost-request",
+        }
+        for check in result.invariants:
+            assert check.passed, f"{check.name}: {check.detail}"
+        assert result.all_invariants_hold
+
+    def test_throttle_refusals_are_contained_and_not_lost(self, quick_headline):
+        result = quick_headline
+        # The flash-crowd tenant is refused; premium never is.
+        assert result.tenants["burst"]["throttled"] > 0
+        assert result.tenants["premium"]["throttled"] == 0
+        # Refusals are terminal outcomes, distinct from capacity drops,
+        # and excluded from the availability denominator.
+        assert result.throttled >= result.tenants["burst"]["throttled"]
+        assert result.availability >= 0.99
+
+    def test_deterministic_per_seed(self, quick_headline):
+        again = run_autoscale_experiment(duration=120.0, seed=2026)
+        assert again.to_summary() == quick_headline.to_summary()
+
+    def test_summary_is_json_safe(self, quick_headline):
+        payload = quick_headline.to_summary()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["invariants"]
+
+    def test_rejects_degenerate_swing(self):
+        with pytest.raises(ValueError):
+            run_autoscale_experiment(duration=1.0, swing=1.0)
+
+
+class TestScaleChaosSoak:
+    def test_schedule_produces_drains_under_fire(self, quick_soak):
+        result = quick_soak
+        assert result.scale_ins >= 8
+        assert result.drains_completed == result.scale_ins
+        assert result.mid_drain_kills >= 1
+        assert result.drain_interrupted >= result.mid_drain_kills
+        assert result.crashes == result.restarts == result.mid_drain_kills
+
+    def test_invariants_hold(self, quick_soak):
+        result = quick_soak
+        names = {check.name for check in result.invariants}
+        assert names == {
+            "no-lost-request",
+            "scale-in-coverage",
+            "drain-completion",
+            "pool-bounds",
+            "post-crash-consistency",
+            "availability-floor",
+        }
+        for check in result.invariants:
+            assert check.passed, f"{check.name}: {check.detail}"
+        assert result.all_invariants_hold
+
+    def test_no_residue_on_any_unit_ever_provisioned(self, quick_soak):
+        result = quick_soak
+        assert result.provisioned == len(result.residue)
+        for name, residue in result.residue.items():
+            assert all(value == 0 for value in residue.values()), name
+
+    def test_deterministic_per_seed(self, quick_soak):
+        again = run_scale_chaos_experiment(
+            duration=120.0, min_scale_ins=8, min_mid_drain_kills=1, seed=2026
+        )
+        assert again.to_summary() == quick_soak.to_summary()
+
+    def test_summary_is_json_safe(self, quick_soak):
+        payload = quick_soak.to_summary()
+        assert json.loads(json.dumps(payload)) == payload
